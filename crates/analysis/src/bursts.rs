@@ -1,0 +1,118 @@
+//! Burst segmentation: the eavesdropper's object-boundary heuristic.
+//!
+//! Fig. 1 of the paper: when transmissions are serialized, an object's
+//! packets form a contiguous run ending in a delimiting (sub-MTU) packet,
+//! and "the adversary can sum up the packet sizes … to determine their
+//! sizes". Our observer works one level up, on reconstructed TLS records:
+//! a *burst* is a maximal run of server→client application-data records
+//! with no inter-record gap ≥ `min_gap`. When the adversary has forced
+//! serialization, each response is one burst whose summed plaintext length
+//! estimates the object size; under baseline multiplexing, bursts span
+//! several objects and the estimate matches nothing.
+
+use h2priv_netsim::{SimDuration, SimTime};
+
+use crate::records::RecordEvent;
+
+/// A maximal gap-free run of records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Arrival time of the first record.
+    pub start: SimTime,
+    /// Arrival time of the last record.
+    pub end: SimTime,
+    /// Number of records in the burst.
+    pub records: usize,
+    /// Sum of plaintext fragment lengths — the observer's size estimate.
+    pub plaintext_bytes: u64,
+    /// TLS stream offset of the first record (ties bursts to stream order).
+    pub first_offset: u64,
+    /// Wire length of the first record. A response burst opens with a
+    /// small HEADERS-frame record; a burst that opens with a full-size
+    /// DATA record is a fragment of an interrupted transfer.
+    pub first_record_wire: usize,
+}
+
+/// Splits time-ordered records (one direction, pre-filtered to
+/// application data) into bursts at gaps of at least `min_gap`.
+pub fn segment_bursts(records: &[RecordEvent], min_gap: SimDuration) -> Vec<Burst> {
+    let mut out: Vec<Burst> = Vec::new();
+    for r in records {
+        let start_new = match out.last() {
+            None => true,
+            Some(last) => r.time.saturating_since(last.end) >= min_gap,
+        };
+        if start_new {
+            out.push(Burst {
+                start: r.time,
+                end: r.time,
+                records: 1,
+                plaintext_bytes: r.plaintext_len() as u64,
+                first_offset: r.stream_offset,
+                first_record_wire: r.wire_len,
+            });
+        } else {
+            let last = out.last_mut().expect("non-empty after first record");
+            last.end = r.time;
+            last.records += 1;
+            last.plaintext_bytes += r.plaintext_len() as u64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_netsim::Dir;
+    use h2priv_tls::ContentType;
+
+    fn rec(ms: u64, plaintext: usize, offset: u64) -> RecordEvent {
+        RecordEvent {
+            time: SimTime::from_millis(ms),
+            dir: Dir::RightToLeft,
+            content_type: ContentType::ApplicationData,
+            wire_len: plaintext + h2priv_tls::HEADER_LEN + h2priv_tls::AEAD_OVERHEAD,
+            stream_offset: offset,
+        }
+    }
+
+    #[test]
+    fn single_burst() {
+        let records = vec![rec(0, 100, 0), rec(1, 200, 129), rec(2, 300, 358)];
+        let bursts = segment_bursts(&records, SimDuration::from_millis(10));
+        assert_eq!(bursts.len(), 1);
+        assert_eq!(bursts[0].plaintext_bytes, 600);
+        assert_eq!(bursts[0].records, 3);
+        assert_eq!(bursts[0].start, SimTime::ZERO);
+        assert_eq!(bursts[0].end, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn gap_splits_bursts() {
+        let records = vec![rec(0, 100, 0), rec(1, 100, 129), rec(50, 500, 258)];
+        let bursts = segment_bursts(&records, SimDuration::from_millis(10));
+        assert_eq!(bursts.len(), 2);
+        assert_eq!(bursts[0].plaintext_bytes, 200);
+        assert_eq!(bursts[1].plaintext_bytes, 500);
+        assert_eq!(bursts[1].first_offset, 258);
+    }
+
+    #[test]
+    fn gap_exactly_at_threshold_splits() {
+        let records = vec![rec(0, 10, 0), rec(10, 10, 39)];
+        let bursts = segment_bursts(&records, SimDuration::from_millis(10));
+        assert_eq!(bursts.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(segment_bursts(&[], SimDuration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn plaintext_len_inverts_overhead() {
+        let r = rec(0, 1234, 0);
+        assert_eq!(r.plaintext_len(), 1234);
+    }
+}

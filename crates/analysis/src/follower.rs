@@ -1,0 +1,131 @@
+//! Passive TCP stream following.
+//!
+//! `tshark` reconstructs TCP streams from captured packets without being an
+//! endpoint; so does the paper's monitor. [`StreamFollower`] does the same:
+//! it learns the initial sequence number from the SYN, maps wire sequence
+//! numbers to stream offsets, and reassembles the byte stream — duplicates
+//! and retransmissions included — using the very same [`Reassembler`] the
+//! endpoints use. Reassembly is not an endpoint privilege.
+
+use h2priv_tcp::{Reassembler, Seq, TcpSegment};
+
+/// Follows one direction of one TCP connection from captured segments.
+#[derive(Debug, Clone, Default)]
+pub struct StreamFollower {
+    /// The sender's ISN, learned from its SYN.
+    isn: Option<Seq>,
+    reassembler: Reassembler,
+    /// Segments seen before the SYN (should not happen in ordered captures;
+    /// counted for diagnostics).
+    orphan_segments: u64,
+}
+
+impl StreamFollower {
+    /// Creates a follower awaiting the SYN.
+    pub fn new() -> Self {
+        StreamFollower::default()
+    }
+
+    /// Feeds one captured segment (must be from the followed direction).
+    /// Returns any newly contiguous stream bytes.
+    pub fn push(&mut self, segment: &TcpSegment) -> Vec<u8> {
+        if segment.flags.syn {
+            self.isn = Some(segment.seq);
+            return Vec::new();
+        }
+        let Some(isn) = self.isn else {
+            if !segment.payload.is_empty() {
+                self.orphan_segments += 1;
+            }
+            return Vec::new();
+        };
+        if segment.payload.is_empty() {
+            return Vec::new();
+        }
+        // Data starts at isn + 1 (the SYN consumes one sequence number).
+        let offset = (segment.seq - (isn + 1)) as u64;
+        self.reassembler.insert(offset, &segment.payload);
+        self.reassembler.read()
+    }
+
+    /// Bytes buffered out of order (a gap is in front of them).
+    pub fn gap_bytes(&self) -> usize {
+        self.reassembler.pending_bytes()
+    }
+
+    /// Duplicate bytes seen (retransmissions).
+    pub fn duplicate_bytes(&self) -> u64 {
+        self.reassembler.duplicate_bytes()
+    }
+
+    /// Segments with data that arrived before the SYN was seen.
+    pub fn orphan_segments(&self) -> u64 {
+        self.orphan_segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_tcp::TcpFlags;
+
+    fn syn(seq: u32) -> TcpSegment {
+        TcpSegment {
+            seq: Seq(seq),
+            ack: Seq(0),
+            flags: TcpFlags::SYN,
+            window: 1000,
+            payload: Vec::new(),
+        }
+    }
+
+    fn data(seq: u32, payload: &[u8]) -> TcpSegment {
+        TcpSegment {
+            seq: Seq(seq),
+            ack: Seq(0),
+            flags: TcpFlags::ACK,
+            window: 1000,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn follows_in_order_stream() {
+        let mut f = StreamFollower::new();
+        assert!(f.push(&syn(100)).is_empty());
+        assert_eq!(f.push(&data(101, b"hel")), b"hel");
+        assert_eq!(f.push(&data(104, b"lo")), b"lo");
+    }
+
+    #[test]
+    fn reorders_like_an_endpoint() {
+        let mut f = StreamFollower::new();
+        f.push(&syn(100));
+        assert!(f.push(&data(104, b"lo")).is_empty());
+        assert_eq!(f.gap_bytes(), 2);
+        assert_eq!(f.push(&data(101, b"hel")), b"hello");
+    }
+
+    #[test]
+    fn retransmissions_are_deduplicated() {
+        let mut f = StreamFollower::new();
+        f.push(&syn(100));
+        assert_eq!(f.push(&data(101, b"abc")), b"abc");
+        assert!(f.push(&data(101, b"abc")).is_empty());
+        assert_eq!(f.duplicate_bytes(), 3);
+    }
+
+    #[test]
+    fn data_before_syn_is_orphaned() {
+        let mut f = StreamFollower::new();
+        assert!(f.push(&data(101, b"abc")).is_empty());
+        assert_eq!(f.orphan_segments(), 1);
+    }
+
+    #[test]
+    fn pure_acks_produce_nothing() {
+        let mut f = StreamFollower::new();
+        f.push(&syn(100));
+        assert!(f.push(&data(101, b"")).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! What a passive on-path observer sees.
+//!
+//! The paper's adversary "can (1) access unencrypted header fields of both
+//! control and data packets, (2) monitor size of encrypted packets" (§III).
+//! An [`ObservedPacket`] is exactly that: TCP/IP header fields, sizes,
+//! timing, and the (encrypted) payload octets — never any decryption key.
+
+use h2priv_netsim::{Dir, SimTime};
+use h2priv_tcp::{TcpFlags, TcpSegment};
+
+/// One packet as captured at the gateway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedPacket {
+    /// Capture timestamp.
+    pub time: SimTime,
+    /// Direction through the gateway.
+    pub dir: Dir,
+    /// Total bytes on the wire.
+    pub wire_bytes: u32,
+    /// TCP sequence number (plaintext header field).
+    pub seq: h2priv_tcp::Seq,
+    /// TCP acknowledgment number.
+    pub ack: h2priv_tcp::Seq,
+    /// TCP flags.
+    pub flags: TcpFlags,
+    /// The encrypted payload octets (copyable off the wire; opaque without
+    /// the session keys).
+    pub payload: Vec<u8>,
+}
+
+impl ObservedPacket {
+    /// Captures a segment transiting the gateway at `time`.
+    pub fn capture(time: SimTime, dir: Dir, segment: &TcpSegment) -> Self {
+        ObservedPacket {
+            time,
+            dir,
+            wire_bytes: segment.wire_bytes(),
+            seq: segment.seq,
+            ack: segment.ack,
+            flags: segment.flags,
+            payload: segment.payload.clone(),
+        }
+    }
+}
+
+/// A complete capture of one connection's traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireTrace {
+    /// Packets in capture order.
+    pub packets: Vec<ObservedPacket>,
+}
+
+impl WireTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        WireTrace::default()
+    }
+
+    /// Appends a packet.
+    pub fn push(&mut self, packet: ObservedPacket) {
+        self.packets.push(packet);
+    }
+
+    /// Packets traveling in `dir`.
+    pub fn in_dir(&self, dir: Dir) -> impl Iterator<Item = &ObservedPacket> {
+        self.packets.iter().filter(move |p| p.dir == dir)
+    }
+
+    /// Total wire bytes in `dir`.
+    pub fn bytes_in_dir(&self, dir: Dir) -> u64 {
+        self.in_dir(dir).map(|p| p.wire_bytes as u64).sum()
+    }
+
+    /// Number of packets captured.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Capture duration (first to last packet).
+    pub fn duration(&self) -> h2priv_netsim::SimDuration {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => h2priv_netsim::SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_tcp::Seq;
+
+    fn seg(len: usize) -> TcpSegment {
+        TcpSegment {
+            seq: Seq(1),
+            ack: Seq(2),
+            flags: TcpFlags::ACK,
+            window: 1000,
+            payload: vec![0xEE; len],
+        }
+    }
+
+    #[test]
+    fn capture_copies_metadata() {
+        let p = ObservedPacket::capture(SimTime::from_millis(3), Dir::LeftToRight, &seg(100));
+        assert_eq!(p.wire_bytes, 140);
+        assert_eq!(p.payload.len(), 100);
+        assert_eq!(p.time, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn trace_filters_by_direction() {
+        let mut t = WireTrace::new();
+        t.push(ObservedPacket::capture(
+            SimTime::ZERO,
+            Dir::LeftToRight,
+            &seg(10),
+        ));
+        t.push(ObservedPacket::capture(
+            SimTime::from_millis(1),
+            Dir::RightToLeft,
+            &seg(20),
+        ));
+        t.push(ObservedPacket::capture(
+            SimTime::from_millis(2),
+            Dir::RightToLeft,
+            &seg(30),
+        ));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.in_dir(Dir::RightToLeft).count(), 2);
+        assert_eq!(t.bytes_in_dir(Dir::RightToLeft), 60 + 70);
+        assert_eq!(t.duration(), h2priv_netsim::SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = WireTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), h2priv_netsim::SimDuration::ZERO);
+    }
+}

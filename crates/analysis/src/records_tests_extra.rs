@@ -1,0 +1,139 @@
+//! Additional record-extraction edge cases: mixed directions, desync
+//! behaviour, and retransmission transparency — the situations the live
+//! monitor encounters during the attack's disruption phase.
+
+use crate::{extract_records, ObservedPacket, RecordExtractor, WireTrace};
+use h2priv_netsim::{Dir, SimTime};
+use h2priv_tcp::{Seq, TcpFlags, TcpSegment};
+use h2priv_tls::{ContentType, RecordCipher, RecordWriter};
+
+struct Flow {
+    writer: RecordWriter,
+    next_seq: u32,
+    dir: Dir,
+    synced: bool,
+}
+
+impl Flow {
+    fn new(dir: Dir, label: u64) -> Self {
+        Flow {
+            writer: RecordWriter::new(RecordCipher::new(42, label)),
+            next_seq: 1_001,
+            dir,
+            synced: false,
+        }
+    }
+
+    fn syn(&mut self) -> ObservedPacket {
+        self.synced = true;
+        ObservedPacket::capture(
+            SimTime::ZERO,
+            self.dir,
+            &TcpSegment {
+                seq: Seq(1_000),
+                ack: Seq(0),
+                flags: TcpFlags::SYN,
+                window: 0,
+                payload: Vec::new(),
+            },
+        )
+    }
+
+    fn message(&mut self, len: usize, at_ms: u64) -> Vec<ObservedPacket> {
+        assert!(self.synced);
+        let wire = self
+            .writer
+            .seal_message(ContentType::ApplicationData, &vec![7u8; len]);
+        wire.chunks(1460)
+            .map(|chunk| {
+                let seq = self.next_seq;
+                self.next_seq += chunk.len() as u32;
+                ObservedPacket::capture(
+                    SimTime::from_millis(at_ms),
+                    self.dir,
+                    &TcpSegment {
+                        seq: Seq(seq),
+                        ack: Seq(0),
+                        flags: TcpFlags::ACK,
+                        window: 0,
+                        payload: chunk.to_vec(),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn directions_are_followed_independently() {
+    let mut c2s = Flow::new(Dir::LeftToRight, 1);
+    let mut s2c = Flow::new(Dir::RightToLeft, 2);
+    let mut trace = WireTrace::new();
+    trace.push(c2s.syn());
+    trace.push(s2c.syn());
+    // Interleave packets of both directions.
+    for p in c2s.message(100, 1) {
+        trace.push(p);
+    }
+    for p in s2c.message(5_000, 2) {
+        trace.push(p);
+    }
+    for p in c2s.message(80, 3) {
+        trace.push(p);
+    }
+    let records = extract_records(&trace);
+    let c2s_count = records.iter().filter(|r| r.dir == Dir::LeftToRight).count();
+    let s2c_count = records.iter().filter(|r| r.dir == Dir::RightToLeft).count();
+    assert_eq!(c2s_count, 2);
+    assert_eq!(s2c_count, 1);
+    // Stream offsets are per-direction.
+    let offsets: Vec<u64> = records
+        .iter()
+        .filter(|r| r.dir == Dir::LeftToRight)
+        .map(|r| r.stream_offset)
+        .collect();
+    assert_eq!(offsets[0], 0);
+    assert!(offsets[1] > 0);
+}
+
+#[test]
+fn hole_blocks_later_records_until_filled() {
+    let mut flow = Flow::new(Dir::RightToLeft, 2);
+    let mut extractor = RecordExtractor::new();
+    extractor.push(&flow.syn());
+    let first = flow.message(2_000, 1);
+    let second = flow.message(2_000, 2);
+    // Deliver the second message's packets first: nothing completes.
+    let mut got = 0;
+    for p in &second {
+        got += extractor.push(p).len();
+    }
+    assert_eq!(got, 0, "records behind a hole must not complete");
+    // Fill the hole: both messages flood out, stamped with the filling
+    // packet's time — exactly the behaviour the adversary's gate has to
+    // wait out after its drop window.
+    let mut released = Vec::new();
+    for p in &first {
+        released.extend(extractor.push(p));
+    }
+    assert_eq!(released.len(), 2);
+    assert!(released
+        .iter()
+        .all(|r| r.time == first.last().unwrap().time));
+}
+
+#[test]
+fn duplicate_packets_do_not_duplicate_records() {
+    let mut flow = Flow::new(Dir::RightToLeft, 2);
+    let mut extractor = RecordExtractor::new();
+    extractor.push(&flow.syn());
+    let packets = flow.message(3_000, 1);
+    let mut count = 0;
+    for p in &packets {
+        count += extractor.push(p).len();
+    }
+    for p in &packets {
+        count += extractor.push(p).len();
+    }
+    assert_eq!(count, 1);
+}

@@ -1,0 +1,83 @@
+//! Small statistics helpers for experiment summaries.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; 0.0 for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Percentile by nearest-rank (p in 0..=100); 0.0 for empty input.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Fraction of items satisfying a predicate; 0.0 for empty input.
+pub fn fraction<T>(items: &[T], pred: impl Fn(&T) -> bool) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    items.iter().filter(|i| pred(i)).count() as f64 / items.len() as f64
+}
+
+/// Percentage change from `baseline` to `value` (+33.0 means 33 % more).
+/// Returns 0.0 when the baseline is zero.
+pub fn percent_increase(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (value - baseline) / baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn fraction_counts() {
+        let v = [1, 2, 3, 4];
+        assert_eq!(fraction(&v, |&x| x % 2 == 0), 0.5);
+        assert_eq!(fraction::<i32>(&[], |_| true), 0.0);
+    }
+
+    #[test]
+    fn percent_increase_math() {
+        assert_eq!(percent_increase(100.0, 133.0), 33.0);
+        assert_eq!(percent_increase(0.0, 5.0), 0.0);
+        assert_eq!(percent_increase(50.0, 25.0), -50.0);
+    }
+}

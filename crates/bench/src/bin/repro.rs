@@ -1,0 +1,78 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--json] [table1] [fig5] [ivd] [table2] [fig1] [ablations]
+//! ```
+//!
+//! With no exhibit names, everything runs. `--quick` uses 25 trials per
+//! point instead of the paper's 100.
+
+use h2priv_bench::{ablations, common, fig1, fig5, ivd, table1, table2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let trials = if quick {
+        common::QUICK_TRIALS
+    } else {
+        common::TRIALS
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    if want("fig1") {
+        let cases = fig1::run();
+        if json {
+            println!("{}", serde_json::to_string_pretty(&cases).unwrap());
+        } else {
+            println!("{}", fig1::render(&cases));
+        }
+    }
+    if want("table1") {
+        let rows = table1::run(trials);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("{}", table1::render(&rows));
+        }
+    }
+    if want("fig5") {
+        let points = fig5::run(trials);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        } else {
+            println!("{}", fig5::render(&points));
+        }
+    }
+    if want("ivd") {
+        let points = ivd::run(trials);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&points).unwrap());
+        } else {
+            println!("{}", ivd::render(&points));
+        }
+    }
+    if want("table2") {
+        let cols = table2::run(trials);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&cols).unwrap());
+        } else {
+            println!("{}", table2::render(&cols));
+            let (lo, hi) = table2::baseline_image_degrees(trials.min(30));
+            println!("(baseline degree of multiplexing of the emblem images: {lo:.0}%–{hi:.0}%)\n");
+        }
+    }
+    if want("ablations") {
+        let rows = ablations::run(trials.min(40));
+        if json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("{}", ablations::render(&rows));
+        }
+    }
+}

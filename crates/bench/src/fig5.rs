@@ -1,0 +1,111 @@
+//! Figure 5 — "Effect of bandwidth limitation on multiplexing of objects".
+//!
+//! Paper setup: 50 ms jitter plus a symmetric bandwidth cap at the gateway,
+//! swept over {1000, 800, 500, 100, 1} Mbps, 100 downloads each. Reported
+//! shape: the number of retransmissions falls as the cap tightens (solid
+//! line); the success fraction first rises sharply (peaking at 800 Mbps)
+//! and then declines at lower bandwidths; below 1 Mbps the connection
+//! breaks.
+//!
+//! Topology note (see `EXPERIMENTS.md`): the crossover sits at the path's
+//! native bottleneck. The paper's testbed bottlenecked near its 1 Gbps lab
+//! link, so the peak appeared at 800 Mbps; our calibrated path bottlenecks
+//! at the 16 Mbps WAN hop, so caps above that are no-ops and the
+//! interesting region is below. We sweep additional sub-bottleneck points
+//! to expose the same rise-then-fall shape.
+
+use h2priv_core::AttackConfig;
+use h2priv_netsim::{mbps, SimDuration};
+use serde::Serialize;
+
+use crate::common::{calibrated_map, run_batch};
+
+/// One point of the regenerated Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Point {
+    /// Gateway bandwidth cap, Mbps.
+    pub bandwidth_mbps: u64,
+    /// Total retransmissions across all trials (the solid line).
+    pub retransmissions: u64,
+    /// Trials where the HTML was recovered un-multiplexed, percent (the
+    /// dashed line).
+    pub success_pct: f64,
+    /// Trials whose connection broke, percent.
+    pub broken_pct: f64,
+}
+
+/// The paper's sweep, extended with sub-bottleneck points where our
+/// calibrated path actually reacts.
+pub const BANDWIDTHS_MBPS: [u64; 8] = [1000, 800, 500, 100, 14, 8, 4, 1];
+
+/// Regenerates Figure 5 with `trials` downloads per point.
+pub fn run(trials: u64) -> Vec<Fig5Point> {
+    let map = calibrated_map();
+    BANDWIDTHS_MBPS
+        .iter()
+        .map(|&bw| {
+            let attack = AttackConfig::jitter_and_throttle(SimDuration::from_millis(50), mbps(bw));
+            let batch = run_batch(trials, Some(&attack), &map, |_| {});
+            Fig5Point {
+                bandwidth_mbps: bw,
+                retransmissions: batch.total_retransmissions(),
+                success_pct: batch.html_non_mux_pct(),
+                broken_pct: batch.broken_pct(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's data series as a table plus an ASCII plot.
+pub fn render(points: &[Fig5Point]) -> String {
+    let mut out = String::new();
+    out.push_str("FIGURE 5: Effect of bandwidth limitation (50 ms jitter active)\n");
+    out.push_str("| bandwidth (Mbps) | retransmissions | success (%) | broken (%) |\n");
+    out.push_str("|-----------------:|----------------:|------------:|-----------:|\n");
+    for p in points {
+        out.push_str(&format!(
+            "| {:>16} | {:>15} | {:>11.0} | {:>10.0} |\n",
+            p.bandwidth_mbps, p.retransmissions, p.success_pct, p.broken_pct
+        ));
+    }
+    let max_rexmit = points.iter().map(|p| p.retransmissions).max().unwrap_or(1);
+    out.push_str("\nretransmissions (#) and success (%) by bandwidth:\n");
+    for p in points {
+        let bar_r = (p.retransmissions * 30 / max_rexmit.max(1)) as usize;
+        let bar_s = (p.success_pct * 0.3) as usize;
+        out.push_str(&format!(
+            "{:>5} Mbps  rexmit {:<31} success {:<31}\n",
+            p.bandwidth_mbps,
+            "#".repeat(bar_r.max(if p.retransmissions > 0 { 1 } else { 0 })),
+            "*".repeat(bar_s),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_scales_bars() {
+        let points = vec![
+            Fig5Point {
+                bandwidth_mbps: 1000,
+                retransmissions: 300,
+                success_pct: 40.0,
+                broken_pct: 0.0,
+            },
+            Fig5Point {
+                bandwidth_mbps: 1,
+                retransmissions: 30,
+                success_pct: 5.0,
+                broken_pct: 20.0,
+            },
+        ];
+        let s = render(&points);
+        assert!(s.contains("1000"));
+        assert!(s.contains('#'));
+        assert!(s.contains('*'));
+    }
+}

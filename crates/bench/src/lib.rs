@@ -1,0 +1,26 @@
+//! # h2priv-bench — the experiment harness
+//!
+//! Regenerates every table and figure of *"Depending on HTTP/2 for
+//! Privacy? Good Luck!"* (DSN 2020) against the simulated substrates, one
+//! module per exhibit:
+//!
+//! * [`fig1`] — the size-recovery concept (sequential vs multiplexed);
+//! * [`table1`] — the §IV-B jitter sweep;
+//! * [`fig5`] — the §IV-C bandwidth sweep;
+//! * [`ivd`] — the §IV-D targeted-drop / forced-reset experiment;
+//! * [`table2`] — the full §V attack's prediction accuracy;
+//! * [`ablations`] — design-choice ablations and the §VII defense sketch.
+//!
+//! The `repro` binary prints them in the paper's layout; `EXPERIMENTS.md`
+//! records paper-vs-measured values. Criterion microbenches of the
+//! substrates live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod common;
+pub mod fig1;
+pub mod fig5;
+pub mod ivd;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,118 @@
+//! Table I — "Effect of jitter on HTTP/2 multiplexing".
+//!
+//! Paper values (100 downloads per row, object of interest = the 9 500 B
+//! result HTML, the session's 6th GET):
+//!
+//! | jitter (ms) | not multiplexed (%) | retransmission increase (%) |
+//! |------------:|--------------------:|----------------------------:|
+//! | 0 (baseline)| 32                  | 0 (baseline)                |
+//! | 25          | 46                  | ≈ 33                        |
+//! | 50          | 54                  | ≈ 130                       |
+//! | 100         | 54                  | ≈ 194                       |
+//!
+//! Shape targets: the non-multiplexed fraction rises from ≈ 32 % and
+//! saturates (the extra request retransmissions re-introduce traffic around
+//! the object), while retransmissions grow steeply with the per-request
+//! delay.
+
+use h2priv_core::AttackConfig;
+use h2priv_netsim::SimDuration;
+use serde::Serialize;
+
+use crate::common::{calibrated_map, run_batch};
+
+/// One row of the regenerated Table I.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Per-request jitter increment, ms.
+    pub jitter_ms: u64,
+    /// Trials where the HTML was not multiplexed, percent.
+    pub non_multiplexed_pct: f64,
+    /// Retransmission increase over the 0-jitter baseline, percent.
+    pub retransmission_increase_pct: f64,
+    /// Trials whose connection broke, percent.
+    pub broken_pct: f64,
+}
+
+/// The jitter values of Table I.
+pub const JITTERS_MS: [u64; 4] = [0, 25, 50, 100];
+
+/// Regenerates Table I with `trials` downloads per row.
+pub fn run(trials: u64) -> Vec<Table1Row> {
+    let map = calibrated_map();
+    let mut rows = Vec::new();
+    let mut baseline_rexmit = 0u64;
+    for &jitter_ms in &JITTERS_MS {
+        let attack = if jitter_ms == 0 {
+            None
+        } else {
+            Some(AttackConfig::jitter_only(SimDuration::from_millis(
+                jitter_ms,
+            )))
+        };
+        let batch = run_batch(trials, attack.as_ref(), &map, |_| {});
+        let rexmit = batch.total_retransmissions();
+        if jitter_ms == 0 {
+            baseline_rexmit = rexmit.max(1);
+        }
+        rows.push(Table1Row {
+            jitter_ms,
+            non_multiplexed_pct: batch.html_non_mux_pct(),
+            retransmission_increase_pct: (rexmit as f64 / baseline_rexmit as f64 - 1.0) * 100.0,
+            broken_pct: batch.broken_pct(),
+        });
+    }
+    rows
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE I: Effect of jitter on HTTP/2 multiplexing\n");
+    out.push_str(
+        "| jitter/request (ms) | HTML not multiplexed (%) | retransmission increase (%) |\n",
+    );
+    out.push_str(
+        "|--------------------:|-------------------------:|----------------------------:|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {:>19} | {:>24.0} | {:>27.0} |\n",
+            if r.jitter_ms == 0 {
+                "0 (baseline)".to_owned()
+            } else {
+                r.jitter_ms.to_string()
+            },
+            r.non_multiplexed_pct,
+            r.retransmission_increase_pct,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_all_rows() {
+        let rows = vec![
+            Table1Row {
+                jitter_ms: 0,
+                non_multiplexed_pct: 32.0,
+                retransmission_increase_pct: 0.0,
+                broken_pct: 0.0,
+            },
+            Table1Row {
+                jitter_ms: 50,
+                non_multiplexed_pct: 54.0,
+                retransmission_increase_pct: 130.0,
+                broken_pct: 0.0,
+            },
+        ];
+        let s = render(&rows);
+        assert!(s.contains("0 (baseline)"));
+        assert!(s.contains("54"));
+        assert!(s.contains("130"));
+    }
+}

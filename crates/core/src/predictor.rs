@@ -1,0 +1,315 @@
+//! The object prediction module — the paper's Python component (§V: "the
+//! object prediction module, which was implemented using Python scripts").
+//!
+//! The adversary has "a pre-compiled list of image size to political party
+//! mapping which it leverages to complete the attack" (§V). Here that list
+//! is a [`SizeMap`]: object → expected observable size, where the
+//! observable is the summed plaintext length of the TLS records in the
+//! object's (serialized) response burst. Matching requires uniqueness: if
+//! two map entries lie within tolerance of an observation, the prediction
+//! abstains — ambiguity is a failure, exactly as in the paper's success
+//! criterion.
+
+use std::collections::HashMap;
+
+use h2priv_analysis::Burst;
+use h2priv_web::{ObjectId, Website};
+
+/// Expected-size map with a matching tolerance.
+#[derive(Debug, Clone)]
+pub struct SizeMap {
+    entries: Vec<(ObjectId, u64)>,
+    tolerance: u64,
+}
+
+impl SizeMap {
+    /// Creates an empty map with the given matching tolerance (bytes).
+    pub fn new(tolerance: u64) -> Self {
+        SizeMap {
+            entries: Vec::new(),
+            tolerance,
+        }
+    }
+
+    /// Registers (or updates) an object's expected observable size.
+    pub fn insert(&mut self, object: ObjectId, expected: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(o, _)| *o == object) {
+            e.1 = expected;
+        } else {
+            self.entries.push((object, expected));
+        }
+    }
+
+    /// The expected size for an object, if registered.
+    pub fn expected(&self, object: ObjectId) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(o, _)| *o == object)
+            .map(|&(_, s)| s)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Matches an observed size: the unique entry within tolerance, or
+    /// `None` when zero or several entries qualify.
+    pub fn match_size(&self, observed: u64) -> Option<ObjectId> {
+        let mut hits = self
+            .entries
+            .iter()
+            .filter(|&&(_, expected)| observed.abs_diff(expected) <= self.tolerance);
+        let first = hits.next()?;
+        if hits.next().is_some() {
+            return None; // ambiguous
+        }
+        Some(first.0)
+    }
+
+    /// Builds an *analytic* map from pipeline constants: body size + one
+    /// HEADERS record + per-DATA-frame overhead at the given mux chunk
+    /// size. The empirical calibration in
+    /// [`experiment`](crate::experiment) is preferred; this is the
+    /// fallback when the adversary cannot probe the site.
+    pub fn analytic(
+        site: &Website,
+        objects: &[ObjectId],
+        chunk_size: usize,
+        tolerance: u64,
+    ) -> Self {
+        let mut map = SizeMap::new(tolerance);
+        for &object in objects {
+            let Some(obj) = site.object(object) else {
+                continue;
+            };
+            let frames = obj.size.div_ceil(chunk_size).max(1) as u64;
+            // HEADERS record ≈ 9-byte frame header + ~30 B of HPACK block;
+            // each DATA frame adds a 9-byte header.
+            let expected = obj.size as u64 + 9 * frames + 39;
+            map.insert(object, expected);
+        }
+        map
+    }
+}
+
+/// One identified burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Identification {
+    /// The burst that matched.
+    pub burst: Burst,
+    /// The object it matched.
+    pub object: ObjectId,
+}
+
+/// Largest first record a burst may open with and still look like a
+/// response (a HEADERS-frame record; DATA records are chunk-sized).
+pub const MAX_HEADERS_RECORD_WIRE: usize = 160;
+
+/// Runs the size map over a burst sequence, returning identifications in
+/// burst (time) order. Bursts that do not open with a HEADERS-sized record
+/// are fragments of interrupted transfers and are skipped.
+pub fn identify_bursts(map: &SizeMap, bursts: &[Burst]) -> Vec<Identification> {
+    bursts
+        .iter()
+        .filter(|b| b.first_record_wire <= MAX_HEADERS_RECORD_WIRE)
+        .filter_map(|&burst| {
+            map.match_size(burst.plaintext_bytes)
+                .map(|object| Identification { burst, object })
+        })
+        .collect()
+}
+
+/// Matches a burst as the *sum of two* known objects — the paper's §VII
+/// extension ("infer the object identity even when the object is partly
+/// multiplexed … at the cost of employing complex analysis techniques").
+/// Two objects served back-to-back within one burst window produce a
+/// summed size; if that sum decomposes uniquely over the map, both are
+/// identified. Ambiguity (several decompositions) abstains.
+pub fn match_pair(map: &SizeMap, observed: u64) -> Option<(ObjectId, ObjectId)> {
+    let mut found: Option<(ObjectId, ObjectId)> = None;
+    for i in 0..map.entries.len() {
+        for j in i..map.entries.len() {
+            let (oi, si) = map.entries[i];
+            let (oj, sj) = map.entries[j];
+            if observed.abs_diff(si + sj) <= map.tolerance {
+                if found.is_some() {
+                    return None; // ambiguous decomposition
+                }
+                found = Some((oi, oj));
+            }
+        }
+    }
+    found
+}
+
+/// [`identify_bursts`] extended with pairwise decomposition: bursts that
+/// match no single object are tried as two-object sums. Single matches are
+/// preferred; a pair match contributes both identities at the burst's
+/// position.
+pub fn identify_bursts_with_pairs(map: &SizeMap, bursts: &[Burst]) -> Vec<Identification> {
+    let mut out = Vec::new();
+    for &burst in bursts
+        .iter()
+        .filter(|b| b.first_record_wire <= MAX_HEADERS_RECORD_WIRE)
+    {
+        if let Some(object) = map.match_size(burst.plaintext_bytes) {
+            out.push(Identification { burst, object });
+        } else if let Some((a, b)) = match_pair(map, burst.plaintext_bytes) {
+            out.push(Identification { burst, object: a });
+            out.push(Identification { burst, object: b });
+        }
+    }
+    out
+}
+
+/// Predicts the order in which a set of objects was transmitted: each
+/// object's position is its first identification. Objects never identified
+/// are absent.
+pub fn predicted_order(idents: &[Identification], objects: &[ObjectId]) -> Vec<ObjectId> {
+    let mut first: HashMap<ObjectId, usize> = HashMap::new();
+    for (i, ident) in idents.iter().enumerate() {
+        first.entry(ident.object).or_insert(i);
+    }
+    let mut found: Vec<(usize, ObjectId)> = objects
+        .iter()
+        .filter_map(|&o| first.get(&o).map(|&i| (i, o)))
+        .collect();
+    found.sort_unstable();
+    found.into_iter().map(|(_, o)| o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_netsim::SimTime;
+    use h2priv_web::ObjectKind;
+
+    fn burst(at_ms: u64, bytes: u64) -> Burst {
+        Burst {
+            start: SimTime::from_millis(at_ms),
+            end: SimTime::from_millis(at_ms + 1),
+            records: 3,
+            plaintext_bytes: bytes,
+            first_offset: 0,
+            first_record_wire: 78,
+        }
+    }
+
+    #[test]
+    fn unique_match_within_tolerance() {
+        let mut map = SizeMap::new(400);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(2), 10_000);
+        assert_eq!(map.match_size(5_100), Some(ObjectId(1)));
+        assert_eq!(map.match_size(9_700), Some(ObjectId(2)));
+        assert_eq!(map.match_size(7_000), None);
+    }
+
+    #[test]
+    fn ambiguity_abstains() {
+        let mut map = SizeMap::new(400);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(2), 5_300);
+        assert_eq!(map.match_size(5_200), None);
+    }
+
+    #[test]
+    fn insert_updates_existing() {
+        let mut map = SizeMap::new(100);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(1), 6_000);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.expected(ObjectId(1)), Some(6_000));
+    }
+
+    #[test]
+    fn analytic_estimate_tracks_body_size() {
+        let mut site = Website::new();
+        let a = site.add("/a.png", ObjectKind::Image, 10_000);
+        let map = SizeMap::analytic(&site, &[a], 2_048, 400);
+        let expected = map.expected(a).unwrap();
+        assert!(expected > 10_000 && expected < 10_200, "{expected}");
+    }
+
+    #[test]
+    fn identify_and_order() {
+        let mut map = SizeMap::new(100);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(2), 8_000);
+        map.insert(ObjectId(3), 12_000);
+        let bursts = vec![
+            burst(0, 8_020),   // object 2
+            burst(10, 600),    // nothing
+            burst(20, 5_010),  // object 1
+            burst(30, 5_015),  // object 1 again (re-serve)
+            burst(40, 11_900), // object 3
+        ];
+        let idents = identify_bursts(&map, &bursts);
+        assert_eq!(idents.len(), 4);
+        let order = predicted_order(
+            &idents,
+            &[ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(9)],
+        );
+        assert_eq!(order, vec![ObjectId(2), ObjectId(1), ObjectId(3)]);
+    }
+
+    #[test]
+    fn pair_decomposition_unique_sum() {
+        let mut map = SizeMap::new(100);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(2), 8_000);
+        map.insert(ObjectId(3), 20_000);
+        assert_eq!(match_pair(&map, 13_050), Some((ObjectId(1), ObjectId(2))));
+        assert_eq!(match_pair(&map, 40_010), Some((ObjectId(3), ObjectId(3))));
+        assert_eq!(match_pair(&map, 17_000), None);
+    }
+
+    #[test]
+    fn pair_decomposition_abstains_on_ambiguity() {
+        let mut map = SizeMap::new(200);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(2), 8_000);
+        map.insert(ObjectId(3), 13_100); // 1+2 ≈ 3+nothing? build ambiguity
+        map.insert(ObjectId(4), 100);
+        // 13_150 matches 1+2 (13_000) and 3+4 (13_200) within 200.
+        assert_eq!(match_pair(&map, 13_150), None);
+    }
+
+    #[test]
+    fn pairs_extend_identification() {
+        let mut map = SizeMap::new(100);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(2), 8_000);
+        let bursts = vec![burst(0, 13_020)]; // merged pair
+        assert!(identify_bursts(&map, &bursts).is_empty());
+        let idents = identify_bursts_with_pairs(&map, &bursts);
+        assert_eq!(idents.len(), 2);
+        assert_eq!(idents[0].object, ObjectId(1));
+        assert_eq!(idents[1].object, ObjectId(2));
+    }
+
+    #[test]
+    fn pairs_prefer_single_matches() {
+        let mut map = SizeMap::new(100);
+        map.insert(ObjectId(1), 5_000);
+        map.insert(ObjectId(2), 10_000);
+        // 10_020 matches object 2 singly; 1+1 also sums to 10_000 but the
+        // single match must win.
+        let idents = identify_bursts_with_pairs(&map, &[burst(0, 10_020)]);
+        assert_eq!(idents.len(), 1);
+        assert_eq!(idents[0].object, ObjectId(2));
+    }
+
+    #[test]
+    fn empty_map_identifies_nothing() {
+        let map = SizeMap::new(100);
+        assert!(map.is_empty());
+        assert!(identify_bursts(&map, &[burst(0, 1_000)]).is_empty());
+    }
+}

@@ -1,0 +1,722 @@
+//! Frame serialization (RFC 7540 §4.1) and the connection preface.
+
+use crate::error::ErrorCode;
+use crate::frame::{flags, Frame, FrameType, SettingId, DEFAULT_MAX_FRAME_SIZE, FRAME_HEADER_LEN};
+use crate::stream::StreamId;
+
+/// The 24-byte client connection preface (RFC 7540 §3.5).
+pub const CLIENT_PREFACE: &[u8] = b"PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n";
+
+/// Errors from decoding the frame layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDecodeError {
+    /// Frame length exceeds the negotiated maximum.
+    FrameTooLarge,
+    /// A fixed-layout frame had the wrong payload size.
+    BadLength(FrameType),
+    /// PUSH_PROMISE arrived although push is disabled in the model.
+    PushUnsupported,
+    /// CONTINUATION arrived outside a header sequence, or a non-
+    /// CONTINUATION frame interrupted one (RFC 7540 §6.10).
+    UnexpectedContinuation,
+    /// The client preface bytes were wrong.
+    BadPreface,
+}
+
+impl std::fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameDecodeError::FrameTooLarge => write!(f, "frame exceeds max frame size"),
+            FrameDecodeError::BadLength(t) => write!(f, "bad payload length for {t:?}"),
+            FrameDecodeError::PushUnsupported => write!(f, "push promise not supported"),
+            FrameDecodeError::UnexpectedContinuation => write!(f, "unexpected continuation"),
+            FrameDecodeError::BadPreface => write!(f, "invalid client preface"),
+        }
+    }
+}
+
+impl std::error::Error for FrameDecodeError {}
+
+fn put_u24(out: &mut Vec<u8>, v: usize) {
+    debug_assert!(v < 1 << 24);
+    out.extend_from_slice(&[(v >> 16) as u8, (v >> 8) as u8, v as u8]);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn header(out: &mut Vec<u8>, len: usize, ftype: FrameType, fl: u8, stream: StreamId) {
+    put_u24(out, len);
+    out.push(ftype.as_u8());
+    out.push(fl);
+    put_u32(out, stream.0 & 0x7FFF_FFFF);
+}
+
+/// Encodes a header block as a HEADERS frame followed by CONTINUATION
+/// frames when the block exceeds `max_frame_size` (RFC 7540 §6.10).
+pub fn encode_headers_split(
+    stream_id: StreamId,
+    end_stream: bool,
+    block: &[u8],
+    max_frame_size: usize,
+) -> Vec<u8> {
+    let max = max_frame_size.max(1);
+    if block.len() <= max {
+        return encode_frame(&Frame::Headers {
+            stream_id,
+            end_stream,
+            header_block: block.to_vec(),
+        });
+    }
+    let mut out = Vec::with_capacity(block.len() + 64);
+    let chunks: Vec<&[u8]> = block.chunks(max).collect();
+    let last = chunks.len() - 1;
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        if i == 0 {
+            // HEADERS without END_HEADERS.
+            let fl = if end_stream { flags::END_STREAM } else { 0 };
+            header(&mut out, chunk.len(), FrameType::Headers, fl, stream_id);
+        } else {
+            let fl = if i == last { flags::END_HEADERS } else { 0 };
+            header(
+                &mut out,
+                chunk.len(),
+                FrameType::Continuation,
+                fl,
+                stream_id,
+            );
+        }
+        out.extend_from_slice(chunk);
+    }
+    out
+}
+
+/// Encodes one frame to wire bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    match frame {
+        Frame::Data {
+            stream_id,
+            end_stream,
+            data,
+        } => {
+            let fl = if *end_stream { flags::END_STREAM } else { 0 };
+            header(&mut out, data.len(), FrameType::Data, fl, *stream_id);
+            out.extend_from_slice(data);
+        }
+        Frame::Headers {
+            stream_id,
+            end_stream,
+            header_block,
+        } => {
+            let mut fl = flags::END_HEADERS;
+            if *end_stream {
+                fl |= flags::END_STREAM;
+            }
+            header(
+                &mut out,
+                header_block.len(),
+                FrameType::Headers,
+                fl,
+                *stream_id,
+            );
+            out.extend_from_slice(header_block);
+        }
+        Frame::Priority {
+            stream_id,
+            depends_on,
+            exclusive,
+            weight,
+        } => {
+            header(&mut out, 5, FrameType::Priority, 0, *stream_id);
+            let dep = (depends_on.0 & 0x7FFF_FFFF) | if *exclusive { 0x8000_0000 } else { 0 };
+            put_u32(&mut out, dep);
+            out.push(*weight);
+        }
+        Frame::RstStream {
+            stream_id,
+            error_code,
+        } => {
+            header(&mut out, 4, FrameType::RstStream, 0, *stream_id);
+            put_u32(&mut out, error_code.as_u32());
+        }
+        Frame::Settings { ack, settings } => {
+            let fl = if *ack { flags::ACK } else { 0 };
+            header(
+                &mut out,
+                settings.len() * 6,
+                FrameType::Settings,
+                fl,
+                StreamId::CONNECTION,
+            );
+            for &(id, value) in settings {
+                out.extend_from_slice(&id.as_u16().to_be_bytes());
+                put_u32(&mut out, value);
+            }
+        }
+        Frame::Ping { ack, data } => {
+            let fl = if *ack { flags::ACK } else { 0 };
+            header(&mut out, 8, FrameType::Ping, fl, StreamId::CONNECTION);
+            out.extend_from_slice(data);
+        }
+        Frame::GoAway {
+            last_stream_id,
+            error_code,
+        } => {
+            header(&mut out, 8, FrameType::GoAway, 0, StreamId::CONNECTION);
+            put_u32(&mut out, last_stream_id.0 & 0x7FFF_FFFF);
+            put_u32(&mut out, error_code.as_u32());
+        }
+        Frame::WindowUpdate {
+            stream_id,
+            increment,
+        } => {
+            header(&mut out, 4, FrameType::WindowUpdate, 0, *stream_id);
+            put_u32(&mut out, increment & 0x7FFF_FFFF);
+        }
+    }
+    out
+}
+
+/// Incremental frame parser over a byte stream.
+#[derive(Debug, Clone)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    max_frame_size: usize,
+    /// Client preface bytes still expected (server side only).
+    preface_remaining: usize,
+    /// An in-progress header sequence: (stream, end_stream, accumulated
+    /// block). While set, only CONTINUATION frames for that stream are
+    /// legal (RFC 7540 §6.10).
+    header_sequence: Option<(StreamId, bool, Vec<u8>)>,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder. `expect_preface` is true on the server, which
+    /// must first consume the 24-byte client preface.
+    pub fn new(expect_preface: bool) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            max_frame_size: DEFAULT_MAX_FRAME_SIZE,
+            preface_remaining: if expect_preface {
+                CLIENT_PREFACE.len()
+            } else {
+                0
+            },
+            header_sequence: None,
+        }
+    }
+
+    /// Updates the advertised `SETTINGS_MAX_FRAME_SIZE`.
+    pub fn set_max_frame_size(&mut self, size: usize) {
+        self.max_frame_size = size;
+    }
+
+    /// Appends received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Attempts to parse the next frame; `Ok(None)` means more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Fails on protocol violations; the connection must then GOAWAY.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameDecodeError> {
+        if self.preface_remaining > 0 {
+            let take = self.preface_remaining.min(self.buf.len());
+            let expected = &CLIENT_PREFACE[CLIENT_PREFACE.len() - self.preface_remaining..][..take];
+            if &self.buf[..take] != expected {
+                return Err(FrameDecodeError::BadPreface);
+            }
+            self.buf.drain(..take);
+            self.preface_remaining -= take;
+            if self.preface_remaining > 0 {
+                return Ok(None);
+            }
+        }
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len =
+            ((self.buf[0] as usize) << 16) | ((self.buf[1] as usize) << 8) | self.buf[2] as usize;
+        if len > self.max_frame_size {
+            return Err(FrameDecodeError::FrameTooLarge);
+        }
+        if self.buf.len() < FRAME_HEADER_LEN + len {
+            return Ok(None);
+        }
+        let ftype = self.buf[3];
+        let fl = self.buf[4];
+        let stream_id = StreamId(
+            u32::from_be_bytes([self.buf[5], self.buf[6], self.buf[7], self.buf[8]]) & 0x7FFF_FFFF,
+        );
+        let payload: Vec<u8> = self.buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        self.buf.drain(..FRAME_HEADER_LEN + len);
+        let Some(ftype) = FrameType::from_u8(ftype) else {
+            // RFC 7540 §4.1: unknown types are ignored.
+            return self.next_frame();
+        };
+        // A header sequence admits only its own CONTINUATIONs.
+        if let Some((seq_stream, _, _)) = &self.header_sequence {
+            if ftype != FrameType::Continuation || stream_id != *seq_stream {
+                return Err(FrameDecodeError::UnexpectedContinuation);
+            }
+        }
+        match self.parse(ftype, fl, stream_id, payload)? {
+            Some(frame) => Ok(Some(frame)),
+            None => self.next_frame(), // mid-sequence fragment consumed
+        }
+    }
+
+    fn parse(
+        &mut self,
+        ftype: FrameType,
+        fl: u8,
+        stream_id: StreamId,
+        payload: Vec<u8>,
+    ) -> Result<Option<Frame>, FrameDecodeError> {
+        match ftype {
+            FrameType::Data => {
+                let data = strip_padding(fl, payload)
+                    .ok_or(FrameDecodeError::BadLength(FrameType::Data))?;
+                Ok(Some(Frame::Data {
+                    stream_id,
+                    end_stream: fl & flags::END_STREAM != 0,
+                    data,
+                }))
+            }
+            FrameType::Headers => {
+                let mut block = strip_padding(fl, payload)
+                    .ok_or(FrameDecodeError::BadLength(FrameType::Headers))?;
+                if fl & flags::PRIORITY != 0 {
+                    if block.len() < 5 {
+                        return Err(FrameDecodeError::BadLength(FrameType::Headers));
+                    }
+                    block.drain(..5); // dependency + weight, advisory only
+                }
+                if fl & flags::END_HEADERS == 0 {
+                    // Begin a header sequence awaiting CONTINUATION.
+                    self.header_sequence = Some((stream_id, fl & flags::END_STREAM != 0, block));
+                    return Ok(None);
+                }
+                Ok(Some(Frame::Headers {
+                    stream_id,
+                    end_stream: fl & flags::END_STREAM != 0,
+                    header_block: block,
+                }))
+            }
+            FrameType::Priority => {
+                if payload.len() != 5 {
+                    return Err(FrameDecodeError::BadLength(FrameType::Priority));
+                }
+                let dep = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+                Ok(Some(Frame::Priority {
+                    stream_id,
+                    depends_on: StreamId(dep & 0x7FFF_FFFF),
+                    exclusive: dep & 0x8000_0000 != 0,
+                    weight: payload[4],
+                }))
+            }
+            FrameType::RstStream => {
+                if payload.len() != 4 {
+                    return Err(FrameDecodeError::BadLength(FrameType::RstStream));
+                }
+                Ok(Some(Frame::RstStream {
+                    stream_id,
+                    error_code: ErrorCode::from_u32(u32::from_be_bytes(
+                        payload[..4].try_into().expect("4 bytes"),
+                    )),
+                }))
+            }
+            FrameType::Settings => {
+                if !payload.len().is_multiple_of(6) {
+                    return Err(FrameDecodeError::BadLength(FrameType::Settings));
+                }
+                let mut settings = Vec::new();
+                for chunk in payload.chunks_exact(6) {
+                    let id = u16::from_be_bytes([chunk[0], chunk[1]]);
+                    let value = u32::from_be_bytes([chunk[2], chunk[3], chunk[4], chunk[5]]);
+                    if let Some(id) = SettingId::from_u16(id) {
+                        settings.push((id, value));
+                    }
+                    // Unknown settings are ignored (RFC 7540 §6.5.2).
+                }
+                Ok(Some(Frame::Settings {
+                    ack: fl & flags::ACK != 0,
+                    settings,
+                }))
+            }
+            FrameType::Ping => {
+                if payload.len() != 8 {
+                    return Err(FrameDecodeError::BadLength(FrameType::Ping));
+                }
+                Ok(Some(Frame::Ping {
+                    ack: fl & flags::ACK != 0,
+                    data: payload[..8].try_into().expect("8 bytes"),
+                }))
+            }
+            FrameType::GoAway => {
+                if payload.len() < 8 {
+                    return Err(FrameDecodeError::BadLength(FrameType::GoAway));
+                }
+                Ok(Some(Frame::GoAway {
+                    last_stream_id: StreamId(
+                        u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) & 0x7FFF_FFFF,
+                    ),
+                    error_code: ErrorCode::from_u32(u32::from_be_bytes(
+                        payload[4..8].try_into().expect("4 bytes"),
+                    )),
+                }))
+            }
+            FrameType::WindowUpdate => {
+                if payload.len() != 4 {
+                    return Err(FrameDecodeError::BadLength(FrameType::WindowUpdate));
+                }
+                Ok(Some(Frame::WindowUpdate {
+                    stream_id,
+                    increment: u32::from_be_bytes(payload[..4].try_into().expect("4 bytes"))
+                        & 0x7FFF_FFFF,
+                }))
+            }
+            FrameType::PushPromise => Err(FrameDecodeError::PushUnsupported),
+            FrameType::Continuation => {
+                let Some((seq_stream, end_stream, mut block)) = self.header_sequence.take() else {
+                    return Err(FrameDecodeError::UnexpectedContinuation);
+                };
+                debug_assert_eq!(seq_stream, stream_id); // checked upstream
+                block.extend_from_slice(&payload);
+                if fl & flags::END_HEADERS == 0 {
+                    self.header_sequence = Some((seq_stream, end_stream, block));
+                    return Ok(None);
+                }
+                Ok(Some(Frame::Headers {
+                    stream_id: seq_stream,
+                    end_stream,
+                    header_block: block,
+                }))
+            }
+        }
+    }
+}
+
+fn strip_padding(fl: u8, payload: Vec<u8>) -> Option<Vec<u8>> {
+    if fl & flags::PADDED == 0 {
+        return Some(payload);
+    }
+    let (&pad_len, rest) = payload.split_first()?;
+    let rest_len = rest.len().checked_sub(pad_len as usize)?;
+    Some(rest[..rest_len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn roundtrip_all_frame_kinds() {
+        roundtrip(Frame::Data {
+            stream_id: StreamId(5),
+            end_stream: true,
+            data: vec![1, 2, 3],
+        });
+        roundtrip(Frame::Headers {
+            stream_id: StreamId(1),
+            end_stream: false,
+            header_block: vec![0x82, 0x87],
+        });
+        roundtrip(Frame::Priority {
+            stream_id: StreamId(3),
+            depends_on: StreamId(1),
+            exclusive: true,
+            weight: 200,
+        });
+        roundtrip(Frame::RstStream {
+            stream_id: StreamId(7),
+            error_code: ErrorCode::Cancel,
+        });
+        roundtrip(Frame::Settings {
+            ack: false,
+            settings: vec![
+                (SettingId::InitialWindowSize, 65_535),
+                (SettingId::MaxFrameSize, 16_384),
+            ],
+        });
+        roundtrip(Frame::Settings {
+            ack: true,
+            settings: vec![],
+        });
+        roundtrip(Frame::Ping {
+            ack: true,
+            data: [9; 8],
+        });
+        roundtrip(Frame::GoAway {
+            last_stream_id: StreamId(13),
+            error_code: ErrorCode::NoError,
+        });
+        roundtrip(Frame::WindowUpdate {
+            stream_id: StreamId(0),
+            increment: 32_768,
+        });
+    }
+
+    #[test]
+    fn header_layout_matches_rfc() {
+        let bytes = encode_frame(&Frame::Data {
+            stream_id: StreamId(5),
+            end_stream: true,
+            data: vec![0xAA; 300],
+        });
+        assert_eq!(bytes.len(), 9 + 300);
+        assert_eq!(&bytes[..3], &[0, 1, 44]); // length 300
+        assert_eq!(bytes[3], 0x0); // DATA
+        assert_eq!(bytes[4], 0x1); // END_STREAM
+        assert_eq!(&bytes[5..9], &[0, 0, 0, 5]);
+    }
+
+    #[test]
+    fn incremental_parsing() {
+        let bytes = encode_frame(&Frame::Ping {
+            ack: false,
+            data: [1; 8],
+        });
+        let mut dec = FrameDecoder::new(false);
+        for &b in &bytes[..bytes.len() - 1] {
+            dec.push(&[b]);
+            assert_eq!(dec.next_frame().unwrap(), None);
+        }
+        dec.push(&bytes[bytes.len() - 1..]);
+        assert!(matches!(
+            dec.next_frame().unwrap(),
+            Some(Frame::Ping { .. })
+        ));
+    }
+
+    #[test]
+    fn preface_consumed_before_frames() {
+        let mut dec = FrameDecoder::new(true);
+        dec.push(&CLIENT_PREFACE[..10]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        dec.push(&CLIENT_PREFACE[10..]);
+        let frame = Frame::Settings {
+            ack: false,
+            settings: vec![],
+        };
+        dec.push(&encode_frame(&frame));
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn bad_preface_rejected() {
+        let mut dec = FrameDecoder::new(true);
+        dec.push(b"GET / HTTP/1.1\r\n");
+        assert_eq!(dec.next_frame(), Err(FrameDecodeError::BadPreface));
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut dec = FrameDecoder::new(false);
+        dec.set_max_frame_size(16);
+        let bytes = encode_frame(&Frame::Data {
+            stream_id: StreamId(1),
+            end_stream: false,
+            data: vec![0; 17],
+        });
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame(), Err(FrameDecodeError::FrameTooLarge));
+    }
+
+    #[test]
+    fn unknown_frame_type_skipped() {
+        let mut raw = Vec::new();
+        // Unknown type 0xEE, 3-byte payload.
+        raw.extend_from_slice(&[0, 0, 3, 0xEE, 0, 0, 0, 0, 1, 9, 9, 9]);
+        raw.extend(encode_frame(&Frame::Ping {
+            ack: false,
+            data: [2; 8],
+        }));
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert!(matches!(
+            dec.next_frame().unwrap(),
+            Some(Frame::Ping { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_settings_ignored() {
+        let mut raw = Vec::new();
+        // SETTINGS with one unknown id (0x99) and one known.
+        raw.extend_from_slice(&[0, 0, 12, 0x4, 0, 0, 0, 0, 0]);
+        raw.extend_from_slice(&0x99u16.to_be_bytes());
+        raw.extend_from_slice(&7u32.to_be_bytes());
+        raw.extend_from_slice(&0x4u16.to_be_bytes());
+        raw.extend_from_slice(&1000u32.to_be_bytes());
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        match dec.next_frame().unwrap().unwrap() {
+            Frame::Settings { settings, .. } => {
+                assert_eq!(settings, vec![(SettingId::InitialWindowSize, 1000)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_length_detected() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 3, 0x3, 0, 0, 0, 0, 5, 1, 2, 3]); // RST needs 4
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::BadLength(FrameType::RstStream))
+        );
+    }
+
+    #[test]
+    fn padded_data_stripped() {
+        // Hand-built DATA frame with PADDED flag: pad_len=2, data = [7,8].
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 5, 0x0, 0x8, 0, 0, 0, 1]);
+        raw.extend_from_slice(&[2, 7, 8, 0, 0]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        match dec.next_frame().unwrap().unwrap() {
+            Frame::Data { data, .. } => assert_eq!(data, vec![7, 8]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_promise_unsupported() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 4, 0x5, 0, 0, 0, 0, 1, 0, 0, 0, 2]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(dec.next_frame(), Err(FrameDecodeError::PushUnsupported));
+    }
+}
+
+#[cfg(test)]
+mod continuation_tests {
+    use super::*;
+
+    #[test]
+    fn small_blocks_stay_single_headers() {
+        let wire = encode_headers_split(StreamId(1), true, &[1, 2, 3], 16_384);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&wire);
+        assert_eq!(
+            dec.next_frame().unwrap(),
+            Some(Frame::Headers {
+                stream_id: StreamId(1),
+                end_stream: true,
+                header_block: vec![1, 2, 3],
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_block_splits_and_reassembles() {
+        let block: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        let wire = encode_headers_split(StreamId(7), true, &block, 4_096);
+        // 3 frames: HEADERS + CONTINUATION + CONTINUATION(END_HEADERS).
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&wire);
+        let frame = dec.next_frame().unwrap().expect("reassembled");
+        assert_eq!(
+            frame,
+            Frame::Headers {
+                stream_id: StreamId(7),
+                end_stream: true,
+                header_block: block,
+            }
+        );
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn sequence_survives_chunked_delivery() {
+        let block: Vec<u8> = vec![0xAB; 9_000];
+        let wire = encode_headers_split(StreamId(3), false, &block, 4_000);
+        let mut dec = FrameDecoder::new(false);
+        let mut got = None;
+        for chunk in wire.chunks(777) {
+            dec.push(chunk);
+            while let Some(f) = dec.next_frame().unwrap() {
+                assert!(got.is_none());
+                got = Some(f);
+            }
+        }
+        match got.expect("frame") {
+            Frame::Headers {
+                header_block,
+                end_stream,
+                ..
+            } => {
+                assert_eq!(header_block.len(), 9_000);
+                assert!(!end_stream);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interrupting_a_sequence_is_a_protocol_error() {
+        let block: Vec<u8> = vec![0xCD; 9_000];
+        let mut wire = Vec::new();
+        // HEADERS without END_HEADERS…
+        let split = encode_headers_split(StreamId(3), false, &block, 4_000);
+        wire.extend_from_slice(&split[..FRAME_HEADER_LEN + 4_000]);
+        // …then an unrelated PING.
+        wire.extend(encode_frame(&Frame::Ping {
+            ack: false,
+            data: [0; 8],
+        }));
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&wire);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::UnexpectedContinuation)
+        );
+    }
+
+    #[test]
+    fn bare_continuation_is_a_protocol_error() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 2, 0x9, 0x4, 0, 0, 0, 3, 1, 2]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::UnexpectedContinuation)
+        );
+    }
+
+    #[test]
+    fn continuation_for_wrong_stream_is_rejected() {
+        let block: Vec<u8> = vec![0xEF; 5_000];
+        let split = encode_headers_split(StreamId(3), false, &block, 4_000);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&split[..FRAME_HEADER_LEN + 4_000]);
+        // CONTINUATION for a different stream.
+        wire.extend_from_slice(&[0, 0, 1, 0x9, 0x4, 0, 0, 0, 9, 0xAA]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&wire);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::UnexpectedContinuation)
+        );
+    }
+}

@@ -1,0 +1,915 @@
+//! The HTTP/2 connection: stream table, flow control, HPACK contexts, and
+//! the DATA mux whose scheduling policy *is* the multiplexing behaviour the
+//! paper investigates.
+//!
+//! Sans-IO: bytes in via [`H2Connection::recv`], wire bytes out via
+//! [`H2Connection::poll_send`] (one preface or frame at a time, with
+//! metadata so the host can build ground-truth annotations), application
+//! events out via [`H2Connection::poll_event`].
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::codec::{encode_frame, encode_headers_split, FrameDecoder, CLIENT_PREFACE};
+use crate::error::{ErrorCode, H2Error};
+use crate::flow::FlowWindow;
+use crate::frame::{Frame, FrameType};
+use crate::hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, HeaderField};
+use crate::settings::{H2Config, SendPolicy, Settings};
+use crate::stream::{StreamId, StreamState};
+
+/// Which side of the connection this endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peer {
+    /// Request initiator.
+    Client,
+    /// Responder.
+    Server,
+}
+
+/// Application-visible events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H2Event {
+    /// The peer's SETTINGS arrived (connection usable).
+    PeerSettings(Settings),
+    /// A header block arrived (request on the server, response on the
+    /// client).
+    Headers {
+        /// Stream the block arrived on.
+        stream_id: StreamId,
+        /// Decoded header list.
+        headers: Vec<HeaderField>,
+        /// Peer will send no more frames on this stream.
+        end_stream: bool,
+    },
+    /// Body bytes arrived.
+    Data {
+        /// Stream the data arrived on.
+        stream_id: StreamId,
+        /// The bytes.
+        data: Vec<u8>,
+        /// Peer will send no more frames on this stream.
+        end_stream: bool,
+    },
+    /// The peer reset a stream.
+    Reset {
+        /// Stream that was reset.
+        stream_id: StreamId,
+        /// Why.
+        error_code: ErrorCode,
+    },
+    /// The peer is shutting the connection down.
+    GoAway {
+        /// Highest stream id the peer may have processed.
+        last_stream_id: StreamId,
+        /// Why.
+        error_code: ErrorCode,
+    },
+    /// A PING we sent was acknowledged.
+    PingAcked,
+}
+
+/// Metadata describing one [`Outgoing`] chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutgoingMeta {
+    /// The 24-byte client preface.
+    Preface,
+    /// One encoded frame.
+    Frame {
+        /// The frame's type.
+        frame_type: FrameType,
+        /// The frame's stream.
+        stream_id: StreamId,
+        /// Payload length (DATA: body bytes carried).
+        payload_len: usize,
+        /// END_STREAM was set.
+        end_stream: bool,
+    },
+}
+
+/// One chunk of wire output: exact bytes plus what they are. The host uses
+/// the metadata to annotate which TCP byte ranges carry which stream's DATA
+/// — the simulation's ground truth for the degree-of-multiplexing metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outgoing {
+    /// Exact bytes to hand to the transport.
+    pub bytes: Vec<u8>,
+    /// What the bytes are.
+    pub meta: OutgoingMeta,
+}
+
+/// Counters for one connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct H2Stats {
+    /// DATA frames sent.
+    pub data_frames_sent: u64,
+    /// Body bytes sent in DATA frames.
+    pub data_bytes_sent: u64,
+    /// DATA frames received.
+    pub data_frames_received: u64,
+    /// Body bytes received.
+    pub data_bytes_received: u64,
+    /// HEADERS frames sent.
+    pub headers_sent: u64,
+    /// HEADERS frames received.
+    pub headers_received: u64,
+    /// RST_STREAM frames sent.
+    pub resets_sent: u64,
+    /// RST_STREAM frames received.
+    pub resets_received: u64,
+    /// Times the mux stalled on the connection-level window.
+    pub conn_window_stalls: u64,
+}
+
+#[derive(Debug)]
+struct StreamEntry {
+    state: StreamState,
+    send_window: FlowWindow,
+    recv_window: FlowWindow,
+    /// Bytes consumed from the recv window since the last WINDOW_UPDATE.
+    recv_consumed: u32,
+    /// Body bytes the application queued, awaiting mux scheduling.
+    pending: VecDeque<u8>,
+    /// Send END_STREAM once `pending` drains.
+    pending_end: bool,
+    /// RFC 7540 priority weight (1–256; default 16). Only the
+    /// [`SendPolicy::WeightedFair`] mux consults it.
+    weight: u16,
+    /// Deficit counter for weighted-fair scheduling.
+    credit: i64,
+}
+
+impl StreamEntry {
+    fn new(state: StreamState, send_window: u32, recv_window: u32) -> Self {
+        StreamEntry {
+            state,
+            send_window: FlowWindow::new(send_window),
+            recv_window: FlowWindow::new(recv_window),
+            recv_consumed: 0,
+            pending: VecDeque::new(),
+            pending_end: false,
+            weight: 16,
+            credit: 0,
+        }
+    }
+
+    fn sendable(&self) -> usize {
+        if !self.state.can_send() {
+            return 0;
+        }
+        self.pending.len().min(self.send_window.available())
+    }
+}
+
+/// One endpoint of an HTTP/2 connection.
+///
+/// # Examples
+///
+/// ```
+/// use h2priv_http2::{H2Config, H2Connection, H2Event, HeaderField};
+///
+/// let mut client = H2Connection::new_client(H2Config::default());
+/// let mut server = H2Connection::new_server(H2Config::default());
+///
+/// let stream = client
+///     .open_stream(&[HeaderField::new(":method", "GET"),
+///                    HeaderField::new(":path", "/")], true)
+///     .unwrap();
+///
+/// // Shuttle bytes until quiescent.
+/// loop {
+///     let mut moved = false;
+///     while let Some(out) = client.poll_send() {
+///         server.recv(&out.bytes).unwrap();
+///         moved = true;
+///     }
+///     while let Some(out) = server.poll_send() {
+///         client.recv(&out.bytes).unwrap();
+///         moved = true;
+///     }
+///     if !moved { break; }
+/// }
+/// let saw_request = std::iter::from_fn(|| server.poll_event()).any(|ev| {
+///     matches!(ev, H2Event::Headers { stream_id, .. } if stream_id == stream)
+/// });
+/// assert!(saw_request);
+/// ```
+#[derive(Debug)]
+pub struct H2Connection {
+    peer: Peer,
+    config: H2Config,
+    peer_settings: Settings,
+    peer_settings_received: bool,
+
+    hpack_encoder: HpackEncoder,
+    hpack_decoder: HpackDecoder,
+    frame_decoder: FrameDecoder,
+
+    next_stream_id: StreamId,
+    streams: HashMap<StreamId, StreamEntry>,
+    /// Insertion-ordered ids of streams that may have pending data.
+    data_order: Vec<StreamId>,
+
+    conn_send_window: FlowWindow,
+    conn_recv_window: FlowWindow,
+    conn_recv_consumed: u32,
+
+    preface_sent: bool,
+    initial_settings_sent: bool,
+    window_bonus_sent: bool,
+    goaway_received: bool,
+    dead: bool,
+
+    control_queue: VecDeque<Frame>,
+    headers_queue: VecDeque<Frame>,
+    events: VecDeque<H2Event>,
+
+    /// Round-robin cursor into `data_order`.
+    rr_cursor: usize,
+    /// Private xorshift state for [`SendPolicy::RandomOrder`].
+    rand_state: u64,
+
+    stats: H2Stats,
+}
+
+impl H2Connection {
+    /// Creates the client endpoint.
+    pub fn new_client(config: H2Config) -> Self {
+        Self::new(Peer::Client, config)
+    }
+
+    /// Creates the server endpoint.
+    pub fn new_server(config: H2Config) -> Self {
+        Self::new(Peer::Server, config)
+    }
+
+    fn new(peer: Peer, config: H2Config) -> Self {
+        let rand_state = match config.send_policy {
+            SendPolicy::RandomOrder { seed } => seed | 1,
+            _ => 1,
+        };
+        H2Connection {
+            peer,
+            peer_settings: Settings::default(),
+            peer_settings_received: false,
+            hpack_encoder: HpackEncoder::with_table_size(
+                config.settings.header_table_size as usize,
+            ),
+            hpack_decoder: HpackDecoder::with_table_size(
+                config.settings.header_table_size as usize,
+            ),
+            frame_decoder: FrameDecoder::new(peer == Peer::Server),
+            next_stream_id: match peer {
+                Peer::Client => StreamId(1),
+                Peer::Server => StreamId(2),
+            },
+            streams: HashMap::new(),
+            data_order: Vec::new(),
+            conn_send_window: FlowWindow::default(),
+            conn_recv_window: FlowWindow::new(
+                crate::flow::DEFAULT_WINDOW + config.connection_window_bonus,
+            ),
+            conn_recv_consumed: 0,
+            preface_sent: peer == Peer::Server, // only clients send it
+            initial_settings_sent: false,
+            window_bonus_sent: config.connection_window_bonus == 0,
+            goaway_received: false,
+            dead: false,
+            control_queue: VecDeque::new(),
+            headers_queue: VecDeque::new(),
+            events: VecDeque::new(),
+            rr_cursor: 0,
+            rand_state,
+            stats: H2Stats::default(),
+            config,
+        }
+    }
+
+    // ---- inspectors -------------------------------------------------------
+
+    /// Which side this endpoint is.
+    pub fn peer(&self) -> Peer {
+        self.peer
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> H2Stats {
+        self.stats
+    }
+
+    /// The peer's settings, once received.
+    pub fn peer_settings(&self) -> &Settings {
+        &self.peer_settings
+    }
+
+    /// True once the peer's SETTINGS frame has arrived.
+    pub fn is_ready(&self) -> bool {
+        self.peer_settings_received
+    }
+
+    /// True if the connection has failed or received GOAWAY.
+    pub fn is_closed(&self) -> bool {
+        self.dead || self.goaway_received
+    }
+
+    /// A stream's state, if known.
+    pub fn stream_state(&self, id: StreamId) -> Option<StreamState> {
+        self.streams.get(&id).map(|s| s.state)
+    }
+
+    /// Body bytes queued but not yet sent on a stream.
+    pub fn pending_data(&self, id: StreamId) -> usize {
+        self.streams.get(&id).map_or(0, |s| s.pending.len())
+    }
+
+    /// Ids of streams that still have body bytes queued.
+    pub fn streams_with_pending_data(&self) -> Vec<StreamId> {
+        let mut ids: Vec<StreamId> = self
+            .streams
+            .iter()
+            .filter(|(_, e)| !e.pending.is_empty())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    // ---- application surface ----------------------------------------------
+
+    /// Opens a new stream with a header block (a request, on the client).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection is dead or the peer's
+    /// `SETTINGS_MAX_CONCURRENT_STREAMS` limit is reached (RFC 7540
+    /// §5.1.2) — callers should retry after streams close.
+    pub fn open_stream(
+        &mut self,
+        headers: &[HeaderField],
+        end_stream: bool,
+    ) -> Result<StreamId, H2Error> {
+        if self.is_closed() {
+            return Err(H2Error::new(ErrorCode::Cancel, "connection closed"));
+        }
+        let open_locally_initiated = self
+            .streams
+            .iter()
+            .filter(|(id, e)| {
+                id.is_client_initiated() == matches!(self.peer, Peer::Client)
+                    && e.state != StreamState::Closed
+            })
+            .count();
+        if open_locally_initiated >= self.peer_settings.max_concurrent_streams as usize {
+            return Err(H2Error::new(
+                ErrorCode::RefusedStream,
+                "peer's concurrent stream limit reached",
+            ));
+        }
+        let id = self.next_stream_id;
+        self.next_stream_id = id.next_for_initiator();
+        let state = if end_stream {
+            StreamState::Open.on_local_end()
+        } else {
+            StreamState::Open
+        };
+        self.streams.insert(
+            id,
+            StreamEntry::new(
+                state,
+                self.peer_settings.initial_window_size,
+                self.config.settings.initial_window_size,
+            ),
+        );
+        self.data_order.push(id);
+        let block = self.hpack_encoder.encode(headers);
+        self.headers_queue.push_back(Frame::Headers {
+            stream_id: id,
+            end_stream,
+            header_block: block,
+        });
+        Ok(id)
+    }
+
+    /// Sends a header block on an existing (peer-initiated) stream — a
+    /// response, on the server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is unknown or cannot send.
+    pub fn send_headers(
+        &mut self,
+        stream_id: StreamId,
+        headers: &[HeaderField],
+        end_stream: bool,
+    ) -> Result<(), H2Error> {
+        let entry = self
+            .streams
+            .get_mut(&stream_id)
+            .ok_or_else(|| H2Error::new(ErrorCode::StreamClosed, "unknown stream"))?;
+        if !entry.state.can_send() {
+            return Err(H2Error::new(ErrorCode::StreamClosed, "stream cannot send"));
+        }
+        if end_stream {
+            entry.state = entry.state.on_local_end();
+        }
+        let block = self.hpack_encoder.encode(headers);
+        self.headers_queue.push_back(Frame::Headers {
+            stream_id,
+            end_stream,
+            header_block: block,
+        });
+        Ok(())
+    }
+
+    /// Queues body bytes on a stream; the mux schedules them under flow
+    /// control. `end_stream` marks the stream finished once these bytes
+    /// drain.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is unknown or cannot send.
+    pub fn send_data(
+        &mut self,
+        stream_id: StreamId,
+        data: &[u8],
+        end_stream: bool,
+    ) -> Result<(), H2Error> {
+        let entry = self
+            .streams
+            .get_mut(&stream_id)
+            .ok_or_else(|| H2Error::new(ErrorCode::StreamClosed, "unknown stream"))?;
+        if !entry.state.can_send() {
+            return Err(H2Error::new(ErrorCode::StreamClosed, "stream cannot send"));
+        }
+        entry.pending.extend(data);
+        if end_stream {
+            entry.pending_end = true;
+        }
+        // The mux's schedule drops idle streams lazily; re-register.
+        if !self.data_order.contains(&stream_id) {
+            self.data_order.push(stream_id);
+        }
+        Ok(())
+    }
+
+    /// Resets a stream: queues RST_STREAM and drops its pending data.
+    pub fn send_rst(&mut self, stream_id: StreamId, error_code: ErrorCode) {
+        if let Some(entry) = self.streams.get_mut(&stream_id) {
+            entry.state = StreamState::Closed;
+            entry.pending.clear();
+            entry.pending_end = false;
+        }
+        self.stats.resets_sent += 1;
+        self.control_queue.push_back(Frame::RstStream {
+            stream_id,
+            error_code,
+        });
+    }
+
+    /// Queues a PING.
+    pub fn send_ping(&mut self, data: [u8; 8]) {
+        self.control_queue
+            .push_back(Frame::Ping { ack: false, data });
+    }
+
+    /// Sets a stream's local scheduling weight and announces it with a
+    /// PRIORITY frame (wire value = weight − 1 per RFC 7540 §6.3).
+    pub fn set_stream_weight(&mut self, stream_id: StreamId, weight: u16) {
+        let weight = weight.clamp(1, 256);
+        if let Some(entry) = self.streams.get_mut(&stream_id) {
+            entry.weight = weight;
+        }
+        self.control_queue.push_back(Frame::Priority {
+            stream_id,
+            depends_on: StreamId::CONNECTION,
+            exclusive: false,
+            weight: (weight - 1) as u8,
+        });
+    }
+
+    /// A stream's current scheduling weight.
+    pub fn stream_weight(&self, stream_id: StreamId) -> Option<u16> {
+        self.streams.get(&stream_id).map(|e| e.weight)
+    }
+
+    /// Queues a GOAWAY.
+    pub fn send_goaway(&mut self, error_code: ErrorCode) {
+        let last = StreamId(self.next_stream_id.0.saturating_sub(2));
+        self.control_queue.push_back(Frame::GoAway {
+            last_stream_id: last,
+            error_code,
+        });
+    }
+
+    /// Pops the next application event.
+    pub fn poll_event(&mut self) -> Option<H2Event> {
+        self.events.pop_front()
+    }
+
+    // ---- output ------------------------------------------------------------
+
+    /// Produces the next chunk of wire output, or `None` when idle.
+    pub fn poll_send(&mut self) -> Option<Outgoing> {
+        if self.dead {
+            return None;
+        }
+        if !self.preface_sent {
+            self.preface_sent = true;
+            return Some(Outgoing {
+                bytes: CLIENT_PREFACE.to_vec(),
+                meta: OutgoingMeta::Preface,
+            });
+        }
+        if !self.initial_settings_sent {
+            self.initial_settings_sent = true;
+            let frame = Frame::Settings {
+                ack: false,
+                settings: self.config.settings.to_wire(),
+            };
+            return Some(self.emit(frame));
+        }
+        if !self.window_bonus_sent {
+            self.window_bonus_sent = true;
+            let frame = Frame::WindowUpdate {
+                stream_id: StreamId::CONNECTION,
+                increment: self.config.connection_window_bonus,
+            };
+            return Some(self.emit(frame));
+        }
+        if let Some(frame) = self.control_queue.pop_front() {
+            return Some(self.emit(frame));
+        }
+        if let Some(frame) = self.headers_queue.pop_front() {
+            self.stats.headers_sent += 1;
+            return Some(self.emit(frame));
+        }
+        self.poll_send_data()
+    }
+
+    fn poll_send_data(&mut self) -> Option<Outgoing> {
+        // Drop closed/empty streams from the schedule lazily.
+        self.data_order.retain(|id| {
+            self.streams
+                .get(id)
+                .is_some_and(|e| !e.pending.is_empty() || e.pending_end)
+        });
+        if self.data_order.is_empty() {
+            return None;
+        }
+        let conn_avail = self.conn_send_window.available();
+        // Candidate list: streams that can make progress right now.
+        let ready: Vec<usize> = self
+            .data_order
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| {
+                let e = &self.streams[id];
+                (e.sendable() > 0 && conn_avail > 0)
+                    || (e.pending.is_empty() && e.pending_end && e.state.can_send())
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if ready.is_empty() {
+            if conn_avail == 0
+                && self
+                    .data_order
+                    .iter()
+                    .any(|id| self.streams[id].sendable() > 0)
+            {
+                self.stats.conn_window_stalls += 1;
+            }
+            return None;
+        }
+        let pick = match self.config.send_policy {
+            SendPolicy::Sequential => ready[0],
+            SendPolicy::RoundRobin => {
+                // First ready index at or after the cursor, wrapping.
+                let i = ready
+                    .iter()
+                    .copied()
+                    .find(|&i| i >= self.rr_cursor)
+                    .unwrap_or(ready[0]);
+                self.rr_cursor = i + 1;
+                if self.rr_cursor >= self.data_order.len() {
+                    self.rr_cursor = 0;
+                }
+                i
+            }
+            SendPolicy::RandomOrder { .. } => {
+                // xorshift64* pick.
+                let mut x = self.rand_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rand_state = x;
+                let r = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 32) as usize;
+                ready[r % ready.len()]
+            }
+            SendPolicy::WeightedFair => {
+                // Deficit round-robin: take any ready stream with positive
+                // credit; when all are exhausted, replenish ready streams
+                // in proportion to their weights.
+                loop {
+                    if let Some(&i) = ready
+                        .iter()
+                        .find(|&&i| self.streams[&self.data_order[i]].credit > 0)
+                    {
+                        break i;
+                    }
+                    for &i in &ready {
+                        let id = self.data_order[i];
+                        let e = self.streams.get_mut(&id).expect("ready stream");
+                        // One weight unit buys 128 bytes of service.
+                        e.credit += e.weight as i64 * 128;
+                    }
+                }
+            }
+        };
+        let id = self.data_order[pick];
+        let entry = self.streams.get_mut(&id).expect("scheduled stream exists");
+        let chunk_cap = self
+            .config
+            .data_chunk_size
+            .min(self.peer_settings.max_frame_size as usize);
+        let n = entry.sendable().min(chunk_cap).min(conn_avail);
+        let data: Vec<u8> = entry.pending.drain(..n).collect();
+        let end_stream = entry.pending.is_empty() && entry.pending_end;
+        if end_stream {
+            entry.pending_end = false;
+            entry.state = entry.state.on_local_end();
+        }
+        entry.send_window.consume(n);
+        entry.credit -= n as i64;
+        self.conn_send_window.consume(n);
+        self.stats.data_frames_sent += 1;
+        self.stats.data_bytes_sent += n as u64;
+        let frame = Frame::Data {
+            stream_id: id,
+            end_stream,
+            data,
+        };
+        Some(self.emit(frame))
+    }
+
+    fn emit(&mut self, frame: Frame) -> Outgoing {
+        // Header blocks larger than the peer's max frame size leave as a
+        // HEADERS + CONTINUATION sequence (RFC 7540 §6.10).
+        if let Frame::Headers {
+            stream_id,
+            end_stream,
+            header_block,
+        } = &frame
+        {
+            let max = self.peer_settings.max_frame_size as usize;
+            if header_block.len() > max {
+                let bytes = encode_headers_split(*stream_id, *end_stream, header_block, max);
+                return Outgoing {
+                    meta: OutgoingMeta::Frame {
+                        frame_type: FrameType::Headers,
+                        stream_id: *stream_id,
+                        payload_len: header_block.len(),
+                        end_stream: *end_stream,
+                    },
+                    bytes,
+                };
+            }
+        }
+        let bytes = encode_frame(&frame);
+        let meta = OutgoingMeta::Frame {
+            frame_type: frame.frame_type(),
+            stream_id: frame.stream_id(),
+            payload_len: bytes.len() - crate::frame::FRAME_HEADER_LEN,
+            end_stream: matches!(
+                frame,
+                Frame::Data {
+                    end_stream: true,
+                    ..
+                } | Frame::Headers {
+                    end_stream: true,
+                    ..
+                }
+            ),
+        };
+        Outgoing { bytes, meta }
+    }
+
+    // ---- input ---------------------------------------------------------------
+
+    /// Feeds received transport bytes into the connection.
+    ///
+    /// # Errors
+    ///
+    /// A returned error is fatal: the connection queues a GOAWAY (drain it
+    /// with [`poll_send`](Self::poll_send)) and refuses further work.
+    pub fn recv(&mut self, bytes: &[u8]) -> Result<(), H2Error> {
+        if self.dead {
+            return Err(H2Error::new(ErrorCode::InternalError, "connection dead"));
+        }
+        self.frame_decoder.push(bytes);
+        loop {
+            match self.frame_decoder.next_frame() {
+                Ok(None) => return Ok(()),
+                Ok(Some(frame)) => self.handle_frame(frame)?,
+                Err(_) => {
+                    let err = H2Error::new(ErrorCode::ProtocolError, "frame decode failed");
+                    self.fail(err.code);
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    fn fail(&mut self, code: ErrorCode) {
+        self.send_goaway(code);
+        self.dead = true;
+    }
+
+    fn handle_frame(&mut self, frame: Frame) -> Result<(), H2Error> {
+        match frame {
+            Frame::Settings { ack, settings } => {
+                if ack {
+                    return Ok(());
+                }
+                let old_initial = self.peer_settings.initial_window_size;
+                self.peer_settings.apply(&settings);
+                self.frame_decoder
+                    .set_max_frame_size(self.config.settings.max_frame_size as usize);
+                let delta = self.peer_settings.initial_window_size as i64 - old_initial as i64;
+                if delta != 0 {
+                    for entry in self.streams.values_mut() {
+                        entry.send_window.adjust(delta);
+                    }
+                }
+                self.peer_settings_received = true;
+                self.control_queue.push_back(Frame::Settings {
+                    ack: true,
+                    settings: vec![],
+                });
+                self.events
+                    .push_back(H2Event::PeerSettings(self.peer_settings.clone()));
+                Ok(())
+            }
+            Frame::Ping { ack, data } => {
+                if ack {
+                    self.events.push_back(H2Event::PingAcked);
+                } else {
+                    self.control_queue
+                        .push_back(Frame::Ping { ack: true, data });
+                }
+                Ok(())
+            }
+            Frame::WindowUpdate {
+                stream_id,
+                increment,
+            } => {
+                if stream_id == StreamId::CONNECTION {
+                    self.conn_send_window.expand(increment).map_err(|_| {
+                        let err =
+                            H2Error::new(ErrorCode::FlowControlError, "connection window overflow");
+                        self.fail(err.code);
+                        err
+                    })?;
+                } else if let Some(entry) = self.streams.get_mut(&stream_id) {
+                    entry.send_window.expand(increment).map_err(|_| {
+                        let err =
+                            H2Error::new(ErrorCode::FlowControlError, "stream window overflow");
+                        self.fail(err.code);
+                        err
+                    })?;
+                }
+                Ok(())
+            }
+            Frame::Headers {
+                stream_id,
+                end_stream,
+                header_block,
+            } => {
+                let headers = self.hpack_decoder.decode(&header_block).map_err(|_| {
+                    let err = H2Error::new(ErrorCode::CompressionError, "hpack decode failed");
+                    self.fail(err.code);
+                    err
+                })?;
+                self.stats.headers_received += 1;
+                let entry = self.streams.entry(stream_id).or_insert_with(|| {
+                    StreamEntry::new(
+                        StreamState::Open,
+                        self.peer_settings.initial_window_size,
+                        self.config.settings.initial_window_size,
+                    )
+                });
+                if end_stream {
+                    entry.state = entry.state.on_remote_end();
+                }
+                if !self.data_order.contains(&stream_id) {
+                    self.data_order.push(stream_id);
+                }
+                self.events.push_back(H2Event::Headers {
+                    stream_id,
+                    headers,
+                    end_stream,
+                });
+                Ok(())
+            }
+            Frame::Data {
+                stream_id,
+                end_stream,
+                data,
+            } => {
+                self.stats.data_frames_received += 1;
+                self.stats.data_bytes_received += data.len() as u64;
+                // Connection-level accounting.
+                let len = data.len();
+                if len > self.conn_recv_window.available() {
+                    let err = H2Error::new(
+                        ErrorCode::FlowControlError,
+                        "peer overran connection window",
+                    );
+                    self.fail(err.code);
+                    return Err(err);
+                }
+                self.conn_recv_window.consume(len);
+                self.conn_recv_consumed += len as u32;
+                let initial = crate::flow::DEFAULT_WINDOW + self.config.connection_window_bonus;
+                if self.conn_recv_consumed >= initial / 2 {
+                    let inc = self.conn_recv_consumed;
+                    self.conn_recv_consumed = 0;
+                    self.conn_recv_window.expand(inc).expect("restoring credit");
+                    self.control_queue.push_back(Frame::WindowUpdate {
+                        stream_id: StreamId::CONNECTION,
+                        increment: inc,
+                    });
+                }
+                // Stream-level accounting (unknown streams tolerated:
+                // frames may race our RST).
+                if let Some(entry) = self.streams.get_mut(&stream_id) {
+                    if entry.state == StreamState::Closed {
+                        return Ok(()); // late data after reset: discard
+                    }
+                    if len > entry.recv_window.available() {
+                        let err =
+                            H2Error::new(ErrorCode::FlowControlError, "peer overran stream window");
+                        self.fail(err.code);
+                        return Err(err);
+                    }
+                    entry.recv_window.consume(len);
+                    entry.recv_consumed += len as u32;
+                    if entry.recv_consumed >= self.config.settings.initial_window_size / 2 {
+                        let inc = entry.recv_consumed;
+                        entry.recv_consumed = 0;
+                        entry.recv_window.expand(inc).expect("restoring credit");
+                        self.control_queue.push_back(Frame::WindowUpdate {
+                            stream_id,
+                            increment: inc,
+                        });
+                    }
+                    if end_stream {
+                        entry.state = entry.state.on_remote_end();
+                    }
+                }
+                self.events.push_back(H2Event::Data {
+                    stream_id,
+                    data,
+                    end_stream,
+                });
+                Ok(())
+            }
+            Frame::RstStream {
+                stream_id,
+                error_code,
+            } => {
+                self.stats.resets_received += 1;
+                if let Some(entry) = self.streams.get_mut(&stream_id) {
+                    entry.state = StreamState::Closed;
+                    entry.pending.clear();
+                    entry.pending_end = false;
+                }
+                self.events.push_back(H2Event::Reset {
+                    stream_id,
+                    error_code,
+                });
+                Ok(())
+            }
+            Frame::GoAway {
+                last_stream_id,
+                error_code,
+            } => {
+                self.goaway_received = true;
+                self.events.push_back(H2Event::GoAway {
+                    last_stream_id,
+                    error_code,
+                });
+                Ok(())
+            }
+            Frame::Priority {
+                stream_id, weight, ..
+            } => {
+                // Wire weight is value + 1 (RFC 7540 §6.3); applied if the
+                // stream exists (prioritizing unknown streams is legal but
+                // meaningless to this mux).
+                if let Some(entry) = self.streams.get_mut(&stream_id) {
+                    entry.weight = weight as u16 + 1;
+                }
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! HTTP/2 error codes and protocol errors (RFC 7540 §7, §11.4).
+
+use std::fmt;
+
+/// Error codes carried by `RST_STREAM` and `GOAWAY` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Graceful shutdown (0x0).
+    NoError,
+    /// Protocol violation detected (0x1).
+    ProtocolError,
+    /// Unexpected internal failure (0x2).
+    InternalError,
+    /// Flow-control accounting violated (0x3).
+    FlowControlError,
+    /// Settings not acknowledged in time (0x4).
+    SettingsTimeout,
+    /// Frame received on a closed stream (0x5).
+    StreamClosed,
+    /// Frame size invalid (0x6).
+    FrameSizeError,
+    /// Stream refused before processing (0x7).
+    RefusedStream,
+    /// Stream no longer needed (0x8) — what a browser sends when it
+    /// abandons in-flight responses, the signal forced in §IV-D.
+    Cancel,
+    /// HPACK state ruined (0x9).
+    CompressionError,
+    /// Connect error (0xa).
+    ConnectError,
+    /// Peer is misbehaving badly enough to disconnect (0xb).
+    EnhanceYourCalm,
+    /// Transport security inadequate (0xc).
+    InadequateSecurity,
+    /// HTTP/1.1 required (0xd).
+    Http11Required,
+}
+
+impl ErrorCode {
+    /// Wire value.
+    pub fn as_u32(self) -> u32 {
+        match self {
+            ErrorCode::NoError => 0x0,
+            ErrorCode::ProtocolError => 0x1,
+            ErrorCode::InternalError => 0x2,
+            ErrorCode::FlowControlError => 0x3,
+            ErrorCode::SettingsTimeout => 0x4,
+            ErrorCode::StreamClosed => 0x5,
+            ErrorCode::FrameSizeError => 0x6,
+            ErrorCode::RefusedStream => 0x7,
+            ErrorCode::Cancel => 0x8,
+            ErrorCode::CompressionError => 0x9,
+            ErrorCode::ConnectError => 0xa,
+            ErrorCode::EnhanceYourCalm => 0xb,
+            ErrorCode::InadequateSecurity => 0xc,
+            ErrorCode::Http11Required => 0xd,
+        }
+    }
+
+    /// Parses a wire value; unknown codes map to
+    /// [`ErrorCode::InternalError`] per RFC 7540 §7.
+    pub fn from_u32(v: u32) -> ErrorCode {
+        match v {
+            0x0 => ErrorCode::NoError,
+            0x1 => ErrorCode::ProtocolError,
+            0x2 => ErrorCode::InternalError,
+            0x3 => ErrorCode::FlowControlError,
+            0x4 => ErrorCode::SettingsTimeout,
+            0x5 => ErrorCode::StreamClosed,
+            0x6 => ErrorCode::FrameSizeError,
+            0x7 => ErrorCode::RefusedStream,
+            0x8 => ErrorCode::Cancel,
+            0x9 => ErrorCode::CompressionError,
+            0xa => ErrorCode::ConnectError,
+            0xb => ErrorCode::EnhanceYourCalm,
+            0xc => ErrorCode::InadequateSecurity,
+            0xd => ErrorCode::Http11Required,
+            _ => ErrorCode::InternalError,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}(0x{:x})", self.as_u32())
+    }
+}
+
+/// A fatal connection-level protocol failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct H2Error {
+    /// Code to report in GOAWAY.
+    pub code: ErrorCode,
+    /// Human-readable context.
+    pub reason: &'static str,
+}
+
+impl H2Error {
+    /// Creates an error.
+    pub fn new(code: ErrorCode, reason: &'static str) -> Self {
+        H2Error { code, reason }
+    }
+}
+
+impl fmt::Display for H2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "connection error {}: {}", self.code, self.reason)
+    }
+}
+
+impl std::error::Error for H2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for v in 0x0..=0xdu32 {
+            assert_eq!(ErrorCode::from_u32(v).as_u32(), v);
+        }
+    }
+
+    #[test]
+    fn unknown_code_maps_to_internal() {
+        assert_eq!(ErrorCode::from_u32(0x9999), ErrorCode::InternalError);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", ErrorCode::Cancel), "Cancel(0x8)");
+        let err = H2Error::new(ErrorCode::ProtocolError, "bad preface");
+        assert!(format!("{err}").contains("bad preface"));
+    }
+}

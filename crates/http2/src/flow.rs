@@ -1,0 +1,138 @@
+//! Flow-control windows (RFC 7540 §5.2, §6.9).
+//!
+//! Flow control is what keeps large responses *in flight* for many RTTs:
+//! a sender may emit at most `window` bytes of DATA before stopping to wait
+//! for `WINDOW_UPDATE` credit. In the reproduction this is a load-bearing
+//! mechanism — it is why objects requested hundreds of milliseconds apart
+//! still interleave at baseline (DESIGN.md §6.3), giving the paper its
+//! "degree of multiplexing ≈ 98 %" starting point.
+
+/// Default initial window size (RFC 7540 §6.9.2).
+pub const DEFAULT_WINDOW: u32 = 65_535;
+
+/// Maximum window size (2^31 − 1).
+pub const MAX_WINDOW: i64 = (1 << 31) - 1;
+
+/// One direction's flow-control window (connection- or stream-level).
+///
+/// The window may legitimately go negative when the peer shrinks
+/// `SETTINGS_INITIAL_WINDOW_SIZE` mid-stream, so it is signed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowWindow(i64);
+
+/// Error returned when credit would overflow the RFC limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowOverflow;
+
+impl std::fmt::Display for WindowOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow-control window exceeds 2^31-1")
+    }
+}
+
+impl std::error::Error for WindowOverflow {}
+
+impl FlowWindow {
+    /// Creates a window with the given initial size.
+    pub fn new(initial: u32) -> Self {
+        FlowWindow(initial as i64)
+    }
+
+    /// Bytes currently available to send (0 if the window is negative).
+    pub fn available(&self) -> usize {
+        self.0.max(0) as usize
+    }
+
+    /// Raw signed window value.
+    pub fn value(&self) -> i64 {
+        self.0
+    }
+
+    /// Consumes `bytes` of window (sending or receiving DATA).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that consumption never exceeds the available window;
+    /// the connection checks before sending.
+    pub fn consume(&mut self, bytes: usize) {
+        debug_assert!(
+            bytes <= self.available(),
+            "consumed {bytes} with only {} available",
+            self.available()
+        );
+        self.0 -= bytes as i64;
+    }
+
+    /// Adds `credit` bytes of window (a WINDOW_UPDATE).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window would exceed 2^31 − 1; RFC 7540 requires the
+    /// receiver to treat this as a flow-control error.
+    pub fn expand(&mut self, credit: u32) -> Result<(), WindowOverflow> {
+        let next = self.0 + credit as i64;
+        if next > MAX_WINDOW {
+            return Err(WindowOverflow);
+        }
+        self.0 = next;
+        Ok(())
+    }
+
+    /// Applies a change of the peer's `SETTINGS_INITIAL_WINDOW_SIZE`: every
+    /// stream window shifts by the delta (RFC 7540 §6.9.2).
+    pub fn adjust(&mut self, delta: i64) {
+        self.0 += delta;
+    }
+}
+
+impl Default for FlowWindow {
+    fn default() -> Self {
+        FlowWindow::new(DEFAULT_WINDOW)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_initial() {
+        assert_eq!(FlowWindow::new(100).available(), 100);
+        assert_eq!(FlowWindow::default().available(), 65_535);
+    }
+
+    #[test]
+    fn consume_and_expand() {
+        let mut w = FlowWindow::new(1000);
+        w.consume(400);
+        assert_eq!(w.available(), 600);
+        w.expand(200).unwrap();
+        assert_eq!(w.available(), 800);
+    }
+
+    #[test]
+    fn expand_overflow_rejected() {
+        let mut w = FlowWindow::new(DEFAULT_WINDOW);
+        assert!(w.expand(2_000_000_000).is_ok());
+        assert_eq!(w.expand(200_000_000), Err(WindowOverflow));
+    }
+
+    #[test]
+    fn settings_adjust_can_go_negative() {
+        let mut w = FlowWindow::new(100);
+        w.consume(100);
+        w.adjust(-50);
+        assert_eq!(w.value(), -50);
+        assert_eq!(w.available(), 0);
+        w.expand(60).unwrap();
+        assert_eq!(w.available(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "consumed")]
+    #[cfg(debug_assertions)]
+    fn over_consumption_asserts() {
+        let mut w = FlowWindow::new(10);
+        w.consume(11);
+    }
+}

@@ -1,0 +1,282 @@
+//! HTTP/2 frame types (RFC 7540 §4, §6).
+//!
+//! Multiplexing — the privacy mechanism the paper attacks — is carried
+//! entirely by these frames: concurrent responses interleave as DATA frames
+//! with different stream identifiers on one connection. `RST_STREAM` is the
+//! frame the paper's adversary forces the client to send in §IV-D ("a packet
+//! with the corresponding HTTP/2 stream number and RST_STREAM flag set").
+
+use crate::error::ErrorCode;
+use crate::stream::StreamId;
+
+/// Length of the fixed frame header on the wire.
+pub const FRAME_HEADER_LEN: usize = 9;
+
+/// Default and minimum value of `SETTINGS_MAX_FRAME_SIZE`.
+pub const DEFAULT_MAX_FRAME_SIZE: usize = 16_384;
+
+/// Frame type registry values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameType {
+    /// Carries request/response bytes (0x0).
+    Data,
+    /// Opens a stream / carries a header block (0x1).
+    Headers,
+    /// Stream dependency/weight advice (0x2).
+    Priority,
+    /// Abnormally terminates a stream (0x3).
+    RstStream,
+    /// Connection configuration (0x4).
+    Settings,
+    /// Server push announcement (0x5).
+    PushPromise,
+    /// Liveness / RTT measurement (0x6).
+    Ping,
+    /// Connection shutdown (0x7).
+    GoAway,
+    /// Flow-control credit (0x8).
+    WindowUpdate,
+    /// Header block continuation (0x9).
+    Continuation,
+}
+
+impl FrameType {
+    /// Wire value.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FrameType::Data => 0x0,
+            FrameType::Headers => 0x1,
+            FrameType::Priority => 0x2,
+            FrameType::RstStream => 0x3,
+            FrameType::Settings => 0x4,
+            FrameType::PushPromise => 0x5,
+            FrameType::Ping => 0x6,
+            FrameType::GoAway => 0x7,
+            FrameType::WindowUpdate => 0x8,
+            FrameType::Continuation => 0x9,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_u8(v: u8) -> Option<FrameType> {
+        Some(match v {
+            0x0 => FrameType::Data,
+            0x1 => FrameType::Headers,
+            0x2 => FrameType::Priority,
+            0x3 => FrameType::RstStream,
+            0x4 => FrameType::Settings,
+            0x5 => FrameType::PushPromise,
+            0x6 => FrameType::Ping,
+            0x7 => FrameType::GoAway,
+            0x8 => FrameType::WindowUpdate,
+            0x9 => FrameType::Continuation,
+            _ => return None,
+        })
+    }
+}
+
+/// Frame flag bits (meaning depends on the frame type).
+pub mod flags {
+    /// DATA / HEADERS: no further frames on this stream from this sender.
+    pub const END_STREAM: u8 = 0x1;
+    /// SETTINGS / PING: acknowledgment.
+    pub const ACK: u8 = 0x1;
+    /// HEADERS / PUSH_PROMISE / CONTINUATION: header block complete.
+    pub const END_HEADERS: u8 = 0x4;
+    /// DATA / HEADERS: padding present (modeled but unused by default).
+    pub const PADDED: u8 = 0x8;
+    /// HEADERS: priority fields present.
+    pub const PRIORITY: u8 = 0x20;
+}
+
+/// Identifiers for the SETTINGS parameters the model supports (RFC 7540 §6.5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SettingId {
+    /// HPACK dynamic table size (0x1).
+    HeaderTableSize,
+    /// Server push permitted (0x2).
+    EnablePush,
+    /// Peer's concurrent stream limit (0x3).
+    MaxConcurrentStreams,
+    /// Initial per-stream flow-control window (0x4).
+    InitialWindowSize,
+    /// Largest frame payload accepted (0x5).
+    MaxFrameSize,
+    /// Advisory header list size bound (0x6).
+    MaxHeaderListSize,
+}
+
+impl SettingId {
+    /// Wire value.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            SettingId::HeaderTableSize => 0x1,
+            SettingId::EnablePush => 0x2,
+            SettingId::MaxConcurrentStreams => 0x3,
+            SettingId::InitialWindowSize => 0x4,
+            SettingId::MaxFrameSize => 0x5,
+            SettingId::MaxHeaderListSize => 0x6,
+        }
+    }
+
+    /// Parses a wire value (unknown settings are skipped per RFC).
+    pub fn from_u16(v: u16) -> Option<SettingId> {
+        Some(match v {
+            0x1 => SettingId::HeaderTableSize,
+            0x2 => SettingId::EnablePush,
+            0x3 => SettingId::MaxConcurrentStreams,
+            0x4 => SettingId::InitialWindowSize,
+            0x5 => SettingId::MaxFrameSize,
+            0x6 => SettingId::MaxHeaderListSize,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed HTTP/2 frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// DATA: response/request body bytes.
+    Data {
+        /// Stream carrying the data.
+        stream_id: StreamId,
+        /// Last frame of the stream from this sender.
+        end_stream: bool,
+        /// Payload bytes.
+        data: Vec<u8>,
+    },
+    /// HEADERS: an HPACK-encoded header block (always END_HEADERS in this
+    /// model; CONTINUATION is supported on the wire but never emitted).
+    Headers {
+        /// Stream being opened / responded on.
+        stream_id: StreamId,
+        /// Last frame of the stream from this sender.
+        end_stream: bool,
+        /// HPACK header block fragment.
+        header_block: Vec<u8>,
+    },
+    /// PRIORITY: stream dependency advice.
+    Priority {
+        /// Stream the advice applies to.
+        stream_id: StreamId,
+        /// Stream depended on.
+        depends_on: StreamId,
+        /// Exclusive dependency bit.
+        exclusive: bool,
+        /// Weight (wire value 0–255 ⇒ weight 1–256).
+        weight: u8,
+    },
+    /// RST_STREAM: abnormal stream termination.
+    RstStream {
+        /// Stream being reset.
+        stream_id: StreamId,
+        /// Why.
+        error_code: ErrorCode,
+    },
+    /// SETTINGS: configuration (empty + ACK flag acknowledges).
+    Settings {
+        /// True for an acknowledgment.
+        ack: bool,
+        /// Parameter list (empty on ACK).
+        settings: Vec<(SettingId, u32)>,
+    },
+    /// PING: liveness probe.
+    Ping {
+        /// True for a reply.
+        ack: bool,
+        /// Opaque payload.
+        data: [u8; 8],
+    },
+    /// GOAWAY: connection shutdown.
+    GoAway {
+        /// Highest stream id the sender may have processed.
+        last_stream_id: StreamId,
+        /// Why.
+        error_code: ErrorCode,
+    },
+    /// WINDOW_UPDATE: flow-control credit (stream 0 = connection level).
+    WindowUpdate {
+        /// Target stream (0 for the connection).
+        stream_id: StreamId,
+        /// Credit in bytes (1 ..= 2^31-1).
+        increment: u32,
+    },
+}
+
+impl Frame {
+    /// The frame's stream id (0 for connection-level frames).
+    pub fn stream_id(&self) -> StreamId {
+        match *self {
+            Frame::Data { stream_id, .. }
+            | Frame::Headers { stream_id, .. }
+            | Frame::Priority { stream_id, .. }
+            | Frame::RstStream { stream_id, .. }
+            | Frame::WindowUpdate { stream_id, .. } => stream_id,
+            Frame::Settings { .. } | Frame::Ping { .. } | Frame::GoAway { .. } => {
+                StreamId::CONNECTION
+            }
+        }
+    }
+
+    /// The frame's wire type.
+    pub fn frame_type(&self) -> FrameType {
+        match self {
+            Frame::Data { .. } => FrameType::Data,
+            Frame::Headers { .. } => FrameType::Headers,
+            Frame::Priority { .. } => FrameType::Priority,
+            Frame::RstStream { .. } => FrameType::RstStream,
+            Frame::Settings { .. } => FrameType::Settings,
+            Frame::Ping { .. } => FrameType::Ping,
+            Frame::GoAway { .. } => FrameType::GoAway,
+            Frame::WindowUpdate { .. } => FrameType::WindowUpdate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_type_roundtrip() {
+        for v in 0..=9u8 {
+            let t = FrameType::from_u8(v).unwrap();
+            assert_eq!(t.as_u8(), v);
+        }
+        assert_eq!(FrameType::from_u8(0xA), None);
+    }
+
+    #[test]
+    fn setting_id_roundtrip() {
+        for v in 1..=6u16 {
+            let s = SettingId::from_u16(v).unwrap();
+            assert_eq!(s.as_u16(), v);
+        }
+        assert_eq!(SettingId::from_u16(0x99), None);
+    }
+
+    #[test]
+    fn stream_id_of_connection_frames_is_zero() {
+        let f = Frame::Settings {
+            ack: false,
+            settings: vec![],
+        };
+        assert_eq!(f.stream_id(), StreamId::CONNECTION);
+        let f = Frame::Ping {
+            ack: false,
+            data: [0; 8],
+        };
+        assert_eq!(f.stream_id(), StreamId::CONNECTION);
+    }
+
+    #[test]
+    fn frame_type_accessor_matches_variant() {
+        let f = Frame::Data {
+            stream_id: StreamId(3),
+            end_stream: true,
+            data: vec![1],
+        };
+        assert_eq!(f.frame_type(), FrameType::Data);
+        assert_eq!(f.stream_id(), StreamId(3));
+    }
+}

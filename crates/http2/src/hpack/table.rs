@@ -1,0 +1,318 @@
+//! HPACK indexing tables (RFC 7541 §2.3, Appendix A).
+
+/// A header field: name and value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HeaderField {
+    /// Field name (lowercase by HTTP/2 convention).
+    pub name: String,
+    /// Field value.
+    pub value: String,
+}
+
+impl HeaderField {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        HeaderField {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+
+    /// RFC 7541 §4.1 size: name + value + 32 bytes of overhead.
+    pub fn hpack_size(&self) -> usize {
+        self.name.len() + self.value.len() + 32
+    }
+}
+
+/// The 61-entry HPACK static table (RFC 7541 Appendix A).
+pub const STATIC_TABLE: &[(&str, &str)] = &[
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+];
+
+/// The dynamic table: FIFO of recently indexed fields, size-bounded.
+#[derive(Debug, Clone)]
+pub struct DynamicTable {
+    entries: std::collections::VecDeque<HeaderField>,
+    size: usize,
+    max_size: usize,
+}
+
+impl DynamicTable {
+    /// Creates a table with the given capacity (SETTINGS_HEADER_TABLE_SIZE;
+    /// default 4096).
+    pub fn new(max_size: usize) -> Self {
+        DynamicTable {
+            entries: std::collections::VecDeque::new(),
+            size: 0,
+            max_size,
+        }
+    }
+
+    /// Current occupancy in RFC 7541 size units.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts at the front, evicting from the back until it fits. A field
+    /// larger than the whole table empties it (RFC 7541 §4.4).
+    pub fn insert(&mut self, field: HeaderField) {
+        let fsize = field.hpack_size();
+        while self.size + fsize > self.max_size {
+            let Some(evicted) = self.entries.pop_back() else {
+                // Table empty and the field still doesn't fit.
+                self.size = 0;
+                return;
+            };
+            self.size -= evicted.hpack_size();
+        }
+        self.size += fsize;
+        self.entries.push_front(field);
+    }
+
+    /// Resizes the capacity, evicting as needed.
+    pub fn set_max_size(&mut self, max_size: usize) {
+        self.max_size = max_size;
+        while self.size > self.max_size {
+            let evicted = self.entries.pop_back().expect("size > 0 implies entries");
+            self.size -= evicted.hpack_size();
+        }
+    }
+
+    /// 0-based lookup (0 = most recently inserted).
+    pub fn get(&self, index: usize) -> Option<&HeaderField> {
+        self.entries.get(index)
+    }
+
+    /// Finds a fully matching entry, returning its 0-based index.
+    pub fn find(&self, field: &HeaderField) -> Option<usize> {
+        self.entries.iter().position(|e| e == field)
+    }
+
+    /// Finds an entry with a matching name, returning its 0-based index.
+    pub fn find_name(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+}
+
+/// Combined static + dynamic index space (1-based per RFC 7541 §2.3.3).
+#[derive(Debug, Clone)]
+pub struct IndexTable {
+    dynamic: DynamicTable,
+}
+
+impl IndexTable {
+    /// Creates an index with the given dynamic-table capacity.
+    pub fn new(max_dynamic_size: usize) -> Self {
+        IndexTable {
+            dynamic: DynamicTable::new(max_dynamic_size),
+        }
+    }
+
+    /// Looks up a 1-based index.
+    pub fn get(&self, index: usize) -> Option<HeaderField> {
+        if index == 0 {
+            return None;
+        }
+        if index <= STATIC_TABLE.len() {
+            let (n, v) = STATIC_TABLE[index - 1];
+            return Some(HeaderField::new(n, v));
+        }
+        self.dynamic.get(index - STATIC_TABLE.len() - 1).cloned()
+    }
+
+    /// Finds the 1-based index of an exact match, preferring the static
+    /// table.
+    pub fn find(&self, field: &HeaderField) -> Option<usize> {
+        if let Some(pos) = STATIC_TABLE
+            .iter()
+            .position(|&(n, v)| n == field.name && v == field.value)
+        {
+            return Some(pos + 1);
+        }
+        self.dynamic
+            .find(field)
+            .map(|pos| pos + STATIC_TABLE.len() + 1)
+    }
+
+    /// Finds a 1-based index whose *name* matches.
+    pub fn find_name(&self, name: &str) -> Option<usize> {
+        if let Some(pos) = STATIC_TABLE.iter().position(|&(n, _)| n == name) {
+            return Some(pos + 1);
+        }
+        self.dynamic
+            .find_name(name)
+            .map(|pos| pos + STATIC_TABLE.len() + 1)
+    }
+
+    /// Inserts into the dynamic table.
+    pub fn insert(&mut self, field: HeaderField) {
+        self.dynamic.insert(field);
+    }
+
+    /// Resizes the dynamic table.
+    pub fn set_max_dynamic_size(&mut self, max: usize) {
+        self.dynamic.set_max_size(max);
+    }
+
+    /// Dynamic-table entry count (diagnostics).
+    pub fn dynamic_len(&self) -> usize {
+        self.dynamic.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_table_has_61_entries() {
+        assert_eq!(STATIC_TABLE.len(), 61);
+        assert_eq!(STATIC_TABLE[1], (":method", "GET"));
+        assert_eq!(STATIC_TABLE[7], (":status", "200"));
+        assert_eq!(STATIC_TABLE[60], ("www-authenticate", ""));
+    }
+
+    #[test]
+    fn field_size_rule() {
+        assert_eq!(HeaderField::new("a", "bc").hpack_size(), 35);
+    }
+
+    #[test]
+    fn dynamic_insert_and_lookup() {
+        let mut t = DynamicTable::new(4096);
+        t.insert(HeaderField::new("x-one", "1"));
+        t.insert(HeaderField::new("x-two", "2"));
+        assert_eq!(t.get(0).unwrap().name, "x-two"); // newest first
+        assert_eq!(t.get(1).unwrap().name, "x-one");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn dynamic_eviction_fifo() {
+        // Capacity for about two small entries.
+        let mut t = DynamicTable::new(80);
+        t.insert(HeaderField::new("a", "1")); // 34
+        t.insert(HeaderField::new("b", "2")); // 34
+        t.insert(HeaderField::new("c", "3")); // 34 — evicts "a"
+        assert_eq!(t.len(), 2);
+        assert!(t.find(&HeaderField::new("a", "1")).is_none());
+        assert!(t.find(&HeaderField::new("c", "3")).is_some());
+    }
+
+    #[test]
+    fn oversized_field_empties_table() {
+        let mut t = DynamicTable::new(40);
+        t.insert(HeaderField::new("a", "1"));
+        t.insert(HeaderField::new("name", "v".repeat(100)));
+        assert!(t.is_empty());
+        assert_eq!(t.size(), 0);
+    }
+
+    #[test]
+    fn resize_evicts() {
+        let mut t = DynamicTable::new(4096);
+        for i in 0..10 {
+            t.insert(HeaderField::new(format!("h{i}"), "v"));
+        }
+        t.set_max_size(70); // room for two ~35-byte entries
+        assert!(t.len() <= 2);
+    }
+
+    #[test]
+    fn combined_index_space() {
+        let mut idx = IndexTable::new(4096);
+        assert_eq!(idx.get(2).unwrap(), HeaderField::new(":method", "GET"));
+        assert_eq!(idx.get(0), None);
+        idx.insert(HeaderField::new("x-custom", "v"));
+        assert_eq!(idx.get(62).unwrap(), HeaderField::new("x-custom", "v"));
+        assert_eq!(idx.find(&HeaderField::new("x-custom", "v")), Some(62));
+        assert_eq!(idx.find(&HeaderField::new(":method", "GET")), Some(2));
+    }
+
+    #[test]
+    fn find_name_prefers_static() {
+        let mut idx = IndexTable::new(4096);
+        idx.insert(HeaderField::new("cookie", "session=1"));
+        assert_eq!(idx.find_name("cookie"), Some(32)); // static entry
+        assert_eq!(idx.find_name("x-missing"), None);
+    }
+
+    #[test]
+    fn dynamic_index_shifts_on_insert() {
+        let mut idx = IndexTable::new(4096);
+        idx.insert(HeaderField::new("first", "1"));
+        idx.insert(HeaderField::new("second", "2"));
+        assert_eq!(idx.get(62).unwrap().name, "second");
+        assert_eq!(idx.get(63).unwrap().name, "first");
+    }
+}

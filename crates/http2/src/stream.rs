@@ -1,0 +1,128 @@
+//! Stream identifiers and the per-stream state machine (RFC 7540 §5.1).
+
+use std::fmt;
+
+/// An HTTP/2 stream identifier (31 bits; 0 addresses the connection).
+///
+/// Client-initiated streams are odd, server-initiated even. New streams must
+/// use monotonically increasing ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// Stream 0: the connection itself (SETTINGS, PING, connection-level
+    /// WINDOW_UPDATE, GOAWAY).
+    pub const CONNECTION: StreamId = StreamId(0);
+
+    /// True for client-initiated streams.
+    pub fn is_client_initiated(self) -> bool {
+        self.0 % 2 == 1
+    }
+
+    /// The next stream id for the same initiator.
+    pub fn next_for_initiator(self) -> StreamId {
+        StreamId(self.0 + 2)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// RFC 7540 §5.1 stream states (PUSH_PROMISE "reserved" states are omitted —
+/// the model never pushes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// Not yet used.
+    Idle,
+    /// Both directions open.
+    Open,
+    /// We sent END_STREAM; the peer may still send.
+    HalfClosedLocal,
+    /// The peer sent END_STREAM; we may still send.
+    HalfClosedRemote,
+    /// Fully closed (normally or via RST_STREAM).
+    Closed,
+}
+
+impl StreamState {
+    /// True if the local endpoint may still send DATA/HEADERS.
+    pub fn can_send(self) -> bool {
+        matches!(self, StreamState::Open | StreamState::HalfClosedRemote)
+    }
+
+    /// True if frames from the peer are still expected.
+    pub fn can_receive(self) -> bool {
+        matches!(self, StreamState::Open | StreamState::HalfClosedLocal)
+    }
+
+    /// Transition after the local side sends END_STREAM.
+    pub fn on_local_end(self) -> StreamState {
+        match self {
+            StreamState::Open => StreamState::HalfClosedLocal,
+            StreamState::HalfClosedRemote => StreamState::Closed,
+            other => other,
+        }
+    }
+
+    /// Transition after the peer sends END_STREAM.
+    pub fn on_remote_end(self) -> StreamState {
+        match self {
+            StreamState::Open => StreamState::HalfClosedRemote,
+            StreamState::HalfClosedLocal => StreamState::Closed,
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity() {
+        assert!(StreamId(1).is_client_initiated());
+        assert!(StreamId(3).is_client_initiated());
+        assert!(!StreamId(2).is_client_initiated());
+        assert!(!StreamId::CONNECTION.is_client_initiated());
+    }
+
+    #[test]
+    fn next_preserves_parity() {
+        assert_eq!(StreamId(1).next_for_initiator(), StreamId(3));
+        assert_eq!(StreamId(2).next_for_initiator(), StreamId(4));
+    }
+
+    #[test]
+    fn lifecycle_normal() {
+        let s = StreamState::Open;
+        let s = s.on_local_end();
+        assert_eq!(s, StreamState::HalfClosedLocal);
+        assert!(!s.can_send());
+        assert!(s.can_receive());
+        let s = s.on_remote_end();
+        assert_eq!(s, StreamState::Closed);
+        assert!(!s.can_receive());
+    }
+
+    #[test]
+    fn lifecycle_remote_first() {
+        let s = StreamState::Open.on_remote_end();
+        assert_eq!(s, StreamState::HalfClosedRemote);
+        assert!(s.can_send());
+        assert_eq!(s.on_local_end(), StreamState::Closed);
+    }
+
+    #[test]
+    fn terminal_states_absorb() {
+        assert_eq!(StreamState::Closed.on_local_end(), StreamState::Closed);
+        assert_eq!(StreamState::Closed.on_remote_end(), StreamState::Closed);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", StreamId(7)), "s7");
+    }
+}

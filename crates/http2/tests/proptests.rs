@@ -1,0 +1,202 @@
+//! Property-based tests of the HTTP/2 substrate: codec and HPACK
+//! roundtrips over arbitrary inputs, and connection-level conservation
+//! laws under arbitrary interleavings.
+
+use h2priv_http2::hpack::{Decoder, Encoder, HeaderField};
+use h2priv_http2::{
+    encode_frame, ErrorCode, Frame, FrameDecoder, H2Config, H2Connection, H2Event, SendPolicy,
+    StreamId,
+};
+use proptest::prelude::*;
+
+fn arb_header() -> impl Strategy<Value = HeaderField> {
+    (
+        "[a-z][a-z0-9-]{0,20}",
+        proptest::string::string_regex("[ -~]{0,40}").unwrap(),
+    )
+        .prop_map(|(n, v)| HeaderField::new(n, v))
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (
+            1u32..1000,
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
+            .prop_map(|(id, end, data)| Frame::Data {
+                stream_id: StreamId(id),
+                end_stream: end,
+                data,
+            }),
+        (
+            1u32..1000,
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(id, end, block)| Frame::Headers {
+                stream_id: StreamId(id),
+                end_stream: end,
+                header_block: block,
+            }),
+        (1u32..1000, 0u32..14).prop_map(|(id, code)| Frame::RstStream {
+            stream_id: StreamId(id),
+            error_code: ErrorCode::from_u32(code),
+        }),
+        (any::<[u8; 8]>(), any::<bool>()).prop_map(|(data, ack)| Frame::Ping { ack, data }),
+        (0u32..1000, 1u32..0x7FFF_FFFF).prop_map(|(id, inc)| Frame::WindowUpdate {
+            stream_id: StreamId(id),
+            increment: inc,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any frame survives encode → decode byte-exactly.
+    #[test]
+    fn frame_codec_roundtrips(frame in arb_frame()) {
+        let wire = encode_frame(&frame);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&wire);
+        prop_assert_eq!(dec.next_frame().unwrap(), Some(frame));
+        prop_assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    /// A frame stream survives arbitrary re-chunking.
+    #[test]
+    fn frame_decoder_is_chunking_invariant(
+        frames in proptest::collection::vec(arb_frame(), 1..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let wire: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let mid = cut.index(wire.len().max(1));
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&wire[..mid]);
+        let mut got = Vec::new();
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        dec.push(&wire[mid..]);
+        while let Some(f) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// HPACK roundtrips arbitrary header lists through a shared stateful
+    /// encoder/decoder pair, across multiple blocks.
+    #[test]
+    fn hpack_roundtrips_statefully(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(arb_header(), 0..12), 1..6),
+    ) {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        for headers in &blocks {
+            let wire = enc.encode(headers);
+            let got = dec.decode(&wire).unwrap();
+            prop_assert_eq!(&got, headers);
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics (errors are fine).
+    #[test]
+    fn hpack_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = Decoder::new();
+        let _ = dec.decode(&bytes);
+    }
+
+    /// Frame decoding of arbitrary bytes never panics.
+    #[test]
+    fn frame_decoder_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&bytes);
+        for _ in 0..16 {
+            match dec.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Shuttles until quiescent; panics on protocol errors.
+fn shuttle(a: &mut H2Connection, b: &mut H2Connection) {
+    loop {
+        let mut moved = false;
+        while let Some(out) = a.poll_send() {
+            b.recv(&out.bytes).unwrap();
+            moved = true;
+        }
+        while let Some(out) = b.poll_send() {
+            a.recv(&out.bytes).unwrap();
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: every request gets a response; bytes sent on each
+    /// stream equal bytes received; the mux policy never loses data.
+    #[test]
+    fn connection_conserves_bytes(
+        sizes in proptest::collection::vec(1usize..30_000, 1..10),
+        policy in prop_oneof![
+            Just(SendPolicy::RoundRobin),
+            Just(SendPolicy::Sequential),
+            (0u64..1000).prop_map(|seed| SendPolicy::RandomOrder { seed }),
+        ],
+        chunk in 256usize..4096,
+    ) {
+        let mut client = H2Connection::new_client(H2Config::default());
+        let mut server = H2Connection::new_server(H2Config {
+            send_policy: policy,
+            data_chunk_size: chunk,
+            ..H2Config::default()
+        });
+        shuttle(&mut client, &mut server);
+        let ids: Vec<StreamId> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                client
+                    .open_stream(
+                        &[HeaderField::new(":path", format!("/{i}"))],
+                        true,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        shuttle(&mut client, &mut server);
+        while server.poll_event().is_some() {}
+        for (&id, &size) in ids.iter().zip(&sizes) {
+            server
+                .send_headers(id, &[HeaderField::new(":status", "200")], false)
+                .unwrap();
+            server
+                .send_data(id, &vec![id.0 as u8; size], true)
+                .unwrap();
+        }
+        shuttle(&mut client, &mut server);
+        let mut received = std::collections::HashMap::new();
+        while let Some(ev) = client.poll_event() {
+            if let H2Event::Data { stream_id, data, .. } = ev {
+                *received.entry(stream_id).or_insert(0usize) += data.len();
+            }
+        }
+        for (&id, &size) in ids.iter().zip(&sizes) {
+            prop_assert_eq!(received.get(&id).copied().unwrap_or(0), size);
+        }
+        prop_assert_eq!(
+            server.stats().data_bytes_sent,
+            client.stats().data_bytes_received
+        );
+    }
+}

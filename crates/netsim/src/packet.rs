@@ -1,0 +1,127 @@
+//! Packets and addressing.
+//!
+//! The simulator is generic over the payload type `P`; the h2priv stack
+//! instantiates it with a TCP segment. A [`Packet`] records its endpoints
+//! (final source and destination, not next hops), the number of bytes it
+//! occupies on the wire, and a unique id used for tracing.
+
+use std::fmt;
+
+/// Identifies a node within one [`Simulator`](crate::Simulator).
+///
+/// Node ids are dense indices assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Direction of travel through a gateway sitting between a "left" (client)
+/// and a "right" (server) side.
+///
+/// In the canonical h2priv topology, [`Dir::LeftToRight`] is
+/// client→server (requests) and [`Dir::RightToLeft`] is server→client
+/// (responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// From the left (client) side toward the right (server) side.
+    LeftToRight,
+    /// From the right (server) side toward the left (client) side.
+    RightToLeft,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::LeftToRight => Dir::RightToLeft,
+            Dir::RightToLeft => Dir::LeftToRight,
+        }
+    }
+
+    /// Index (0 or 1) for direction-keyed arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Dir::LeftToRight => 0,
+            Dir::RightToLeft => 1,
+        }
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dir::LeftToRight => write!(f, "c→s"),
+            Dir::RightToLeft => write!(f, "s→c"),
+        }
+    }
+}
+
+/// A packet in flight.
+///
+/// `wire_bytes` is the full on-the-wire size including all headers below the
+/// payload's own framing (for the h2priv stack: payload bytes + 40 bytes of
+/// modeled IP+TCP header). It drives link serialization delay and is the
+/// quantity an eavesdropper observes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<P> {
+    /// Originating endpoint.
+    pub src: NodeId,
+    /// Final destination endpoint.
+    pub dst: NodeId,
+    /// Total size on the wire, in bytes.
+    pub wire_bytes: u32,
+    /// Unique id, assigned by the simulator at send time (0 until sent).
+    pub id: u64,
+    /// The carried payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Creates a packet. The id is assigned by the simulator when the packet
+    /// is first sent.
+    pub fn new(src: NodeId, dst: NodeId, wire_bytes: u32, payload: P) -> Self {
+        Packet {
+            src,
+            dst,
+            wire_bytes,
+            id: 0,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_flip_roundtrip() {
+        assert_eq!(Dir::LeftToRight.flip(), Dir::RightToLeft);
+        assert_eq!(Dir::RightToLeft.flip(), Dir::LeftToRight);
+        assert_eq!(Dir::LeftToRight.flip().flip(), Dir::LeftToRight);
+    }
+
+    #[test]
+    fn dir_index_distinct() {
+        assert_ne!(Dir::LeftToRight.index(), Dir::RightToLeft.index());
+        assert!(Dir::LeftToRight.index() < 2 && Dir::RightToLeft.index() < 2);
+    }
+
+    #[test]
+    fn packet_new_has_unassigned_id() {
+        let p = Packet::new(NodeId(0), NodeId(2), 1500, ());
+        assert_eq!(p.id, 0);
+        assert_eq!(p.wire_bytes, 1500);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(format!("{}", Dir::LeftToRight), "c→s");
+        assert_eq!(format!("{}", Dir::RightToLeft), "s→c");
+    }
+}

@@ -1,0 +1,785 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulator`] owns the nodes, the links, the event queue and the run's
+//! RNG. Events are totally ordered by `(time, insertion sequence)`, so
+//! simultaneous events execute in a deterministic FIFO order and every run
+//! with the same seed and the same construction order is bit-identical.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::link::{Link, LinkConfig, LinkDrop, LinkStats};
+use crate::node::{Context, Effect, Node, TimerId};
+use crate::packet::{NodeId, Packet};
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Internal event kinds.
+#[derive(Debug)]
+enum Ev<P> {
+    /// A packet arrives at a node.
+    Deliver { to: NodeId, packet: Packet<P> },
+    /// A node's timer fires.
+    Timer {
+        node: NodeId,
+        token: u64,
+        id: TimerId,
+    },
+    /// A deferred transmission enters the outbound link of `from`.
+    Transmit { from: NodeId, packet: Packet<P> },
+}
+
+struct Entry<P> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev<P>,
+}
+
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for Entry<P> {}
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained: nothing left to do.
+    Quiescent,
+    /// A node requested a halt.
+    Halted,
+    /// The deadline passed with events still queued.
+    DeadlineReached,
+    /// The configured event budget was exhausted (safety valve against
+    /// livelocked protocols).
+    EventBudgetExhausted,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// Number of events processed.
+    pub events: u64,
+}
+
+/// Drop counters maintained by the engine (beyond per-link stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Packets abandoned because no route existed to their destination.
+    pub unroutable: u64,
+    /// Packets dropped by links (loss + overflow), summed over all links.
+    pub link_dropped: u64,
+}
+
+/// The discrete-event network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use h2priv_netsim::{
+///     Context, LinkConfig, Node, NodeId, Packet, SimDuration, Simulator,
+/// };
+///
+/// struct Pinger { peer: NodeId, got: u32 }
+/// impl Node<u32> for Pinger {
+///     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+///         ctx.send(Packet::new(ctx.node_id(), self.peer, 100, 7));
+///     }
+///     fn on_packet(&mut self, p: Packet<u32>, _ctx: &mut Context<'_, u32>) {
+///         self.got = p.payload;
+///     }
+/// }
+///
+/// let mut sim = Simulator::new(42);
+/// let a = sim.reserve_node_id();
+/// let b = sim.reserve_node_id();
+/// sim.install_node(a, Box::new(Pinger { peer: b, got: 0 }));
+/// sim.install_node(b, Box::new(Pinger { peer: a, got: 0 }));
+/// sim.add_link(a, b, LinkConfig::with_delay(SimDuration::from_millis(5)));
+/// let summary = sim.run();
+/// // Both pings were sent at t=0 and arrived after the 5 ms link delay.
+/// assert_eq!(summary.end_time.as_millis(), 5);
+/// ```
+pub struct Simulator<P> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry<P>>,
+    nodes: Vec<Option<Box<dyn Node<P>>>>,
+    links: HashMap<(usize, usize), Link>,
+    /// Next-hop cache: (from, dst) → neighbor. Invalidated on topology change.
+    route_cache: HashMap<(usize, usize), Option<usize>>,
+    cancelled: HashSet<u64>,
+    rng: SimRng,
+    timer_seq: u64,
+    packet_seq: u64,
+    started: bool,
+    halted: bool,
+    max_events: u64,
+    events_processed: u64,
+    stats: EngineStats,
+}
+
+impl<P: 'static> Simulator<P> {
+    /// Creates a simulator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            route_cache: HashMap::new(),
+            cancelled: HashSet::new(),
+            rng: SimRng::seed_from(seed),
+            timer_seq: 0,
+            packet_seq: 0,
+            started: false,
+            halted: false,
+            max_events: 200_000_000,
+            events_processed: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Caps the number of events a run may process (safety valve).
+    pub fn set_event_budget(&mut self, max_events: u64) {
+        self.max_events = max_events;
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node<P>>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Reserves a node id without installing the node yet. Useful when nodes
+    /// need to know each other's ids at construction time.
+    ///
+    /// # Panics
+    ///
+    /// The run panics (at [`Simulator::run`]) if a reserved id was never
+    /// filled with [`Simulator::install_node`].
+    pub fn reserve_node_id(&mut self) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(None);
+        id
+    }
+
+    /// Installs a node into a reserved id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not reserved or is already installed.
+    pub fn install_node(&mut self, id: NodeId, node: Box<dyn Node<P>>) {
+        let slot = self
+            .nodes
+            .get_mut(id.0)
+            .unwrap_or_else(|| panic!("install_node: unknown node id {id}"));
+        assert!(slot.is_none(), "install_node: node {id} already installed");
+        *slot = Some(node);
+    }
+
+    /// Connects `a` and `b` with symmetric links (one per direction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id does not exist.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) {
+        self.add_link_oneway(a, b, config.clone());
+        self.add_link_oneway(b, a, config);
+    }
+
+    /// Connects `from` → `to` with a single unidirectional link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id does not exist.
+    pub fn add_link_oneway(&mut self, from: NodeId, to: NodeId, config: LinkConfig) {
+        assert!(from.0 < self.nodes.len(), "add_link: unknown node {from}");
+        assert!(to.0 < self.nodes.len(), "add_link: unknown node {to}");
+        self.links.insert((from.0, to.0), Link::new(config));
+        self.route_cache.clear();
+    }
+
+    /// Replaces the configuration of the `from` → `to` link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist.
+    pub fn set_link_config(&mut self, from: NodeId, to: NodeId, config: LinkConfig) {
+        self.links
+            .get_mut(&(from.0, to.0))
+            .unwrap_or_else(|| panic!("set_link_config: no link {from}→{to}"))
+            .set_config(config);
+    }
+
+    /// Stats of the `from` → `to` link, if it exists.
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
+        self.links.get(&(from.0, to.0)).map(|l| l.stats())
+    }
+
+    /// Engine-level drop counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Runs until quiescent or halted.
+    pub fn run(&mut self) -> RunSummary {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until quiescent, halted, or `deadline` is reached (events at
+    /// exactly `deadline` still execute).
+    pub fn run_until(&mut self, deadline: SimTime) -> RunSummary {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                assert!(
+                    self.nodes[i].is_some(),
+                    "node n{i} was reserved but never installed"
+                );
+                self.dispatch_start(NodeId(i));
+                if self.halted {
+                    break;
+                }
+            }
+        }
+        while !self.halted {
+            if self.events_processed >= self.max_events {
+                return self.summary(StopReason::EventBudgetExhausted);
+            }
+            let Some(head) = self.queue.peek() else {
+                return self.summary(StopReason::Quiescent);
+            };
+            if head.at > deadline {
+                return self.summary(StopReason::DeadlineReached);
+            }
+            let entry = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.events_processed += 1;
+            match entry.ev {
+                Ev::Deliver { to, packet } => self.dispatch_packet(to, packet),
+                Ev::Timer { node, token, id } => {
+                    if self.cancelled.remove(&id.0) {
+                        continue;
+                    }
+                    self.dispatch_timer(node, token);
+                }
+                Ev::Transmit { from, packet } => self.transmit(from, packet),
+            }
+        }
+        self.summary(StopReason::Halted)
+    }
+
+    fn summary(&self, stop: StopReason) -> RunSummary {
+        RunSummary {
+            stop,
+            end_time: self.now,
+            events: self.events_processed,
+        }
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Ev<P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, ev });
+    }
+
+    fn dispatch_start(&mut self, node: NodeId) {
+        let mut boxed = self.nodes[node.0].take().expect("node present");
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node,
+                rng: &mut self.rng,
+                effects: &mut effects,
+                timer_seq: &mut self.timer_seq,
+            };
+            boxed.on_start(&mut ctx);
+        }
+        self.nodes[node.0] = Some(boxed);
+        self.apply_effects(node, effects);
+    }
+
+    fn dispatch_packet(&mut self, node: NodeId, packet: Packet<P>) {
+        let mut boxed = self.nodes[node.0].take().expect("node present");
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node,
+                rng: &mut self.rng,
+                effects: &mut effects,
+                timer_seq: &mut self.timer_seq,
+            };
+            boxed.on_packet(packet, &mut ctx);
+        }
+        self.nodes[node.0] = Some(boxed);
+        self.apply_effects(node, effects);
+    }
+
+    fn dispatch_timer(&mut self, node: NodeId, token: u64) {
+        let mut boxed = self.nodes[node.0].take().expect("node present");
+        let mut effects = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                node,
+                rng: &mut self.rng,
+                effects: &mut effects,
+                timer_seq: &mut self.timer_seq,
+            };
+            boxed.on_timer(token, &mut ctx);
+        }
+        self.nodes[node.0] = Some(boxed);
+        self.apply_effects(node, effects);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<P>>) {
+        for effect in effects {
+            match effect {
+                Effect::Send(packet) => self.transmit(node, packet),
+                Effect::SendAfter(delay, packet) => {
+                    let at = self.now + delay;
+                    self.schedule(at, Ev::Transmit { from: node, packet });
+                }
+                Effect::SetTimer { at, token, id } => {
+                    self.schedule(at, Ev::Timer { node, token, id });
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id.0);
+                }
+                Effect::Halt => {
+                    self.halted = true;
+                }
+            }
+        }
+    }
+
+    /// Sends `packet` from `from` onto the link toward the next hop for
+    /// `packet.dst`.
+    fn transmit(&mut self, from: NodeId, mut packet: Packet<P>) {
+        if packet.id == 0 {
+            self.packet_seq += 1;
+            packet.id = self.packet_seq;
+        }
+        let Some(next) = self.next_hop(from.0, packet.dst.0) else {
+            self.stats.unroutable += 1;
+            return;
+        };
+        let link = self
+            .links
+            .get_mut(&(from.0, next))
+            .expect("next_hop implies link exists");
+        match link.transmit(self.now, packet.wire_bytes, &mut self.rng) {
+            Ok(arrival) => {
+                self.schedule(
+                    arrival,
+                    Ev::Deliver {
+                        to: NodeId(next),
+                        packet,
+                    },
+                );
+            }
+            Err(LinkDrop::RandomLoss) | Err(LinkDrop::QueueOverflow) => {
+                self.stats.link_dropped += 1;
+            }
+        }
+    }
+
+    /// BFS next-hop routing over the link graph, memoized.
+    fn next_hop(&mut self, from: usize, dst: usize) -> Option<usize> {
+        if from == dst {
+            return None;
+        }
+        if let Some(hit) = self.route_cache.get(&(from, dst)) {
+            return *hit;
+        }
+        // Adjacency from link keys.
+        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(a, b) in self.links.keys() {
+            adj.entry(a).or_default().push(b);
+        }
+        for neighbors in adj.values_mut() {
+            neighbors.sort_unstable(); // determinism
+        }
+        // BFS from `from`, recording each node's parent.
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut frontier = std::collections::VecDeque::new();
+        frontier.push_back(from);
+        parent.insert(from, from);
+        while let Some(u) = frontier.pop_front() {
+            if u == dst {
+                break;
+            }
+            if let Some(neighbors) = adj.get(&u) {
+                for &v in neighbors {
+                    parent.entry(v).or_insert_with(|| {
+                        frontier.push_back(v);
+                        u
+                    });
+                }
+            }
+        }
+        let hop = if parent.contains_key(&dst) {
+            // Walk back from dst to the neighbor of `from`.
+            let mut cur = dst;
+            while parent[&cur] != from {
+                cur = parent[&cur];
+            }
+            Some(cur)
+        } else {
+            None
+        };
+        self.route_cache.insert((from, dst), hop);
+        hop
+    }
+}
+
+impl<P> std::fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::mbps;
+    use crate::middlebox::{GatewayNode, Passthrough};
+    use crate::rng::DurationDist;
+    use crate::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Echoes every packet back to its source, once.
+    struct Echo;
+    impl Node<u32> for Echo {
+        fn on_packet(&mut self, p: Packet<u32>, ctx: &mut Context<'_, u32>) {
+            if p.payload < 100 {
+                ctx.send(Packet::new(p.dst, p.src, p.wire_bytes, p.payload + 100));
+            }
+        }
+    }
+
+    /// Sends one packet at start and records replies + times.
+    struct Probe {
+        peer: NodeId,
+        log: Rc<RefCell<Vec<(SimTime, u32)>>>,
+    }
+    impl Node<u32> for Probe {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            ctx.send(Packet::new(ctx.node_id(), self.peer, 1000, 1));
+        }
+        fn on_packet(&mut self, p: Packet<u32>, ctx: &mut Context<'_, u32>) {
+            self.log.borrow_mut().push((ctx.now(), p.payload));
+        }
+    }
+
+    #[test]
+    fn two_node_round_trip() {
+        let mut sim = Simulator::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.reserve_node_id();
+        let b = sim.reserve_node_id();
+        sim.install_node(
+            a,
+            Box::new(Probe {
+                peer: b,
+                log: log.clone(),
+            }),
+        );
+        sim.install_node(b, Box::new(Echo));
+        sim.add_link(a, b, LinkConfig::with_delay(SimDuration::from_millis(25)));
+        let summary = sim.run();
+        assert_eq!(summary.stop, StopReason::Quiescent);
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0], (SimTime::from_millis(50), 101));
+    }
+
+    #[test]
+    fn three_node_chain_routes_through_gateway() {
+        let mut sim = Simulator::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.reserve_node_id();
+        let gw = sim.reserve_node_id();
+        let b = sim.reserve_node_id();
+        sim.install_node(
+            a,
+            Box::new(Probe {
+                peer: b,
+                log: log.clone(),
+            }),
+        );
+        sim.install_node(
+            gw,
+            Box::new(GatewayNode::<u32>::new(a, b).with_middlebox(Passthrough)),
+        );
+        sim.install_node(b, Box::new(Echo));
+        sim.add_link(a, gw, LinkConfig::with_delay(SimDuration::from_millis(10)));
+        sim.add_link(gw, b, LinkConfig::with_delay(SimDuration::from_millis(15)));
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        // 10 + 15 out, 15 + 10 back = 50 ms.
+        assert_eq!(log[0].0, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Node<u32> for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, u32>) {
+                self.fired.borrow_mut().push(token);
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(TimerNode {
+            fired: fired.clone(),
+        }));
+        sim.run();
+        assert_eq!(*fired.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct CancelNode {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Node<u32> for CancelNode {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                let id = ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.cancel_timer(id);
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, u32>) {
+                self.fired.borrow_mut().push(token);
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(CancelNode {
+            fired: fired.clone(),
+        }));
+        sim.run();
+        assert_eq!(*fired.borrow(), vec![2]);
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        struct Halter;
+        impl Node<u32> for Halter {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(10), 1);
+                ctx.set_timer(SimDuration::from_millis(20), 2);
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, u32>) {
+                if token == 1 {
+                    ctx.halt();
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(Halter));
+        let summary = sim.run();
+        assert_eq!(summary.stop, StopReason::Halted);
+        assert_eq!(summary.end_time, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn run_until_deadline() {
+        struct Ticker;
+        impl Node<u32> for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(Ticker));
+        let summary = sim.run_until(SimTime::from_millis(55));
+        assert_eq!(summary.stop, StopReason::DeadlineReached);
+        assert_eq!(summary.end_time, SimTime::from_millis(50));
+        // Resume and stop later.
+        let summary = sim.run_until(SimTime::from_millis(95));
+        assert_eq!(summary.end_time, SimTime::from_millis(90));
+    }
+
+    #[test]
+    fn event_budget_is_a_safety_valve() {
+        struct Ticker;
+        impl Node<u32> for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(Ticker));
+        sim.set_event_budget(100);
+        let summary = sim.run();
+        assert_eq!(summary.stop, StopReason::EventBudgetExhausted);
+        assert_eq!(summary.events, 100);
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        struct Lost;
+        impl Node<u32> for Lost {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                // Node 1 exists but has no links at all.
+                ctx.send(Packet::new(ctx.node_id(), NodeId(1), 10, 0));
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(Lost));
+        sim.add_node(Box::new(Echo));
+        sim.run();
+        assert_eq!(sim.stats().unroutable, 1);
+    }
+
+    #[test]
+    fn lossy_link_counts_drops() {
+        let mut sim = Simulator::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.reserve_node_id();
+        let b = sim.reserve_node_id();
+        sim.install_node(
+            a,
+            Box::new(Probe {
+                peer: b,
+                log: log.clone(),
+            }),
+        );
+        sim.install_node(b, Box::new(Echo));
+        sim.add_link(a, b, LinkConfig::default().loss(1.0));
+        sim.run();
+        assert!(log.borrow().is_empty());
+        assert_eq!(sim.stats().link_dropped, 1);
+        assert_eq!(sim.link_stats(a, b).unwrap().lost, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> Vec<(SimTime, u32)> {
+            let mut sim = Simulator::new(seed);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let a = sim.reserve_node_id();
+            let b = sim.reserve_node_id();
+            sim.install_node(
+                a,
+                Box::new(Probe {
+                    peer: b,
+                    log: log.clone(),
+                }),
+            );
+            sim.install_node(b, Box::new(Echo));
+            sim.add_link(
+                a,
+                b,
+                LinkConfig::with_delay(SimDuration::from_millis(5))
+                    .jitter(DurationDist::Uniform {
+                        lo: SimDuration::ZERO,
+                        hi: SimDuration::from_millis(20),
+                    })
+                    .bandwidth(mbps(100)),
+            );
+            sim.run();
+            let out = log.borrow().clone();
+            out
+        }
+        assert_eq!(run_once(77), run_once(77));
+        // Sanity: different seeds give different jitter.
+        assert_ne!(run_once(77), run_once(78));
+    }
+
+    #[test]
+    #[should_panic(expected = "never installed")]
+    fn reserved_but_uninstalled_node_panics() {
+        let mut sim: Simulator<u32> = Simulator::new(1);
+        let _ = sim.reserve_node_id();
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn add_link_unknown_node_panics() {
+        let mut sim: Simulator<u32> = Simulator::new(1);
+        let a = sim.add_node(Box::new(Echo));
+        sim.add_link(a, NodeId(9), LinkConfig::default());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        // Two timers at the same instant fire in arming order.
+        struct Same {
+            fired: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Node<u32> for Same {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(SimDuration::from_millis(5), 10);
+                ctx.set_timer(SimDuration::from_millis(5), 20);
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, token: u64, _ctx: &mut Context<'_, u32>) {
+                self.fired.borrow_mut().push(token);
+            }
+        }
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(Same {
+            fired: fired.clone(),
+        }));
+        sim.run();
+        assert_eq!(*fired.borrow(), vec![10, 20]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the simulator: conservation, ordering and
+//! timing invariants of links, gateways and the event engine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use h2priv_netsim::{
+    mbps, Context, DurationDist, GatewayNode, Link, LinkConfig, MbContext, Middlebox, Node, NodeId,
+    Packet, Passthrough, SimDuration, SimRng, SimTime, Simulator, Verdict,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A link's arrivals never precede its departures plus the propagation
+    /// delay, never regress (order preservation), and serialization is
+    /// work-conserving.
+    #[test]
+    fn link_timing_invariants(
+        delay_us in 0u64..100_000,
+        rate_mbps in 1u64..1_000,
+        sizes in proptest::collection::vec(40u32..1_500, 1..50),
+        send_gap_us in 0u64..2_000,
+        seed: u64,
+    ) {
+        let cfg = LinkConfig::with_delay(SimDuration::from_micros(delay_us))
+            .bandwidth(mbps(rate_mbps))
+            .jitter(DurationDist::Uniform {
+                lo: SimDuration::ZERO,
+                hi: SimDuration::from_micros(500),
+            });
+        let mut link = Link::new(cfg.clone());
+        let mut rng = SimRng::seed_from(seed);
+        let mut last_arrival = SimTime::ZERO;
+        let mut busy = SimTime::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let now = SimTime::from_micros(i as u64 * send_gap_us);
+            let arrival = link.transmit(now, size, &mut rng).unwrap();
+            // Lower bound: serialization from max(now, busy) + delay.
+            let start = now.max(busy);
+            let min_arrival = start + cfg.serialization_time(size)
+                + SimDuration::from_micros(delay_us);
+            busy = start + cfg.serialization_time(size);
+            prop_assert!(arrival >= min_arrival);
+            // Order preserved.
+            prop_assert!(arrival >= last_arrival);
+            last_arrival = arrival;
+        }
+        prop_assert_eq!(link.stats().delivered as usize, sizes.len());
+    }
+
+    /// Lossless links deliver every packet; stats add up.
+    #[test]
+    fn link_conservation(
+        sizes in proptest::collection::vec(40u32..1_500, 1..100),
+        seed: u64,
+    ) {
+        let mut link = Link::new(LinkConfig::default().bandwidth(mbps(100)));
+        let mut rng = SimRng::seed_from(seed);
+        for &s in &sizes {
+            link.transmit(SimTime::ZERO, s, &mut rng).unwrap();
+        }
+        let stats = link.stats();
+        prop_assert_eq!(stats.delivered as usize, sizes.len());
+        prop_assert_eq!(stats.delivered_bytes, sizes.iter().map(|&s| s as u64).sum::<u64>());
+        prop_assert_eq!(stats.lost, 0);
+        prop_assert_eq!(stats.overflowed, 0);
+    }
+}
+
+/// A middlebox that holds every n-th packet by a fixed amount and drops
+/// every m-th.
+struct PatternBox {
+    n: u64,
+    m: u64,
+    count: u64,
+    hold: SimDuration,
+}
+
+impl Middlebox<u32> for PatternBox {
+    fn process(&mut self, _p: &Packet<u32>, _ctx: &mut MbContext<'_>) -> Verdict {
+        self.count += 1;
+        if self.m > 0 && self.count.is_multiple_of(self.m) {
+            Verdict::Drop
+        } else if self.n > 0 && self.count.is_multiple_of(self.n) {
+            Verdict::Hold(self.hold)
+        } else {
+            Verdict::Forward
+        }
+    }
+}
+
+/// Sends `count` packets at fixed intervals; records receptions.
+struct Blaster {
+    peer: NodeId,
+    count: u32,
+    sent: u32,
+}
+impl Node<u32> for Blaster {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        ctx.set_timer(SimDuration::from_micros(100), 0);
+    }
+    fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+    fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_, u32>) {
+        ctx.send(Packet::new(ctx.node_id(), self.peer, 100, self.sent));
+        self.sent += 1;
+        if self.sent < self.count {
+            ctx.set_timer(SimDuration::from_micros(100), 0);
+        }
+    }
+}
+
+struct Collector {
+    got: Rc<RefCell<Vec<(SimTime, u32)>>>,
+}
+impl Node<u32> for Collector {
+    fn on_packet(&mut self, p: Packet<u32>, ctx: &mut Context<'_, u32>) {
+        self.got.borrow_mut().push((ctx.now(), p.payload));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Gateway conservation: forwarded + dropped == offered; held packets
+    /// arrive late but arrive.
+    #[test]
+    fn gateway_conserves_packets(
+        count in 1u32..80,
+        n in 0u64..6,
+        m in 0u64..6,
+        hold_ms in 1u64..50,
+    ) {
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulator::new(1);
+        let client = sim.reserve_node_id();
+        let gw = sim.reserve_node_id();
+        let server = sim.reserve_node_id();
+        sim.install_node(client, Box::new(Blaster { peer: server, count, sent: 0 }));
+        sim.install_node(
+            gw,
+            Box::new(
+                GatewayNode::<u32>::new(client, server)
+                    .with_middlebox(PatternBox {
+                        n,
+                        m,
+                        count: 0,
+                        hold: SimDuration::from_millis(hold_ms),
+                    })
+                    .with_middlebox(Passthrough),
+            ),
+        );
+        sim.install_node(server, Box::new(Collector { got: got.clone() }));
+        sim.add_link(client, gw, LinkConfig::with_delay(SimDuration::from_micros(500)));
+        sim.add_link(gw, server, LinkConfig::with_delay(SimDuration::from_micros(500)));
+        sim.run();
+        let received = got.borrow().len() as u64;
+        // Count expected drops.
+        let dropped = if m > 0 { (1..=count as u64).filter(|i| i % m == 0).count() as u64 } else { 0 };
+        prop_assert_eq!(received + dropped, count as u64);
+        // Payloads are unique (no duplication).
+        let mut payloads: Vec<u32> = got.borrow().iter().map(|&(_, p)| p).collect();
+        payloads.sort_unstable();
+        payloads.dedup();
+        prop_assert_eq!(payloads.len() as u64, received);
+    }
+
+    /// Determinism: identical seeds and topology produce identical
+    /// delivery schedules even with jitter.
+    #[test]
+    fn engine_is_deterministic(seed: u64, count in 1u32..40) {
+        let run = |seed| {
+            let got = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Simulator::new(seed);
+            let a = sim.reserve_node_id();
+            let b = sim.reserve_node_id();
+            sim.install_node(a, Box::new(Blaster { peer: b, count, sent: 0 }));
+            sim.install_node(b, Box::new(Collector { got: got.clone() }));
+            sim.add_link(
+                a,
+                b,
+                LinkConfig::with_delay(SimDuration::from_micros(300))
+                    .bandwidth(mbps(10))
+                    .jitter(DurationDist::Exponential {
+                        mean: SimDuration::from_micros(400),
+                    }),
+            );
+            sim.run();
+            let v = got.borrow().clone();
+            v
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

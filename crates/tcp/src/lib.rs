@@ -1,0 +1,41 @@
+//! # h2priv-tcp — the TCP substrate
+//!
+//! Part of the `h2priv` reproduction of *"Depending on HTTP/2 for Privacy?
+//! Good Luck!"* (DSN 2020). The paper's attack never touches HTTP/2 frames
+//! directly; every lever works by provoking TCP mechanisms:
+//!
+//! * injected **jitter** delays GET requests past the client's RTO, causing
+//!   the "bunch of retransmission requests" of §IV-B — implemented by
+//!   [`RttEstimator`] (RFC 6298 with backoff) and the go-back-N /
+//!   fast-retransmit paths of [`TcpConnection`];
+//! * **bandwidth throttling** shrinks the bandwidth-delay product so "the
+//!   TCP protocol … responds by decreasing the size of the TCP sender
+//!   window" (§IV-C) — implemented by [`NewReno`] congestion control;
+//! * **targeted drops** push the connection into repeated timeouts with
+//!   exponentially backed-off RTOs, and eventually the "broken connection"
+//!   abort the paper reports at extreme settings — implemented by the
+//!   consecutive-timeout limit in [`TcpConnection`].
+//!
+//! The stack is sans-IO: segments in via [`TcpConnection::on_segment`],
+//! segments out via [`TcpConnection::poll_transmit`], time via
+//! [`TcpConnection::on_tick`]. `h2priv-testkit` adapts it onto
+//! `h2priv-netsim` nodes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod congestion;
+mod connection;
+mod reassembly;
+mod rtt;
+mod segment;
+mod seq;
+mod stats;
+
+pub use congestion::{CcPhase, NewReno};
+pub use connection::{AbortReason, TcpConfig, TcpConnection, TcpState};
+pub use reassembly::Reassembler;
+pub use rtt::RttEstimator;
+pub use segment::{TcpFlags, TcpSegment, DEFAULT_MSS, HEADER_BYTES};
+pub use seq::Seq;
+pub use stats::TcpStats;

@@ -1,0 +1,186 @@
+//! Round-trip-time estimation and retransmission timeout (RFC 6298).
+//!
+//! The attack's timing lever works *through* this machinery: when the
+//! adversary holds a GET request at the gateway, the client's RTO — grown
+//! from smoothed RTT — eventually fires and the request is retransmitted,
+//! which is the "bunch of retransmission requests" the paper observes under
+//! heavy jitter (§IV-B). Karn's algorithm (no samples from retransmitted
+//! segments) and exponential backoff are both implemented because both are
+//! load-bearing: backoff is what makes the client "wait for a longer time
+//! before attempting to send fast-retransmission requests" after the forced
+//! stream reset (§IV-D).
+
+use h2priv_netsim::SimDuration;
+
+/// RFC 6298 RTT estimator with exponential RTO backoff.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff_exp: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl RttEstimator {
+    /// Creates an estimator.
+    ///
+    /// `initial_rto` applies before any sample (RFC 6298 recommends 1 s);
+    /// `min_rto`/`max_rto` clamp the computed value.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: initial_rto,
+            backoff_exp: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Current retransmission timeout, including any backoff.
+    pub fn rto(&self) -> SimDuration {
+        let backed_off = self.rto * 2u64.saturating_pow(self.backoff_exp);
+        backed_off.min(self.max_rto)
+    }
+
+    /// Current backoff exponent (0 when no timeouts are outstanding).
+    pub fn backoff_exp(&self) -> u32 {
+        self.backoff_exp
+    }
+
+    /// Feeds one RTT sample from a segment that was *not* retransmitted
+    /// (Karn's algorithm is the caller's responsibility: never sample a
+    /// retransmitted segment).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - RTT|
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = self.rttvar.mul_f64(0.75) + delta.mul_f64(0.25);
+                // SRTT = 7/8 SRTT + 1/8 RTT
+                self.srtt = Some(srtt.mul_f64(0.875) + rtt.mul_f64(0.125));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        let raw = srtt + (self.rttvar * 4).max(SimDuration::from_millis(1));
+        self.rto = raw.max(self.min_rto).min(self.max_rto);
+        // A valid sample means the network is delivering: clear backoff.
+        self.backoff_exp = 0;
+    }
+
+    /// Doubles the RTO after a retransmission timeout.
+    pub fn on_timeout(&mut self) {
+        self.backoff_exp = self.backoff_exp.saturating_add(1).min(16);
+    }
+
+    /// Clears backoff after forward progress (a new cumulative ACK).
+    pub fn on_progress(&mut self) {
+        self.backoff_exp = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        let e = est();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = SRTT + 4 * RTTVAR = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_converge() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.on_sample(SimDuration::from_millis(100));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 100.0).abs() < 1.0, "srtt = {srtt}");
+        // Variance decays toward zero; RTO approaches the min clamp region.
+        assert!(e.rto() <= SimDuration::from_millis(300));
+        assert!(e.rto() >= SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn min_rto_clamps() {
+        let mut e = est();
+        for _ in 0..200 {
+            e.on_sample(SimDuration::from_millis(10));
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn timeout_backoff_doubles() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 2);
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 4);
+        e.on_progress();
+        assert_eq!(e.rto(), base);
+    }
+
+    #[test]
+    fn max_rto_caps_backoff() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        for _ in 0..30 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn sample_clears_backoff() {
+        let mut e = est();
+        e.on_sample(SimDuration::from_millis(100));
+        e.on_timeout();
+        assert!(e.backoff_exp() > 0);
+        e.on_sample(SimDuration::from_millis(100));
+        assert_eq!(e.backoff_exp(), 0);
+    }
+
+    #[test]
+    fn variance_grows_on_jitter() {
+        let mut stable = est();
+        let mut jittery = est();
+        for i in 0..50 {
+            stable.on_sample(SimDuration::from_millis(100));
+            jittery.on_sample(SimDuration::from_millis(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+}

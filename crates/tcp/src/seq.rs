@@ -1,0 +1,119 @@
+//! 32-bit TCP sequence-number arithmetic (RFC 793 / RFC 1982).
+//!
+//! Sequence numbers wrap; comparisons are defined relative to a window of
+//! half the space. Internally the connection tracks 64-bit stream offsets
+//! and converts at the wire boundary, but the wire format — and therefore
+//! everything the passive monitor sees — uses real wrapping 32-bit values.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A 32-bit wrapping TCP sequence number.
+///
+/// # Examples
+///
+/// ```
+/// use h2priv_tcp::Seq;
+///
+/// let a = Seq(u32::MAX - 1);
+/// let b = a + 4; // wraps
+/// assert_eq!(b, Seq(2));
+/// assert!(a.lt(b));
+/// assert_eq!(b - a, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Seq(pub u32);
+
+impl Seq {
+    /// Wrapping-less-than: true iff `self` precedes `other` within half the
+    /// sequence space.
+    pub fn lt(self, other: Seq) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// Wrapping `self <= other`.
+    pub fn leq(self, other: Seq) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// Wrapping-greater-than.
+    pub fn gt(self, other: Seq) -> bool {
+        other.lt(self)
+    }
+
+    /// Wrapping `self >= other`.
+    pub fn geq(self, other: Seq) -> bool {
+        self == other || self.gt(other)
+    }
+
+    /// The later of two sequence numbers (wrapping order).
+    pub fn max(self, other: Seq) -> Seq {
+        if self.geq(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u32> for Seq {
+    type Output = Seq;
+    fn add(self, rhs: u32) -> Seq {
+        Seq(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Sub<Seq> for Seq {
+    type Output = u32;
+    /// Wrapping distance from `rhs` forward to `self`.
+    fn sub(self, rhs: Seq) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        assert!(Seq(1).lt(Seq(2)));
+        assert!(!Seq(2).lt(Seq(1)));
+        assert!(!Seq(5).lt(Seq(5)));
+        assert!(Seq(5).leq(Seq(5)));
+        assert!(Seq(9).gt(Seq(3)));
+        assert!(Seq(9).geq(Seq(9)));
+    }
+
+    #[test]
+    fn wrapping_ordering() {
+        let near_max = Seq(u32::MAX - 10);
+        let wrapped = Seq(5);
+        assert!(near_max.lt(wrapped));
+        assert!(wrapped.gt(near_max));
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(Seq(u32::MAX) + 1, Seq(0));
+        assert_eq!(Seq(u32::MAX - 2) + 5, Seq(2));
+    }
+
+    #[test]
+    fn sub_is_forward_distance() {
+        assert_eq!(Seq(10) - Seq(4), 6);
+        assert_eq!(Seq(2) - Seq(u32::MAX - 1), 4);
+    }
+
+    #[test]
+    fn max_uses_wrapping_order() {
+        assert_eq!(Seq(5).max(Seq(9)), Seq(9));
+        assert_eq!(Seq(5).max(Seq(u32::MAX)), Seq(5)); // MAX precedes 5 here
+    }
+}

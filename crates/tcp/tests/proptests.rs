@@ -1,0 +1,209 @@
+//! Property-based tests of the TCP substrate: whatever the network does —
+//! loss, reordering, duplication — an established connection must deliver
+//! the exact byte stream, in order, or abort cleanly.
+
+use h2priv_netsim::{SimDuration, SimTime};
+use h2priv_tcp::{Reassembler, Seq, TcpConfig, TcpConnection, TcpSegment};
+use proptest::prelude::*;
+
+// ---------- sequence arithmetic ------------------------------------------
+
+proptest! {
+    #[test]
+    fn seq_ordering_is_antisymmetric(a: u32, b: u32) {
+        let (sa, sb) = (Seq(a), Seq(b));
+        if sa != sb {
+            prop_assert_ne!(sa.lt(sb), sb.lt(sa));
+        } else {
+            prop_assert!(!sa.lt(sb) && !sb.lt(sa));
+        }
+    }
+
+    #[test]
+    fn seq_add_then_sub_roundtrips(a: u32, d in 0u32..=i32::MAX as u32) {
+        let s = Seq(a);
+        prop_assert_eq!((s + d) - s, d);
+        if d > 0 {
+            prop_assert!(s.lt(s + d));
+        }
+    }
+}
+
+// ---------- reassembly ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Chunks delivered in any order, with arbitrary duplication, always
+    /// reassemble to the original stream.
+    #[test]
+    fn reassembly_is_order_and_duplication_invariant(
+        len in 1usize..5_000,
+        chunk in 1usize..700,
+        order in proptest::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let chunks: Vec<(u64, &[u8])> = data
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| ((i * chunk) as u64, c))
+            .collect();
+        let mut r = Reassembler::new();
+        // A shuffled pass with duplicates...
+        for idx in &order {
+            let (off, c) = chunks[idx.index(chunks.len())];
+            r.insert(off, c);
+        }
+        // ...then one in-order pass to guarantee completeness.
+        for &(off, c) in &chunks {
+            r.insert(off, c);
+        }
+        prop_assert_eq!(r.read(), data);
+        prop_assert_eq!(r.pending_bytes(), 0);
+    }
+
+    /// Overlapping retransmissions never corrupt previously released data.
+    #[test]
+    fn reassembly_overlaps_never_corrupt(
+        len in 2usize..2_000,
+        cut in 1usize..1_999,
+    ) {
+        let cut = cut.min(len - 1);
+        let data: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+        let mut r = Reassembler::new();
+        r.insert(0, &data[..cut]);
+        let first = r.read();
+        prop_assert_eq!(&first[..], &data[..cut]);
+        // Retransmit everything from zero.
+        r.insert(0, &data);
+        let rest = r.read();
+        prop_assert_eq!(&rest[..], &data[cut..]);
+    }
+}
+
+// ---------- full connections over adversarial "networks" ------------------
+
+/// Drives two connections over a deterministic lossy/reordering channel
+/// derived from `pattern`. Returns what the server received (None if the
+/// client aborted).
+fn run_over_channel(data: &[u8], pattern: u64, drop_mod: u64) -> Option<Vec<u8>> {
+    let mut client = TcpConnection::client(TcpConfig::default());
+    let mut server = TcpConnection::server(TcpConfig {
+        iss: Seq(50_000),
+        ..TcpConfig::default()
+    });
+    client.write(data);
+    let mut state = pattern | 1;
+    let mut step = |seg: TcpSegment,
+                    to_server: bool,
+                    c: &mut TcpConnection,
+                    s: &mut TcpConnection,
+                    now: SimTime,
+                    held: &mut Vec<(bool, TcpSegment)>| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        match state % drop_mod {
+            0 => {}                           // drop
+            1 => held.push((to_server, seg)), // delay (reorder)
+            _ => {
+                if to_server {
+                    s.on_segment(seg, now);
+                } else {
+                    c.on_segment(seg, now);
+                }
+            }
+        }
+    };
+    let mut held: Vec<(bool, TcpSegment)> = Vec::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..3_000 {
+        let mut moved = false;
+        while let Some(seg) = client.poll_transmit(now) {
+            step(seg, true, &mut client, &mut server, now, &mut held);
+            moved = true;
+        }
+        while let Some(seg) = server.poll_transmit(now) {
+            step(seg, false, &mut client, &mut server, now, &mut held);
+            moved = true;
+        }
+        // Deliver one held (reordered) segment per round.
+        if let Some((to_server, seg)) = held.pop() {
+            if to_server {
+                server.on_segment(seg, now);
+            } else {
+                client.on_segment(seg, now);
+            }
+            moved = true;
+        }
+        if client.is_aborted() || server.is_aborted() {
+            return None;
+        }
+        if !moved {
+            // Advance to the next retransmission deadline.
+            let next = [client.poll_timeout(), server.poll_timeout()]
+                .into_iter()
+                .flatten()
+                .min();
+            match next {
+                Some(deadline) => {
+                    now = deadline;
+                    client.on_tick(now);
+                    server.on_tick(now);
+                }
+                None => break,
+            }
+        } else {
+            now += SimDuration::from_micros(100);
+        }
+    }
+    Some(server.read())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// With loss and reordering, TCP delivers the exact stream (or the
+    /// endpoint gives up after its timeout budget — never corruption).
+    #[test]
+    fn tcp_delivers_exactly_despite_loss_and_reordering(
+        len in 1usize..30_000,
+        pattern: u64,
+        drop_mod in 4u64..20,
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 255) as u8).collect();
+        if let Some(received) = run_over_channel(&data, pattern, drop_mod) {
+            prop_assert_eq!(received, data);
+        }
+    }
+
+    /// On a perfect channel, delivery is guaranteed and retransmission-free.
+    #[test]
+    fn tcp_clean_channel_no_retransmissions(len in 1usize..20_000, pattern: u64) {
+        let data: Vec<u8> = (0..len).map(|i| (i % 253) as u8).collect();
+        let mut client = TcpConnection::client(TcpConfig::default());
+        let mut server = TcpConnection::server(TcpConfig {
+            iss: Seq(1),
+            ..TcpConfig::default()
+        });
+        let _ = pattern;
+        client.write(&data);
+        let mut now = SimTime::ZERO;
+        for _ in 0..2_000 {
+            let mut moved = false;
+            while let Some(seg) = client.poll_transmit(now) {
+                server.on_segment(seg, now);
+                moved = true;
+            }
+            while let Some(seg) = server.poll_transmit(now) {
+                client.on_segment(seg, now);
+                moved = true;
+            }
+            if !moved { break; }
+            now += SimDuration::from_millis(1);
+        }
+        prop_assert_eq!(server.read(), data);
+        prop_assert_eq!(client.stats().retransmissions, 0);
+        prop_assert_eq!(client.stats().timeouts, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Calibration constants mapping the simulator onto the paper's testbed.
+//!
+//! Each constant cites the paper sentence (or the physical reasoning) that
+//! pins it. They are *defaults*; every experiment can override them, and
+//! the ablation benches sweep several on purpose.
+
+use h2priv_netsim::{mbps, BitsPerSec, DurationDist, SimDuration};
+
+/// Lab client ↔ gateway propagation delay. The volunteers' machines and
+/// the gateway are on the same 1 Gbps LAN (§V "Adversary Setup").
+pub const CLIENT_GW_DELAY: SimDuration = SimDuration::from_millis(1);
+
+/// Gateway ↔ isidewith server propagation delay. The paper gives no RTT,
+/// but its attack arithmetic pins the scale: a 5–16 KB emblem image must
+/// be fully served (response HEADERS round trip + one congestion-window
+/// burst) inside the 80 ms post-reset request spacing, or a service
+/// backlog builds and re-multiplexes the tail. That requires an RTT around
+/// 20 ms — a CDN-edge-served site, which isidewith.com was.
+pub const GW_SERVER_DELAY: SimDuration = SimDuration::from_millis(9);
+
+/// Access-link rate on the lab hop (§V: "our lab's gateway (with 1 Gbps
+/// link)").
+pub const LINK_BANDWIDTH: BitsPerSec = mbps(1_000);
+
+/// Bottleneck rate of the WAN hop to the server — the per-connection
+/// goodput the paper's measurements imply: with requests ~500 ms apart,
+/// the preceding few-hundred-KB objects must still be streaming when the
+/// HTML is served (its baseline degree is ≈ 98 %), so page assets take
+/// hundreds of milliseconds each.
+pub const WAN_BANDWIDTH: BitsPerSec = mbps(16);
+
+/// Drop-tail queue at the WAN bottleneck. Overflow losses are what cap the
+/// congestion window in steady state (Reno sawtooth around BDP + queue).
+pub const WAN_QUEUE_BYTES: u64 = 64 * 1024;
+
+/// Independent random loss on the WAN hop. Real paths lose the occasional
+/// packet; this is what gives Table I its nonzero retransmission baseline.
+pub const WAN_LOSS: f64 = 0.0005;
+
+/// Natural network jitter on the WAN hop. Produces the paper's baseline
+/// spread (Table I row 0: even unattacked, the HTML is un-multiplexed in
+/// ~32 % of loads).
+pub fn natural_jitter() -> DurationDist {
+    DurationDist::Normal {
+        mean: SimDuration::from_micros(1_500),
+        std_dev: SimDuration::from_micros(800),
+    }
+}
+
+/// Server worker latency: time from request arrival to the worker handing
+/// bytes to the mux (application/cache service time).
+pub fn worker_latency() -> DurationDist {
+    DurationDist::Exponential {
+        mean: SimDuration::from_millis(5),
+    }
+}
+
+/// Multiplicative noise on browser think-time gaps (volunteers' natural
+/// variation; micro-gaps between scripted image requests stay microscopic
+/// because the noise is proportional).
+pub const GAP_NOISE_FRAC: f64 = 0.12;
+
+/// Browser stall timeout before it resets a silent stream and re-requests.
+/// §IV-D: the adversary drops packets "for 6 seconds until the client
+/// sends stream reset" — the reset fires a little before the drop window
+/// ends.
+pub const STALL_TIMEOUT: SimDuration = SimDuration::from_secs(5);
+
+/// Per-stream flow-control window advertised by the modeled Firefox.
+/// Firefox keeps per-stream credit far ahead of delivery (aggressive
+/// WINDOW_UPDATE cadence); modeled as a large initial window so stream
+/// flow control never throttles a transfer. This matters under attack:
+/// stream WINDOW_UPDATE bytes queue behind adversary-held GETs in TCP
+/// order, and a binding stream window would couple the held requests to
+/// ongoing transfers.
+pub const CLIENT_STREAM_WINDOW: u32 = 2 * 1024 * 1024;
+
+/// Connection-level window bonus announced by the client at startup.
+/// Firefox raises the 64 KiB RFC default to ~12 MiB immediately; with
+/// this, HTTP/2 flow control never throttles a page load — crucial under
+/// attack, where the client's own WINDOW_UPDATE bytes would otherwise
+/// queue behind its adversary-held GETs in TCP order and starve the
+/// server of credit.
+pub const CLIENT_CONN_WINDOW_BONUS: u32 = 12 * 1024 * 1024;
+
+/// Mux write granularity: bytes of one stream per DATA frame. Matches
+/// real servers writing ~2–4 KiB buffers; small enough that 5–16 KB
+/// emblem images span several frames and can visibly interleave.
+pub const DATA_CHUNK_SIZE: usize = 2_048;
+
+/// Modeled kernel socket send-buffer size (bytes). Real servers write
+/// responses through a bounded socket buffer; the resulting backpressure
+/// keeps several streams pending in the HTTP/2 mux at once, which is the
+/// precondition for multiplexed transmission.
+pub const SOCKET_BUFFER: usize = 40 * 1024;
+
+/// Hard wall-clock cap for one page-load trial (simulated time).
+pub const TRIAL_DEADLINE: SimDuration = SimDuration::from_secs(120);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_fits_the_attack_arithmetic() {
+        // Service time ≈ 2–3 RTT for a 5–16 KB emblem must fit inside the
+        // paper's 80 ms post-reset spacing.
+        let rtt = (CLIENT_GW_DELAY + GW_SERVER_DELAY) * 2;
+        assert!(rtt.as_millis() * 3 <= 80, "rtt = {rtt}");
+    }
+
+    #[test]
+    fn stall_timeout_below_drop_window() {
+        // §IV-D drops for 6 s; the reset must fire within that window.
+        assert!(STALL_TIMEOUT < SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn chunk_smaller_than_emblems() {
+        const { assert!(DATA_CHUNK_SIZE * 2 < 5_200) }
+    }
+}

@@ -1,0 +1,482 @@
+//! The simulated host: a full protocol stack on one netsim node.
+//!
+//! A [`Host`] owns a [`TcpConnection`], a [`TlsSession`], an
+//! [`H2Connection`] and an application (the [`Browser`] on the client, the
+//! [`SiteServer`] on the server), and pumps bytes between the layers on
+//! every packet and timer event. The server host additionally annotates,
+//! at TLS-seal time, which TCP byte ranges carry which response's frames —
+//! the [`GroundTruth`] used to score the attack.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use h2priv_analysis::GroundTruth;
+use h2priv_http2::{
+    ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId,
+};
+use h2priv_netsim::{Context, Node, NodeId, Packet, SimTime, TimerId};
+use h2priv_tcp::{AbortReason, TcpConfig, TcpConnection, TcpSegment, TcpStats};
+use h2priv_tls::{Role, TlsSession};
+use h2priv_web::{Browser, BrowserCmd, ObjectId, SiteServer};
+
+const TOKEN_TCP: u64 = 0;
+const TOKEN_APP: u64 = 1;
+
+/// The application running on a host.
+#[derive(Debug)]
+pub enum App {
+    /// A browser (client role).
+    Client(Browser),
+    /// A website server.
+    Server(SiteServer),
+}
+
+/// Shared, inspectable state of one host.
+#[derive(Debug)]
+pub struct HostCore {
+    /// Protocol stack.
+    pub tcp: TcpConnection,
+    tls: TlsSession,
+    /// HTTP/2 connection (public for post-run stats inspection).
+    pub h2: H2Connection,
+    /// The application.
+    pub app: App,
+    /// Ground truth collected at seal time (server writes; client ignores).
+    truth: Rc<RefCell<GroundTruth>>,
+    /// stream → object being served (server side).
+    stream_objects: HashMap<StreamId, ObjectId>,
+    /// True once the TLS handshake completed.
+    tls_established: bool,
+    /// The peer's node id.
+    peer: NodeId,
+    /// Set when the connection failed at any layer.
+    pub dead: bool,
+    /// Halt the whole simulation when this host is finished (client).
+    halt_when_done: bool,
+    authority: String,
+    /// Modeled kernel socket send-buffer size: the HTTP/2 mux is pulled
+    /// only while TCP's unacknowledged backlog is below this. This
+    /// backpressure is what keeps several response streams pending in the
+    /// mux simultaneously — i.e. what makes multiplexing happen at all.
+    socket_buffer: usize,
+}
+
+impl HostCore {
+    /// Client/server TCP statistics.
+    pub fn tcp_stats(&self) -> TcpStats {
+        *self.tcp.stats()
+    }
+
+    /// Why TCP aborted, if it did.
+    pub fn abort_reason(&self) -> Option<AbortReason> {
+        self.tcp.abort_reason()
+    }
+
+    /// The browser, if this is a client host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a server host.
+    pub fn browser(&self) -> &Browser {
+        match &self.app {
+            App::Client(b) => b,
+            App::Server(_) => panic!("not a client host"),
+        }
+    }
+
+    /// The server application, if this is a server host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a client host.
+    pub fn server(&self) -> &SiteServer {
+        match &self.app {
+            App::Server(s) => s,
+            App::Client(_) => panic!("not a server host"),
+        }
+    }
+
+    fn is_client(&self) -> bool {
+        matches!(self.app, App::Client(_))
+    }
+}
+
+/// The netsim node wrapping a [`HostCore`].
+pub struct Host {
+    core: Rc<RefCell<HostCore>>,
+    tcp_timer: Option<TimerId>,
+    app_timer: Option<TimerId>,
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host").finish_non_exhaustive()
+    }
+}
+
+impl Host {
+    /// Creates a client host running `browser`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn client(
+        peer: NodeId,
+        browser: Browser,
+        tcp: TcpConfig,
+        h2: H2Config,
+        session_key: u64,
+        authority: impl Into<String>,
+        truth: Rc<RefCell<GroundTruth>>,
+        socket_buffer: usize,
+    ) -> (Self, Rc<RefCell<HostCore>>) {
+        let core = Rc::new(RefCell::new(HostCore {
+            tcp: TcpConnection::client(tcp),
+            tls: TlsSession::new(Role::Client, session_key),
+            h2: H2Connection::new_client(h2),
+            app: App::Client(browser),
+            truth,
+            stream_objects: HashMap::new(),
+            tls_established: false,
+            peer,
+            dead: false,
+            halt_when_done: true,
+            authority: authority.into(),
+            socket_buffer,
+        }));
+        (
+            Host {
+                core: core.clone(),
+                tcp_timer: None,
+                app_timer: None,
+            },
+            core,
+        )
+    }
+
+    /// Creates a server host running `server`.
+    pub fn server(
+        peer: NodeId,
+        server: SiteServer,
+        tcp: TcpConfig,
+        h2: H2Config,
+        session_key: u64,
+        truth: Rc<RefCell<GroundTruth>>,
+        socket_buffer: usize,
+    ) -> (Self, Rc<RefCell<HostCore>>) {
+        let core = Rc::new(RefCell::new(HostCore {
+            tcp: TcpConnection::server(tcp),
+            tls: TlsSession::new(Role::Server, session_key),
+            h2: H2Connection::new_server(h2),
+            app: App::Server(server),
+            truth,
+            stream_objects: HashMap::new(),
+            tls_established: false,
+            peer,
+            dead: false,
+            halt_when_done: false,
+            authority: String::new(),
+            socket_buffer,
+        }));
+        (
+            Host {
+                core: core.clone(),
+                tcp_timer: None,
+                app_timer: None,
+            },
+            core,
+        )
+    }
+
+    fn pump(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        let core = self.core.clone();
+        let mut core = core.borrow_mut();
+        core.pump(ctx);
+        // Re-arm timers from the post-pump state.
+        if let Some(id) = self.tcp_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        if let Some(id) = self.app_timer.take() {
+            ctx.cancel_timer(id);
+        }
+        if core.dead {
+            return;
+        }
+        if let Some(at) = core.tcp.poll_timeout() {
+            self.tcp_timer = Some(ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_TCP));
+        }
+        let app_at = match &core.app {
+            App::Client(b) => b.next_wakeup(),
+            App::Server(s) => s.next_wakeup(),
+        };
+        if let Some(at) = app_at {
+            self.app_timer = Some(ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_APP));
+        }
+    }
+}
+
+impl Node<TcpSegment> for Host {
+    fn on_start(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        {
+            let mut core = self.core.borrow_mut();
+            if core.is_client() {
+                if let Some(flight) = core.tls.initial_flight() {
+                    core.tcp.write(&flight);
+                }
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_packet(&mut self, packet: Packet<TcpSegment>, ctx: &mut Context<'_, TcpSegment>) {
+        self.core
+            .borrow_mut()
+            .tcp
+            .on_segment(packet.payload, ctx.now());
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, TcpSegment>) {
+        if token == TOKEN_TCP {
+            self.core.borrow_mut().tcp.on_tick(ctx.now());
+        }
+        // TOKEN_APP needs no pre-step: the pump polls the app with `now`.
+        self.pump(ctx);
+    }
+}
+
+impl HostCore {
+    fn pump(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+        let now = ctx.now();
+        if !self.dead && self.tcp.is_aborted() {
+            self.on_transport_death(now);
+        }
+        // Run the layer pumps to quiescence. The cap is a safety valve
+        // against a livelocked layering bug; real pumps settle in a few
+        // rounds.
+        let mut rounds = 0;
+        loop {
+            let mut progressed = false;
+            progressed |= self.pump_inbound(now);
+            progressed |= self.pump_app(now);
+            progressed |= self.pump_outbound(now);
+            if !progressed {
+                break;
+            }
+            rounds += 1;
+            debug_assert!(rounds < 10_000, "host pump livelock");
+            if rounds >= 10_000 {
+                break;
+            }
+        }
+        // Flush TCP output.
+        let self_id = ctx.node_id();
+        while let Some(seg) = self.tcp.poll_transmit(now) {
+            let wire_bytes = seg.wire_bytes();
+            ctx.send(Packet::new(self_id, self.peer, wire_bytes, seg));
+        }
+        if self.tcp.is_aborted() && !self.dead {
+            self.on_transport_death(now);
+        }
+        if self.halt_when_done {
+            let done = match &self.app {
+                App::Client(b) => b.is_done(),
+                App::Server(_) => false,
+            };
+            if done && (self.tcp.send_drained() || self.dead) {
+                ctx.halt();
+            }
+            if self.dead {
+                ctx.halt();
+            }
+        }
+    }
+
+    fn on_transport_death(&mut self, now: SimTime) {
+        self.dead = true;
+        match &mut self.app {
+            App::Client(b) => b.on_connection_dead(now),
+            App::Server(_) => {}
+        }
+    }
+
+    /// TCP → TLS → HTTP/2 → events.
+    fn pump_inbound(&mut self, now: SimTime) -> bool {
+        if self.dead {
+            return false;
+        }
+        let bytes = self.tcp.read();
+        if bytes.is_empty() {
+            return false;
+        }
+        let output = match self.tls.receive(&bytes) {
+            Ok(o) => o,
+            Err(_) => {
+                self.fail_connection(now);
+                return true;
+            }
+        };
+        if !output.reply.is_empty() {
+            self.tcp.write(&output.reply);
+        }
+        if output.established_now {
+            self.tls_established = true;
+            if let App::Client(b) = &mut self.app {
+                b.start(now);
+            }
+        }
+        for chunk in output.app_data {
+            if self.h2.recv(&chunk).is_err() {
+                self.fail_connection(now);
+                return true;
+            }
+        }
+        self.dispatch_h2_events(now);
+        true
+    }
+
+    fn fail_connection(&mut self, now: SimTime) {
+        self.tcp.abort();
+        self.on_transport_death(now);
+    }
+
+    fn dispatch_h2_events(&mut self, now: SimTime) {
+        while let Some(event) = self.h2.poll_event() {
+            match (&mut self.app, event) {
+                (App::Client(b), H2Event::Headers { stream_id, .. }) => {
+                    b.on_headers(stream_id, now);
+                }
+                (
+                    App::Client(b),
+                    H2Event::Data {
+                        stream_id,
+                        data,
+                        end_stream,
+                    },
+                ) => {
+                    b.on_data(stream_id, data.len(), end_stream, now);
+                }
+                (App::Client(b), H2Event::Reset { stream_id, .. }) => {
+                    b.on_reset(stream_id, now);
+                }
+                (App::Client(b), H2Event::GoAway { .. }) => {
+                    b.on_connection_dead(now);
+                }
+                (
+                    App::Server(s),
+                    H2Event::Headers {
+                        stream_id, headers, ..
+                    },
+                ) => {
+                    let path = headers
+                        .iter()
+                        .find(|h| h.name == ":path")
+                        .map(|h| h.value.clone())
+                        .unwrap_or_default();
+                    s.on_request(stream_id, &path, now);
+                }
+                (App::Server(s), H2Event::Reset { stream_id, .. }) => {
+                    s.on_stream_reset(stream_id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Application commands → HTTP/2 calls.
+    fn pump_app(&mut self, now: SimTime) -> bool {
+        if self.dead || !self.tls_established {
+            return false;
+        }
+        let mut progressed = false;
+        match &mut self.app {
+            App::Client(browser) => {
+                let authority = self.authority.clone();
+                for cmd in browser.poll_cmds(now) {
+                    progressed = true;
+                    match cmd {
+                        BrowserCmd::SendRequest { req, path, .. } => {
+                            let headers = vec![
+                                HeaderField::new(":method", "GET"),
+                                HeaderField::new(":scheme", "https"),
+                                HeaderField::new(":authority", authority.clone()),
+                                HeaderField::new(":path", path),
+                                HeaderField::new("user-agent", "h2priv-firefox/74.0"),
+                                HeaderField::new("accept", "*/*"),
+                            ];
+                            match self.h2.open_stream(&headers, true) {
+                                Ok(stream) => browser.note_stream(req, stream),
+                                Err(_) => { /* connection closing */ }
+                            }
+                        }
+                        BrowserCmd::ResetStream { stream } => {
+                            self.h2.send_rst(stream, ErrorCode::Cancel);
+                        }
+                    }
+                }
+            }
+            App::Server(server) => {
+                for response in server.due_responses(now) {
+                    progressed = true;
+                    if let Some(object) = response.object {
+                        self.stream_objects.insert(response.stream, object);
+                    }
+                    // A reset may have raced the worker: ignore errors.
+                    if self
+                        .h2
+                        .send_headers(response.stream, &response.headers, false)
+                        .is_ok()
+                    {
+                        let _ = self.h2.send_data(response.stream, &response.body, true);
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// HTTP/2 → TLS → TCP, with ground-truth annotation on the server.
+    fn pump_outbound(&mut self, _now: SimTime) -> bool {
+        if self.dead || !self.tls_established {
+            return false;
+        }
+        let is_server = !self.is_client();
+        let mut progressed = false;
+        // Kernel-style autotuned send buffer: roughly twice the congestion
+        // window, capped by the configured maximum. Backpressure onto the
+        // HTTP/2 mux is what makes concurrent responses interleave.
+        let limit = self.socket_buffer.min(2 * self.tcp.cwnd());
+        while self.tcp.buffered() < limit {
+            let Some(out) = self.h2.poll_send() else {
+                break;
+            };
+            progressed = true;
+            let sealed = match self.tls.seal_app_data(&out.bytes) {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            let start = self.tcp.total_written();
+            self.tcp.write(&sealed);
+            let end = self.tcp.total_written();
+            if is_server {
+                if let OutgoingMeta::Frame {
+                    stream_id,
+                    end_stream,
+                    frame_type,
+                    ..
+                } = out.meta
+                {
+                    use h2priv_http2::FrameType;
+                    if matches!(frame_type, FrameType::Data | FrameType::Headers) {
+                        if let Some(&object) = self.stream_objects.get(&stream_id) {
+                            let mut truth = self.truth.borrow_mut();
+                            truth.add_range(start, end, object, stream_id);
+                            if end_stream {
+                                truth.mark_complete(stream_id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        progressed
+    }
+}

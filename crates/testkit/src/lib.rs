@@ -1,0 +1,21 @@
+//! # h2priv-testkit — canonical end-to-end scenarios
+//!
+//! Part of the `h2priv` reproduction of *"Depending on HTTP/2 for Privacy?
+//! Good Luck!"* (DSN 2020). Glue between the substrates: a [`Host`] stacks
+//! TCP + TLS + HTTP/2 + application on one simulator node; a
+//! [`build_scenario`]/[`run_scenario`] pair assembles and executes the
+//! paper's topology (browser — lab gateway — website server) with
+//! calibrated defaults ([`calib`]). Tests, benches and examples all build
+//! their worlds through this crate so that every experiment shares one
+//! vetted wiring.
+
+#![warn(missing_docs)]
+
+pub mod calib;
+mod host;
+mod scenario;
+mod tap;
+
+pub use host::{App, Host, HostCore};
+pub use scenario::{build_scenario, run_scenario, run_trial, RunResult, Scenario, ScenarioConfig};
+pub use tap::WireTap;

@@ -1,0 +1,250 @@
+//! Canonical end-to-end scenario: client — gateway — server.
+//!
+//! Builds the paper's topology (§V "Adversary Setup"): a browser host, the
+//! lab gateway (optionally carrying an adversary middlebox, always carrying
+//! a wire tap), and the website server, wired over calibrated links. One
+//! [`run_scenario`] call is one "download of the webpage" — one trial of
+//! the paper's repeat-100-times experiments.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use h2priv_analysis::{GroundTruth, WireTrace};
+use h2priv_http2::{H2Config, SendPolicy, Settings};
+use h2priv_netsim::{GatewayNode, LinkConfig, Middlebox, NodeId, SimRng, Simulator, StopReason};
+use h2priv_tcp::{AbortReason, TcpConfig, TcpSegment, TcpStats};
+use h2priv_web::{
+    BrowsePlan, Browser, BrowserConfig, RequestOutcome, SiteServer, SiteServerConfig, Website,
+};
+
+use crate::calib;
+use crate::host::{Host, HostCore};
+use crate::tap::WireTap;
+
+/// Everything configurable about one trial.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Trial seed (drives all randomness).
+    pub seed: u64,
+    /// Browser knobs.
+    pub browser: BrowserConfig,
+    /// Server application knobs.
+    pub server: SiteServerConfig,
+    /// Client HTTP/2 configuration.
+    pub client_h2: H2Config,
+    /// Server HTTP/2 configuration (the mux policy lives here).
+    pub server_h2: H2Config,
+    /// TCP configuration (both endpoints).
+    pub tcp: TcpConfig,
+    /// Client ↔ gateway link.
+    pub client_link: LinkConfig,
+    /// Gateway ↔ server link.
+    pub server_link: LinkConfig,
+    /// Hard cap on simulated trial duration.
+    pub deadline: h2priv_netsim::SimDuration,
+    /// Modeled kernel socket send-buffer size per endpoint (backpressure
+    /// that keeps several responses pending in the mux at once).
+    pub socket_buffer: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0,
+            browser: BrowserConfig {
+                stall_timeout: calib::STALL_TIMEOUT,
+                reissue_on_stall: true,
+                max_attempts: 3,
+                request_noise: h2priv_netsim::DurationDist::None,
+                gap_noise_frac: calib::GAP_NOISE_FRAC,
+                progress_quantum: 512 * 1024,
+            },
+            server: SiteServerConfig {
+                worker_latency: calib::worker_latency(),
+                pad_bucket: None,
+            },
+            client_h2: H2Config {
+                settings: Settings {
+                    initial_window_size: calib::CLIENT_STREAM_WINDOW,
+                    ..Settings::default()
+                },
+                send_policy: SendPolicy::RoundRobin,
+                data_chunk_size: calib::DATA_CHUNK_SIZE,
+                connection_window_bonus: calib::CLIENT_CONN_WINDOW_BONUS,
+            },
+            server_h2: H2Config {
+                settings: Settings::default(),
+                send_policy: SendPolicy::RoundRobin,
+                data_chunk_size: calib::DATA_CHUNK_SIZE,
+                connection_window_bonus: 0,
+            },
+            tcp: TcpConfig::default(),
+            // Links preserve order: real path jitter is shared queueing
+            // delay, which stretches gaps but does not reorder; per-packet
+            // independent reordering would trigger spurious dup-ACK storms.
+            client_link: LinkConfig::with_delay(calib::CLIENT_GW_DELAY)
+                .bandwidth(calib::LINK_BANDWIDTH),
+            server_link: LinkConfig::with_delay(calib::GW_SERVER_DELAY)
+                .bandwidth(calib::WAN_BANDWIDTH)
+                .queue_limit(calib::WAN_QUEUE_BYTES)
+                .loss(calib::WAN_LOSS)
+                .jitter(calib::natural_jitter()),
+            deadline: calib::TRIAL_DEADLINE,
+            socket_buffer: calib::SOCKET_BUFFER,
+        }
+    }
+}
+
+/// A built, not-yet-run trial.
+pub struct Scenario {
+    /// The simulator, ready to run.
+    pub sim: Simulator<TcpSegment>,
+    /// Client host handle (browser, TCP stats).
+    pub client: Rc<RefCell<HostCore>>,
+    /// Server host handle.
+    pub server: Rc<RefCell<HostCore>>,
+    /// The gateway's capture.
+    pub trace: Rc<RefCell<WireTrace>>,
+    /// Seal-time annotations.
+    pub truth: Rc<RefCell<GroundTruth>>,
+    /// Node ids (client, gateway, server).
+    pub nodes: (NodeId, NodeId, NodeId),
+    deadline: h2priv_netsim::SimDuration,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+/// The outcome of one trial.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Why and when the run stopped.
+    pub stop: StopReason,
+    /// Per-request browser outcomes (plan order).
+    pub outcomes: Vec<RequestOutcome>,
+    /// Ground-truth annotations (degree of multiplexing).
+    pub truth: GroundTruth,
+    /// The gateway capture.
+    pub trace: WireTrace,
+    /// Client TCP counters.
+    pub client_tcp: TcpStats,
+    /// Server TCP counters.
+    pub server_tcp: TcpStats,
+    /// True if either endpoint's connection died (the paper's "broken
+    /// connection").
+    pub broken: bool,
+    /// The client-side abort reason, if any.
+    pub client_abort: Option<AbortReason>,
+}
+
+impl RunResult {
+    /// Combined client+server TCP retransmission count (Table I / Fig. 5's
+    /// "number of retransmissions").
+    pub fn total_retransmissions(&self) -> u64 {
+        self.client_tcp.retransmissions
+            + self.server_tcp.retransmissions
+            + self.client_tcp.syn_retransmissions
+            + self.server_tcp.syn_retransmissions
+    }
+}
+
+/// Builds a trial for `site`/`plan` with an optional adversary middlebox
+/// installed on the gateway (ahead of the tap, so the capture shows what
+/// the adversary let through).
+pub fn build_scenario(
+    site: &Website,
+    plan: &BrowsePlan,
+    config: &ScenarioConfig,
+    adversary: Option<Box<dyn Middlebox<TcpSegment>>>,
+) -> Scenario {
+    let mut sim = Simulator::new(config.seed);
+    let mut seed_rng = SimRng::seed_from(config.seed ^ 0xD1CE_BA5E);
+    let client_id = sim.reserve_node_id();
+    let gateway_id = sim.reserve_node_id();
+    let server_id = sim.reserve_node_id();
+
+    let trace = Rc::new(RefCell::new(WireTrace::new()));
+    let truth = Rc::new(RefCell::new(GroundTruth::new()));
+    let session_key = 0x5EC0_0D5E ^ config.seed;
+
+    let browser = Browser::new(site, plan.clone(), config.browser.clone(), seed_rng.fork());
+    let (client_host, client) = Host::client(
+        server_id,
+        browser,
+        config.tcp.clone(),
+        config.client_h2.clone(),
+        session_key,
+        "www.isidewith.com",
+        truth.clone(),
+        config.socket_buffer,
+    );
+
+    let server_app = SiteServer::new(site.clone(), config.server.clone(), seed_rng.fork());
+    let mut server_tcp = config.tcp.clone();
+    server_tcp.iss = h2priv_tcp::Seq(700_000);
+    let (server_host, server) = Host::server(
+        client_id,
+        server_app,
+        server_tcp,
+        config.server_h2.clone(),
+        session_key,
+        truth.clone(),
+        config.socket_buffer,
+    );
+
+    let mut gateway = GatewayNode::new(client_id, server_id);
+    if let Some(adv) = adversary {
+        gateway.push_middlebox(adv);
+    }
+    gateway.push_middlebox(WireTap::new(trace.clone()));
+
+    sim.install_node(client_id, Box::new(client_host));
+    sim.install_node(gateway_id, Box::new(gateway));
+    sim.install_node(server_id, Box::new(server_host));
+    sim.add_link(client_id, gateway_id, config.client_link.clone());
+    sim.add_link(gateway_id, server_id, config.server_link.clone());
+
+    Scenario {
+        sim,
+        client,
+        server,
+        trace,
+        truth,
+        nodes: (client_id, gateway_id, server_id),
+        deadline: config.deadline,
+    }
+}
+
+/// Runs a built scenario to completion (or its deadline) and collects the
+/// result.
+pub fn run_scenario(mut scenario: Scenario) -> RunResult {
+    let deadline = h2priv_netsim::SimTime::ZERO + scenario.deadline;
+    let summary = scenario.sim.run_until(deadline);
+    let client = scenario.client.borrow();
+    let server = scenario.server.borrow();
+    RunResult {
+        stop: summary.stop,
+        outcomes: client.browser().outcomes(),
+        truth: scenario.truth.borrow().clone(),
+        trace: scenario.trace.borrow().clone(),
+        client_tcp: client.tcp_stats(),
+        server_tcp: server.tcp_stats(),
+        broken: client.dead || server.dead,
+        client_abort: client.abort_reason(),
+    }
+}
+
+/// Convenience: build and run in one step.
+pub fn run_trial(
+    site: &Website,
+    plan: &BrowsePlan,
+    config: &ScenarioConfig,
+    adversary: Option<Box<dyn Middlebox<TcpSegment>>>,
+) -> RunResult {
+    run_scenario(build_scenario(site, plan, config, adversary))
+}

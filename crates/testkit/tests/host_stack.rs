@@ -1,0 +1,158 @@
+//! Tests of the host wiring: full stacks over the simulated network,
+//! without any site/attack logic on top.
+
+use h2priv_netsim::{Dir, SimDuration};
+use h2priv_testkit::{build_scenario, run_scenario, ScenarioConfig};
+use h2priv_web::{BrowsePlan, ObjectKind, Phase, PlanStep, Trigger, Website};
+
+fn tiny_site(sizes: &[usize]) -> (Website, BrowsePlan) {
+    let mut site = Website::new();
+    let mut steps = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let id = site.add(format!("/obj{i}"), ObjectKind::Other, size);
+        steps.push(PlanStep {
+            object: id,
+            gap: SimDuration::from_millis(5),
+        });
+    }
+    let plan = BrowsePlan::new().with_phase(Phase {
+        trigger: Trigger::Start,
+        delay: SimDuration::ZERO,
+        steps,
+        reissue: true,
+    });
+    (site, plan)
+}
+
+fn quiet_config(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig {
+        seed,
+        ..ScenarioConfig::default()
+    };
+    cfg.browser.gap_noise_frac = 0.0;
+    cfg
+}
+
+#[test]
+fn single_object_fetch_works() {
+    let (site, plan) = tiny_site(&[12_345]);
+    let result = h2priv_testkit::run_trial(&site, &plan, &quiet_config(1), None);
+    assert!(!result.broken);
+    assert_eq!(result.outcomes.len(), 1);
+    assert_eq!(result.outcomes[0].bytes, 12_345);
+    assert!(result.outcomes[0].completed_at.is_some());
+}
+
+#[test]
+fn empty_body_objects_complete() {
+    // Zero-length responses must still carry END_STREAM and complete.
+    let (site, plan) = tiny_site(&[0, 10, 0]);
+    let result = h2priv_testkit::run_trial(&site, &plan, &quiet_config(2), None);
+    assert!(result.outcomes.iter().all(|o| o.completed_at.is_some()));
+    assert_eq!(result.outcomes[0].bytes, 0);
+    assert_eq!(result.outcomes[1].bytes, 10);
+}
+
+#[test]
+fn large_object_survives_the_wan() {
+    let (site, plan) = tiny_site(&[3_000_000]);
+    let result = h2priv_testkit::run_trial(&site, &plan, &quiet_config(3), None);
+    assert!(!result.broken);
+    assert_eq!(result.outcomes[0].bytes, 3_000_000);
+    // At the 16 Mbps bottleneck this takes over a second of simulated time.
+    let done = result.outcomes[0].completed_at.unwrap();
+    assert!(done.as_millis() > 1_000, "done at {done}");
+}
+
+#[test]
+fn handshake_records_precede_data_on_the_wire() {
+    let (site, plan) = tiny_site(&[5_000]);
+    let result = h2priv_testkit::run_trial(&site, &plan, &quiet_config(4), None);
+    let records = h2priv_analysis::extract_records(&result.trace);
+    let kinds: Vec<_> = records.iter().map(|r| r.content_type).collect();
+    let first_app = kinds
+        .iter()
+        .position(|&k| k == h2priv_tls::ContentType::ApplicationData)
+        .unwrap();
+    assert!(
+        kinds[..first_app]
+            .iter()
+            .all(|&k| k == h2priv_tls::ContentType::Handshake),
+        "non-handshake records before first app data: {kinds:?}"
+    );
+}
+
+#[test]
+fn truth_ranges_are_disjoint_and_ordered() {
+    let (site, plan) = tiny_site(&[40_000, 60_000, 20_000]);
+    let result = h2priv_testkit::run_trial(&site, &plan, &quiet_config(5), None);
+    let mut ranges: Vec<_> = result.truth.ranges().to_vec();
+    ranges.sort_by_key(|r| r.start);
+    for w in ranges.windows(2) {
+        assert!(
+            w[0].end <= w[1].start,
+            "overlapping ground-truth ranges: {:?} vs {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn gateway_tap_sees_both_directions() {
+    let (site, plan) = tiny_site(&[10_000]);
+    let result = h2priv_testkit::run_trial(&site, &plan, &quiet_config(6), None);
+    assert!(result.trace.in_dir(Dir::LeftToRight).count() > 5);
+    assert!(result.trace.in_dir(Dir::RightToLeft).count() > 5);
+}
+
+#[test]
+fn scenario_is_reusable_across_seeds() {
+    let (site, plan) = tiny_site(&[30_000, 30_000]);
+    let a = run_scenario(build_scenario(&site, &plan, &quiet_config(7), None));
+    let b = run_scenario(build_scenario(&site, &plan, &quiet_config(8), None));
+    // Different seeds: different jitter draws, different finish times.
+    assert_ne!(
+        a.outcomes[1].completed_at, b.outcomes[1].completed_at,
+        "seeds must decorrelate runs"
+    );
+}
+
+#[test]
+fn socket_buffer_backpressure_controls_interleaving() {
+    // Two equal objects requested together: with a tiny socket buffer the
+    // mux interleaves them; with a huge one the first is written out
+    // before the second worker fires.
+    let mut site = Website::new();
+    let a = site.add("/a", ObjectKind::Other, 30_000);
+    let b = site.add("/b", ObjectKind::Other, 30_000);
+    let plan = BrowsePlan::new().with_phase(Phase {
+        trigger: Trigger::Start,
+        delay: SimDuration::ZERO,
+        steps: vec![
+            PlanStep {
+                object: a,
+                gap: SimDuration::ZERO,
+            },
+            PlanStep {
+                object: b,
+                gap: SimDuration::from_micros(200),
+            },
+        ],
+        reissue: true,
+    });
+    let degree_with = |socket: usize| {
+        let mut cfg = quiet_config(9);
+        cfg.socket_buffer = socket;
+        let result = h2priv_testkit::run_trial(&site, &plan, &cfg, None);
+        let inst = result.truth.instances_of(a)[0];
+        result.truth.degree_of_instance(inst).unwrap()
+    };
+    let tight = degree_with(8 * 1024);
+    let loose = degree_with(4 * 1024 * 1024);
+    assert!(
+        tight > loose,
+        "backpressure should increase interleaving: tight {tight} vs loose {loose}"
+    );
+    assert!(tight > 0.5, "tight buffer should interleave: {tight}");
+}

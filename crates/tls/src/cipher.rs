@@ -1,0 +1,211 @@
+//! The modeled record cipher.
+//!
+//! Real cryptography is out of scope (the paper's adversary never decrypts),
+//! but the simulation must still guarantee that nothing downstream can cheat
+//! by peeking into "ciphertext". We therefore scramble each fragment with a
+//! keystream derived from a session key and the record sequence number
+//! (a xorshift64* generator — **not** cryptographically secure, purely an
+//! anti-cheating seal), and append [`AEAD_OVERHEAD`] filler bytes so that
+//! ciphertext lengths match what a TLS 1.2 AES-GCM eavesdropper would see.
+//!
+//! Tampered or reordered records fail to open, which models AEAD integrity:
+//! the simulated endpoints abort on corruption just as real TLS stacks do.
+
+use crate::record::AEAD_OVERHEAD;
+
+/// Seals and opens record fragments for one direction of a session.
+///
+/// Each direction of a TLS connection has its own keys and sequence numbers;
+/// create one `RecordCipher` per direction from the same session key and
+/// role-distinct labels.
+///
+/// # Examples
+///
+/// ```
+/// use h2priv_tls::RecordCipher;
+///
+/// let mut seal = RecordCipher::new(0xC0FFEE, 1);
+/// let mut open = RecordCipher::new(0xC0FFEE, 1);
+/// let ct = seal.seal(b"hello");
+/// assert_ne!(&ct[..5], b"hello"); // scrambled on the wire
+/// assert_eq!(open.open(&ct).as_deref(), Some(&b"hello"[..]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordCipher {
+    key: u64,
+    seq: u64,
+}
+
+/// A 16-bit checksum standing in for the AEAD tag: wrong key, wrong
+/// sequence number or flipped bits make verification fail.
+fn tag16(key: u64, seq: u64, plaintext: &[u8]) -> u16 {
+    let mut acc = key ^ seq.rotate_left(17);
+    for (i, &b) in plaintext.iter().enumerate() {
+        acc = acc
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(b as u64 + i as u64);
+    }
+    (acc ^ (acc >> 32)) as u16
+}
+
+fn keystream_byte(state: &mut u64) -> u8 {
+    // xorshift64* step.
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    (x.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+}
+
+impl RecordCipher {
+    /// Creates a cipher for one direction. `key` is the shared session key;
+    /// `label` distinguishes directions (conventionally 1 = client→server,
+    /// 2 = server→client).
+    pub fn new(key: u64, label: u64) -> Self {
+        RecordCipher {
+            key: key ^ label.wrapping_mul(0x9E3779B97F4A7C15),
+            seq: 0,
+        }
+    }
+
+    /// Records sealed (or opened) so far in this direction.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Seals one fragment, consuming the next sequence number.
+    ///
+    /// Output length is `plaintext.len() + AEAD_OVERHEAD`.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let seq = self.seq;
+        self.seq += 1;
+        let mut out = Vec::with_capacity(plaintext.len() + AEAD_OVERHEAD);
+        // Explicit nonce (8 bytes): the sequence number, as in TLS 1.2 GCM.
+        out.extend_from_slice(&seq.to_be_bytes());
+        let mut state = self.key ^ seq.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        out.extend(plaintext.iter().map(|&b| b ^ keystream_byte(&mut state)));
+        // Tag: 16 meaningful bits + 14 filler bytes to reach AEAD_OVERHEAD.
+        let tag = tag16(self.key, seq, plaintext);
+        out.extend_from_slice(&tag.to_be_bytes());
+        out.resize(plaintext.len() + AEAD_OVERHEAD, 0xA5);
+        out
+    }
+
+    /// Opens one fragment, consuming the next sequence number.
+    ///
+    /// Returns `None` if the fragment is too short, the explicit nonce does
+    /// not match the expected sequence number (replay/reorder), or the tag
+    /// check fails (corruption).
+    pub fn open(&mut self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        if ciphertext.len() < AEAD_OVERHEAD {
+            return None;
+        }
+        let seq = u64::from_be_bytes(ciphertext[..8].try_into().expect("8 bytes"));
+        if seq != self.seq {
+            return None;
+        }
+        let body_len = ciphertext.len() - AEAD_OVERHEAD;
+        let body = &ciphertext[8..8 + body_len];
+        let mut state = self.key ^ seq.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let plaintext: Vec<u8> = body
+            .iter()
+            .map(|&b| b ^ keystream_byte(&mut state))
+            .collect();
+        let tag = u16::from_be_bytes(
+            ciphertext[8 + body_len..8 + body_len + 2]
+                .try_into()
+                .expect("2 bytes"),
+        );
+        if tag != tag16(self.key, seq, &plaintext) {
+            return None;
+        }
+        self.seq += 1;
+        Some(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_many_records() {
+        let mut seal = RecordCipher::new(42, 1);
+        let mut open = RecordCipher::new(42, 1);
+        for i in 0..50u32 {
+            let msg = vec![i as u8; (i as usize * 37) % 1000 + 1];
+            let ct = seal.seal(&msg);
+            assert_eq!(ct.len(), msg.len() + AEAD_OVERHEAD);
+            assert_eq!(open.open(&ct), Some(msg));
+        }
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let mut seal = RecordCipher::new(42, 1);
+        let msg = vec![0u8; 256];
+        let ct = seal.seal(&msg);
+        // The body (after the nonce) must not be all zeros.
+        assert!(ct[8..8 + 256].iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn same_plaintext_different_records_differ() {
+        let mut seal = RecordCipher::new(42, 1);
+        let a = seal.seal(b"identical");
+        let b = seal.seal(b"identical");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut c2s = RecordCipher::new(42, 1);
+        let mut s2c_wrong = RecordCipher::new(42, 2);
+        let ct = c2s.seal(b"request");
+        assert_eq!(s2c_wrong.open(&ct), None);
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut seal = RecordCipher::new(42, 1);
+        let mut open = RecordCipher::new(43, 1);
+        assert_eq!(open.open(&seal.seal(b"secret")), None);
+    }
+
+    #[test]
+    fn corruption_fails() {
+        let mut seal = RecordCipher::new(42, 1);
+        let mut open = RecordCipher::new(42, 1);
+        let mut ct = seal.seal(b"payload");
+        ct[10] ^= 0x01;
+        assert_eq!(open.open(&ct), None);
+    }
+
+    #[test]
+    fn reorder_fails() {
+        let mut seal = RecordCipher::new(42, 1);
+        let mut open = RecordCipher::new(42, 1);
+        let first = seal.seal(b"one");
+        let second = seal.seal(b"two");
+        // Delivering the second record first is a sequence mismatch.
+        assert_eq!(open.open(&second), None);
+        // The first still opens (sequence untouched by the failed open).
+        assert_eq!(open.open(&first).as_deref(), Some(&b"one"[..]));
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrips() {
+        let mut seal = RecordCipher::new(42, 1);
+        let mut open = RecordCipher::new(42, 1);
+        let ct = seal.seal(b"");
+        assert_eq!(ct.len(), AEAD_OVERHEAD);
+        assert_eq!(open.open(&ct).as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn short_ciphertext_rejected() {
+        let mut open = RecordCipher::new(42, 1);
+        assert_eq!(open.open(&[0u8; 10]), None);
+    }
+}

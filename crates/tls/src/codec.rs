@@ -1,0 +1,357 @@
+//! Record serialization: sealing messages into wire bytes and recovering
+//! them from a (possibly fragmented) byte stream.
+//!
+//! [`RecordWriter`] turns application messages into one or more records —
+//! fragmenting at [`MAX_PLAINTEXT`] — and [`RecordReader`] incrementally
+//! parses and opens records from arbitrarily-chunked input, exactly as a
+//! TLS implementation reading from a TCP socket must.
+//!
+//! [`RecordScanner`] is the *eavesdropper's* parser: it walks the same byte
+//! stream using only the plaintext headers, yielding content types and
+//! lengths without any key material. The analysis crate builds the paper's
+//! `content_type == 23` filter on top of it.
+
+use crate::cipher::RecordCipher;
+use crate::record::{ContentType, RecordHeader, HEADER_LEN, MAX_PLAINTEXT};
+
+/// Seals application messages into record wire bytes.
+#[derive(Debug, Clone)]
+pub struct RecordWriter {
+    cipher: RecordCipher,
+}
+
+impl RecordWriter {
+    /// Creates a writer sealing with the given cipher.
+    pub fn new(cipher: RecordCipher) -> Self {
+        RecordWriter { cipher }
+    }
+
+    /// Seals one message, producing the wire bytes of one or more records.
+    ///
+    /// Messages longer than [`MAX_PLAINTEXT`] are fragmented; empty messages
+    /// produce a single empty record (TLS permits these).
+    pub fn seal_message(&mut self, content_type: ContentType, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + HEADER_LEN + 32);
+        let mut chunks: Vec<&[u8]> = plaintext.chunks(MAX_PLAINTEXT).collect();
+        if chunks.is_empty() {
+            chunks.push(&[]);
+        }
+        for chunk in chunks {
+            let fragment = self.cipher.seal(chunk);
+            let header = RecordHeader {
+                content_type,
+                fragment_len: fragment.len() as u16,
+            };
+            out.extend_from_slice(&header.encode());
+            out.extend_from_slice(&fragment);
+        }
+        out
+    }
+
+    /// Records sealed so far.
+    pub fn records_sealed(&self) -> u64 {
+        self.cipher.seq()
+    }
+}
+
+/// A message recovered by [`RecordReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlsMessage {
+    /// The record's content type.
+    pub content_type: ContentType,
+    /// The decrypted fragment.
+    pub plaintext: Vec<u8>,
+}
+
+/// Errors surfaced while reading records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadRecordError {
+    /// The stream contained bytes that do not parse as a record header.
+    BadHeader,
+    /// A record failed to open (bad tag / wrong sequence): the connection
+    /// must be torn down, as real TLS does on a `bad_record_mac` alert.
+    DecryptFailed,
+}
+
+impl std::fmt::Display for ReadRecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadRecordError::BadHeader => write!(f, "invalid record header"),
+            ReadRecordError::DecryptFailed => write!(f, "record failed to decrypt"),
+        }
+    }
+}
+
+impl std::error::Error for ReadRecordError {}
+
+/// Incrementally parses and opens records from a byte stream.
+#[derive(Debug, Clone)]
+pub struct RecordReader {
+    cipher: RecordCipher,
+    buf: Vec<u8>,
+    poisoned: bool,
+}
+
+impl RecordReader {
+    /// Creates a reader opening with the given cipher.
+    pub fn new(cipher: RecordCipher) -> Self {
+        RecordReader {
+            cipher,
+            buf: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// Appends newly received stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Attempts to read the next complete message.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed headers or decryption failure; after an
+    /// error the reader is poisoned and every subsequent call fails, because
+    /// record boundaries can no longer be trusted.
+    pub fn next_message(&mut self) -> Result<Option<TlsMessage>, ReadRecordError> {
+        if self.poisoned {
+            return Err(ReadRecordError::DecryptFailed);
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header = match RecordHeader::decode(&self.buf) {
+            Some(h) => h,
+            None => {
+                self.poisoned = true;
+                return Err(ReadRecordError::BadHeader);
+            }
+        };
+        if self.buf.len() < header.wire_len() {
+            return Ok(None);
+        }
+        let fragment = &self.buf[HEADER_LEN..header.wire_len()];
+        let plaintext = match self.cipher.open(fragment) {
+            Some(p) => p,
+            None => {
+                self.poisoned = true;
+                return Err(ReadRecordError::DecryptFailed);
+            }
+        };
+        let content_type = header.content_type;
+        self.buf.drain(..header.wire_len());
+        Ok(Some(TlsMessage {
+            content_type,
+            plaintext,
+        }))
+    }
+
+    /// Drains all complete messages currently buffered.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RecordReader::next_message`].
+    pub fn drain_messages(&mut self) -> Result<Vec<TlsMessage>, ReadRecordError> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.next_message()? {
+            out.push(msg);
+        }
+        Ok(out)
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Header-level view of one record, as visible to an eavesdropper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScannedRecord {
+    /// Content type from the plaintext header.
+    pub content_type: ContentType,
+    /// Total record size on the wire (header + encrypted fragment).
+    pub wire_len: usize,
+    /// Offset of the record's first byte within the scanned stream.
+    pub stream_offset: u64,
+}
+
+/// Parses record *headers* from a byte stream without any key material —
+/// the passive observer's view.
+#[derive(Debug, Clone, Default)]
+pub struct RecordScanner {
+    buf: Vec<u8>,
+    offset: u64,
+    desynced: bool,
+}
+
+impl RecordScanner {
+    /// Creates an empty scanner.
+    pub fn new() -> Self {
+        RecordScanner::default()
+    }
+
+    /// True if the scanner hit an unparseable header and gave up; real
+    /// monitors resynchronize heuristically, ours reports the condition.
+    pub fn is_desynced(&self) -> bool {
+        self.desynced
+    }
+
+    /// Appends observed stream bytes and returns any complete record
+    /// headers they reveal.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<ScannedRecord> {
+        if self.desynced {
+            return Vec::new();
+        }
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < HEADER_LEN {
+                break;
+            }
+            let Some(header) = RecordHeader::decode(&self.buf) else {
+                self.desynced = true;
+                break;
+            };
+            if self.buf.len() < header.wire_len() {
+                break;
+            }
+            out.push(ScannedRecord {
+                content_type: header.content_type,
+                wire_len: header.wire_len(),
+                stream_offset: self.offset,
+            });
+            self.offset += header.wire_len() as u64;
+            self.buf.drain(..header.wire_len());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AEAD_OVERHEAD;
+
+    fn pair() -> (RecordWriter, RecordReader) {
+        (
+            RecordWriter::new(RecordCipher::new(9, 1)),
+            RecordReader::new(RecordCipher::new(9, 1)),
+        )
+    }
+
+    #[test]
+    fn single_message_roundtrip() {
+        let (mut w, mut r) = pair();
+        let wire = w.seal_message(ContentType::ApplicationData, b"GET /index");
+        r.push(&wire);
+        let msg = r.next_message().unwrap().unwrap();
+        assert_eq!(msg.content_type, ContentType::ApplicationData);
+        assert_eq!(msg.plaintext, b"GET /index");
+        assert_eq!(r.next_message().unwrap(), None);
+        assert_eq!(r.buffered_len(), 0);
+    }
+
+    #[test]
+    fn large_message_fragments() {
+        let (mut w, mut r) = pair();
+        let big = vec![7u8; MAX_PLAINTEXT * 2 + 100];
+        let wire = w.seal_message(ContentType::ApplicationData, &big);
+        assert_eq!(w.records_sealed(), 3);
+        r.push(&wire);
+        let msgs = r.drain_messages().unwrap();
+        assert_eq!(msgs.len(), 3);
+        let total: Vec<u8> = msgs.into_iter().flat_map(|m| m.plaintext).collect();
+        assert_eq!(total, big);
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let (mut w, mut r) = pair();
+        let wire = w.seal_message(ContentType::Handshake, b"hello");
+        let mut got = None;
+        for &b in &wire {
+            r.push(&[b]);
+            if let Some(msg) = r.next_message().unwrap() {
+                assert!(got.is_none());
+                got = Some(msg);
+            }
+        }
+        assert_eq!(got.unwrap().plaintext, b"hello");
+    }
+
+    #[test]
+    fn interleaved_content_types() {
+        let (mut w, mut r) = pair();
+        let mut wire = w.seal_message(ContentType::Handshake, b"finished");
+        wire.extend(w.seal_message(ContentType::ApplicationData, b"data"));
+        r.push(&wire);
+        let msgs = r.drain_messages().unwrap();
+        assert_eq!(msgs[0].content_type, ContentType::Handshake);
+        assert_eq!(msgs[1].content_type, ContentType::ApplicationData);
+    }
+
+    #[test]
+    fn empty_message_roundtrips() {
+        let (mut w, mut r) = pair();
+        let wire = w.seal_message(ContentType::Alert, b"");
+        assert_eq!(wire.len(), HEADER_LEN + AEAD_OVERHEAD);
+        r.push(&wire);
+        let msg = r.next_message().unwrap().unwrap();
+        assert!(msg.plaintext.is_empty());
+    }
+
+    #[test]
+    fn corrupted_stream_poisons_reader() {
+        let (mut w, mut r) = pair();
+        let mut wire = w.seal_message(ContentType::ApplicationData, b"secret");
+        wire[HEADER_LEN + 9] ^= 0xFF;
+        r.push(&wire);
+        assert_eq!(r.next_message(), Err(ReadRecordError::DecryptFailed));
+        assert_eq!(r.next_message(), Err(ReadRecordError::DecryptFailed));
+    }
+
+    #[test]
+    fn garbage_header_is_bad_header() {
+        let (_, mut r) = pair();
+        r.push(&[0xFFu8; 16]);
+        assert_eq!(r.next_message(), Err(ReadRecordError::BadHeader));
+    }
+
+    #[test]
+    fn scanner_sees_types_and_lengths_only() {
+        let mut w = RecordWriter::new(RecordCipher::new(123, 2));
+        let mut scanner = RecordScanner::new();
+        let mut wire = w.seal_message(ContentType::Handshake, &[0u8; 300]);
+        wire.extend(w.seal_message(ContentType::ApplicationData, &[1u8; 1000]));
+        let records = scanner.push(&wire);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].content_type, ContentType::Handshake);
+        assert_eq!(records[0].wire_len, HEADER_LEN + 300 + AEAD_OVERHEAD);
+        assert_eq!(records[0].stream_offset, 0);
+        assert_eq!(records[1].content_type, ContentType::ApplicationData);
+        assert_eq!(records[1].wire_len, HEADER_LEN + 1000 + AEAD_OVERHEAD);
+        assert_eq!(records[1].stream_offset, records[0].wire_len as u64);
+    }
+
+    #[test]
+    fn scanner_handles_partial_chunks() {
+        let mut w = RecordWriter::new(RecordCipher::new(123, 2));
+        let wire = w.seal_message(ContentType::ApplicationData, &[1u8; 500]);
+        let mut scanner = RecordScanner::new();
+        let mid = wire.len() / 2;
+        assert!(scanner.push(&wire[..mid]).is_empty());
+        let records = scanner.push(&wire[mid..]);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn scanner_desyncs_on_garbage() {
+        let mut scanner = RecordScanner::new();
+        assert!(scanner.push(&[0u8; 32]).is_empty());
+        assert!(scanner.is_desynced());
+    }
+}

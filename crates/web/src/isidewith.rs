@@ -1,0 +1,340 @@
+//! The modeled target website (§V "Target Website").
+//!
+//! The paper's evaluation target is the `isidewith.com` survey-result page:
+//! an HTML file of ≈ 9 500 bytes containing 47 embedded objects, among them
+//! 8 political-party emblem images of 5–16 KB requested in the user's
+//! preference order by a script, with the inter-request gaps of Table II.
+//! This module builds a [`Website`] + [`BrowsePlan`] with exactly that
+//! structure; the user's survey outcome is the permutation passed to
+//! [`build`], and recovering it from encrypted traffic is the attack's
+//! goal.
+
+use h2priv_netsim::SimDuration;
+
+use crate::object::{ObjectId, ObjectKind};
+use crate::plan::{BrowsePlan, Phase, PlanStep, Trigger};
+use crate::site::Website;
+
+/// The eight modeled parties, by party index.
+pub const PARTY_NAMES: [&str; 8] = [
+    "democratic",
+    "republican",
+    "libertarian",
+    "green",
+    "constitution",
+    "reform",
+    "unity",
+    "justice",
+];
+
+/// Emblem image sizes in bytes, by party index (paper: "size ranging
+/// between 5KB to 16KB"; pairwise gaps ≥ 900 B keep sizes unique, the
+/// property the attack needs).
+pub const IMAGE_SIZES: [usize; 8] = [5_200, 6_800, 8_300, 10_400, 11_900, 13_300, 14_700, 15_900];
+
+/// The result page HTML size (paper: "an HTML file of size ≈ 9500 bytes").
+pub const HTML_SIZE: usize = 9_500;
+
+/// Number of objects embedded in the result page (paper: "hyperlinks of 47
+/// embedded objects").
+pub const EMBEDDED_OBJECTS: usize = 47;
+
+/// Inter-request gaps between consecutive emblem images, from Table II
+/// (I₁→I₂ … I₇→I₈), in microseconds.
+pub const IMAGE_GAPS_US: [u64; 7] = [400, 2_000, 300, 100, 300, 2_000, 500];
+
+/// Gap between the last image request and the next trailing object
+/// (Table II: 26 ms after I₈).
+pub const POST_IMAGE_GAP: SimDuration = SimDuration::from_millis(26);
+
+/// The constructed scenario.
+#[derive(Debug, Clone)]
+pub struct Isidewith {
+    /// The website.
+    pub site: Website,
+    /// The browsing plan for one survey-result visit.
+    pub plan: BrowsePlan,
+    /// The user's preference order: `golden_order[rank] = party index`.
+    /// This is what the adversary tries to recover.
+    pub golden_order: Vec<usize>,
+    /// The result HTML (the paper's first object of interest, the 6th GET).
+    pub html: ObjectId,
+    /// Emblem image ids, by party index.
+    pub images: [ObjectId; 8],
+    /// The script whose execution triggers the image burst.
+    pub trigger_js: ObjectId,
+}
+
+/// Builds the site and plan for a user whose survey outcome is
+/// `golden_order` (a permutation of `0..8`, most preferred first).
+///
+/// # Panics
+///
+/// Panics if `golden_order` is not a permutation of `0..8`.
+pub fn build(golden_order: &[usize]) -> Isidewith {
+    let mut check: Vec<usize> = golden_order.to_vec();
+    check.sort_unstable();
+    assert_eq!(
+        check,
+        (0..8).collect::<Vec<_>>(),
+        "golden_order must be a permutation of 0..8"
+    );
+
+    let mut site = Website::new();
+    let ms = SimDuration::from_millis;
+    let us = SimDuration::from_micros;
+
+    // ---- Phase A: the survey flow leading to the result page. The result
+    // HTML is the 6th GET of the session, matching §IV ("the object of
+    // interest ... is the 6th object downloaded by the client").
+    // The survey pages' assets (the page being navigated away from): the
+    // first four complete within their gaps; the fifth — requested 500 ms
+    // before the result HTML per Table II — is large enough that its
+    // transfer often still runs when the HTML is served, which is the
+    // source of the paper's ≈ 98 % baseline degree for the HTML.
+    let pre = [
+        ("/app/survey.js", ObjectKind::JavaScript, 150_000, ms(0)),
+        ("/app/styles.css", ObjectKind::StyleSheet, 86_000, ms(350)),
+        ("/app/vendor.js", ObjectKind::JavaScript, 210_000, ms(300)),
+        ("/fonts/main.woff2", ObjectKind::Font, 64_000, ms(400)),
+        (
+            "/app/results-preload.js",
+            ObjectKind::JavaScript,
+            880_000,
+            ms(320),
+        ),
+    ];
+    let mut phase_a = Vec::new();
+    let mut phase_a_span = SimDuration::ZERO;
+    for (path, kind, size, gap) in pre {
+        let id = site.add(path, kind, size);
+        phase_a_span += gap;
+        phase_a.push(PlanStep { object: id, gap });
+    }
+    // The result-page navigation: the HTML is requested 500 ms after the
+    // last survey-page request (Table II) but belongs to the *new* page,
+    // so it lives in its own phase and is re-fetched after a reset.
+    let html = site.add("/results/2020.html", ObjectKind::Html, HTML_SIZE);
+    let html_phase = vec![PlanStep {
+        object: html,
+        gap: phase_a_span + ms(500),
+    }];
+
+    // ---- Phase B: first wave of embedded assets, parsed out of the HTML.
+    // The banner is large and requested right after the style sheet, so
+    // it is still streaming when the result script fires the image burst
+    // — the in-flight traffic that gives the emblem images their high
+    // baseline degree of multiplexing.
+    let embedded = [
+        (
+            "/results/results.css",
+            ObjectKind::StyleSheet,
+            17_800,
+            ms(0),
+        ),
+        ("/img/banner.jpg", ObjectKind::Image, 230_000, ms(30)),
+        (
+            "/results/results.js",
+            ObjectKind::JavaScript,
+            63_000,
+            ms(130),
+        ),
+        ("/js/analytics.js", ObjectKind::JavaScript, 27_500, ms(120)),
+        ("/img/logo.png", ObjectKind::Image, 21_300, ms(140)),
+        ("/fonts/headline.woff2", ObjectKind::Font, 36_400, ms(110)),
+        ("/js/share.js", ObjectKind::JavaScript, 18_900, ms(170)),
+        ("/css/print.css", ObjectKind::StyleSheet, 4_100, ms(130)),
+        ("/api/user.json", ObjectKind::Other, 1_800, ms(100)),
+        ("/img/sprite.png", ObjectKind::Image, 47_000, ms(150)),
+        ("/js/polyfill.js", ObjectKind::JavaScript, 24_600, ms(120)),
+        ("/img/footer.jpg", ObjectKind::Image, 52_500, ms(180)),
+    ];
+    let mut phase_b = Vec::new();
+    let mut trigger_js = html; // overwritten below
+    for (path, kind, size, gap) in embedded {
+        let id = site.add(path, kind, size);
+        if path == "/results/results.js" {
+            trigger_js = id;
+        }
+        phase_b.push(PlanStep { object: id, gap });
+    }
+
+    // ---- Emblem images (registered by party index).
+    let mut images = [html; 8];
+    for (party, name) in PARTY_NAMES.iter().enumerate() {
+        images[party] = site.add(
+            format!("/img/parties/{name}.png"),
+            ObjectKind::Image,
+            IMAGE_SIZES[party],
+        );
+    }
+
+    // ---- Phase C: the script fires the 8 image requests in preference
+    // order with Table II's micro-gaps, then the trailing assets.
+    let mut phase_c = Vec::new();
+    for (rank, &party) in golden_order.iter().enumerate() {
+        let gap = if rank == 0 {
+            SimDuration::ZERO
+        } else {
+            us(IMAGE_GAPS_US[rank - 1])
+        };
+        phase_c.push(PlanStep {
+            object: images[party],
+            gap,
+        });
+    }
+    // Trailing embedded objects: 18 thumbnails + 9 small scripts = 27,
+    // bringing the embedded total to 12 + 8 + 27 = 47.
+    for i in 0..18usize {
+        let id = site.add(
+            format!("/img/thumbs/t{i}.jpg"),
+            ObjectKind::Image,
+            17_200 + i * 2_337,
+        );
+        phase_c.push(PlanStep {
+            object: id,
+            gap: if i == 0 { POST_IMAGE_GAP } else { ms(2) },
+        });
+    }
+    for i in 0..9usize {
+        let id = site.add(
+            format!("/ads/a{i}.js"),
+            ObjectKind::JavaScript,
+            1_300 + i * 350,
+        );
+        phase_c.push(PlanStep {
+            object: id,
+            gap: ms(2),
+        });
+    }
+
+    let plan = BrowsePlan::new()
+        .with_phase(Phase {
+            trigger: Trigger::Start,
+            delay: SimDuration::ZERO,
+            steps: phase_a,
+            // Old-page resources: abandoned after a reset, never re-fetched
+            // (the user has navigated to the result page).
+            reissue: false,
+        })
+        .with_phase(Phase {
+            trigger: Trigger::Start,
+            delay: SimDuration::ZERO,
+            steps: html_phase,
+            reissue: true,
+        })
+        .with_phase(Phase {
+            trigger: Trigger::AfterComplete(html),
+            delay: ms(30),
+            steps: phase_b,
+            reissue: true,
+        })
+        .with_phase(Phase {
+            trigger: Trigger::AfterComplete(trigger_js),
+            delay: ms(25),
+            steps: phase_c,
+            reissue: true,
+        });
+
+    Isidewith {
+        site,
+        plan,
+        golden_order: golden_order.to_vec(),
+        html,
+        images,
+        trigger_js,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity() -> Vec<usize> {
+        (0..8).collect()
+    }
+
+    #[test]
+    fn structure_matches_paper() {
+        let iw = build(&identity());
+        // 5 pre-objects + HTML + 47 embedded.
+        assert_eq!(iw.site.len(), 5 + 1 + EMBEDDED_OBJECTS);
+        assert_eq!(iw.plan.request_count(), 5 + 1 + EMBEDDED_OBJECTS);
+        // The HTML is the 6th GET (index 5) and is 9 500 bytes.
+        assert_eq!(iw.plan.request_index(iw.html), Some(5));
+        assert_eq!(iw.site.object(iw.html).unwrap().size, 9_500);
+        // Survey-page resources are abandoned after a reset; the result
+        // page's are re-fetched.
+        assert!(!iw.plan.phases[0].reissue);
+        assert!(iw.plan.phases[1].reissue);
+    }
+
+    #[test]
+    fn image_sizes_in_paper_range_and_unique() {
+        for (i, &a) in IMAGE_SIZES.iter().enumerate() {
+            assert!((5_000..=16_000).contains(&a));
+            for &b in &IMAGE_SIZES[i + 1..] {
+                assert!(a.abs_diff(b) >= 900, "{a} vs {b}");
+            }
+            // Distinct from the HTML too.
+            assert!(a.abs_diff(HTML_SIZE) >= 900);
+        }
+    }
+
+    #[test]
+    fn non_emblem_sizes_avoid_emblem_band() {
+        // Every non-emblem object must sit ≥ 800 B from every emblem size,
+        // otherwise the paper's size-map attack would be ambiguous even in
+        // principle.
+        let iw = build(&identity());
+        for obj in iw.site.objects() {
+            if iw.images.contains(&obj.id) {
+                continue;
+            }
+            for &img in &IMAGE_SIZES {
+                assert!(
+                    obj.size.abs_diff(img) >= 800,
+                    "{} ({} B) collides with an emblem ({img} B)",
+                    obj.path,
+                    obj.size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn images_requested_in_golden_order() {
+        let order = vec![3, 1, 4, 0, 7, 2, 6, 5];
+        let iw = build(&order);
+        let phase_c = &iw.plan.phases[3];
+        let requested: Vec<ObjectId> = phase_c.steps[..8].iter().map(|s| s.object).collect();
+        let expected: Vec<ObjectId> = order.iter().map(|&p| iw.images[p]).collect();
+        assert_eq!(requested, expected);
+    }
+
+    #[test]
+    fn image_gaps_match_table_ii() {
+        let iw = build(&identity());
+        let phase_c = &iw.plan.phases[3];
+        assert_eq!(phase_c.steps[1].gap, SimDuration::from_micros(400));
+        assert_eq!(phase_c.steps[2].gap, SimDuration::from_millis(2));
+        assert_eq!(phase_c.steps[4].gap, SimDuration::from_micros(100));
+        assert_eq!(phase_c.steps[8].gap, POST_IMAGE_GAP);
+    }
+
+    #[test]
+    fn phases_are_gated_on_html_and_trigger_js() {
+        let iw = build(&identity());
+        assert_eq!(iw.plan.phases[2].trigger, Trigger::AfterComplete(iw.html));
+        assert_eq!(
+            iw.plan.phases[3].trigger,
+            Trigger::AfterComplete(iw.trigger_js)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_order_panics() {
+        build(&[0, 0, 1, 2, 3, 4, 5, 6]);
+    }
+}

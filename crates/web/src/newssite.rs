@@ -1,0 +1,132 @@
+//! A second target site, for the paper's generality claim (§VII: "Our
+//! adversary is built on the general principles stated in the paper and
+//! can be extended to other real-world websites/scenarios").
+//!
+//! A news front page: article HTML, a hero image, and five thumbnails —
+//! two of which are deliberately the *same size*. The §II privacy
+//! criterion requires object sizes to be unique; the twin thumbnails mark
+//! the attack's boundary: serialization still strips the multiplexing,
+//! but the size-map predictor must abstain on the collision.
+
+use h2priv_netsim::SimDuration;
+
+use crate::object::{ObjectId, ObjectKind};
+use crate::plan::{BrowsePlan, Phase, PlanStep, Trigger};
+use crate::site::Website;
+
+/// The constructed news-site scenario.
+#[derive(Debug, Clone)]
+pub struct NewsSite {
+    /// The website.
+    pub site: Website,
+    /// One front-page visit.
+    pub plan: BrowsePlan,
+    /// The article HTML.
+    pub article: ObjectId,
+    /// The hero image.
+    pub hero: ObjectId,
+    /// The five thumbnails; `thumbs[1]` and `thumbs[3]` share a size.
+    pub thumbs: [ObjectId; 5],
+}
+
+/// Sizes of the five thumbnails. Indices 1 and 3 collide on purpose.
+pub const THUMB_SIZES: [usize; 5] = [24_000, 31_000, 27_500, 31_000, 21_000];
+
+/// Builds the site and a visit plan.
+pub fn build() -> NewsSite {
+    let mut site = Website::new();
+    let ms = SimDuration::from_millis;
+    let article = site.add("/2020/03/16/primary-results.html", ObjectKind::Html, 22_000);
+    let css = site.add("/static/site.css", ObjectKind::StyleSheet, 64_000);
+    let js = site.add("/static/site.js", ObjectKind::JavaScript, 152_000);
+    let hero = site.add("/media/hero.jpg", ObjectKind::Image, 85_000);
+    let mut thumbs = [article; 5];
+    for (i, &size) in THUMB_SIZES.iter().enumerate() {
+        thumbs[i] = site.add(format!("/media/thumb{i}.jpg"), ObjectKind::Image, size);
+    }
+    let plan = BrowsePlan::new()
+        .with_phase(Phase {
+            trigger: Trigger::Start,
+            delay: SimDuration::ZERO,
+            steps: vec![PlanStep {
+                object: article,
+                gap: SimDuration::ZERO,
+            }],
+            reissue: true,
+        })
+        .with_phase(Phase {
+            trigger: Trigger::AfterComplete(article),
+            delay: ms(25),
+            steps: vec![
+                PlanStep {
+                    object: css,
+                    gap: SimDuration::ZERO,
+                },
+                PlanStep {
+                    object: js,
+                    gap: ms(2),
+                },
+                PlanStep {
+                    object: hero,
+                    gap: ms(3),
+                },
+                PlanStep {
+                    object: thumbs[0],
+                    gap: ms(1),
+                },
+                PlanStep {
+                    object: thumbs[1],
+                    gap: ms(1),
+                },
+                PlanStep {
+                    object: thumbs[2],
+                    gap: ms(1),
+                },
+                PlanStep {
+                    object: thumbs[3],
+                    gap: ms(1),
+                },
+                PlanStep {
+                    object: thumbs[4],
+                    gap: ms(1),
+                },
+            ],
+            reissue: true,
+        });
+    NewsSite {
+        site,
+        plan,
+        article,
+        hero,
+        thumbs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let news = build();
+        assert_eq!(news.site.len(), 9);
+        assert_eq!(news.plan.request_count(), 9);
+        assert_eq!(news.plan.request_index(news.article), Some(0));
+    }
+
+    #[test]
+    fn twin_thumbnails_collide_by_design() {
+        let news = build();
+        let s1 = news.site.object(news.thumbs[1]).unwrap().size;
+        let s3 = news.site.object(news.thumbs[3]).unwrap().size;
+        assert_eq!(s1, s3);
+        // Everything else is pairwise distinct by ≥ 1 KB.
+        let mut sizes: Vec<usize> = news.site.objects().iter().map(|o| o.size).collect();
+        sizes.sort_unstable();
+        let collisions = sizes
+            .windows(2)
+            .filter(|w| w[0].abs_diff(w[1]) < 1_000)
+            .count();
+        assert_eq!(collisions, 1);
+    }
+}

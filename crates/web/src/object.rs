@@ -1,0 +1,124 @@
+//! Web objects: the things whose encrypted sizes the attack recovers.
+
+use std::fmt;
+
+/// Identifies an object within one [`Website`](crate::Website).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// What kind of resource an object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// An HTML page.
+    Html,
+    /// A script.
+    JavaScript,
+    /// A style sheet.
+    StyleSheet,
+    /// An image (the party emblems of the paper's target are these).
+    Image,
+    /// A web font.
+    Font,
+    /// Other static data.
+    Other,
+}
+
+impl ObjectKind {
+    /// The `content-type` header value served for this kind.
+    pub fn content_type(self) -> &'static str {
+        match self {
+            ObjectKind::Html => "text/html; charset=utf-8",
+            ObjectKind::JavaScript => "application/javascript",
+            ObjectKind::StyleSheet => "text/css",
+            ObjectKind::Image => "image/png",
+            ObjectKind::Font => "font/woff2",
+            ObjectKind::Other => "application/octet-stream",
+        }
+    }
+}
+
+/// One servable resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebObject {
+    /// Identifier within the site.
+    pub id: ObjectId,
+    /// Request path.
+    pub path: String,
+    /// Resource kind.
+    pub kind: ObjectKind,
+    /// Body size in bytes. This is the attack's side channel.
+    pub size: usize,
+}
+
+impl WebObject {
+    /// Creates an object.
+    pub fn new(id: ObjectId, path: impl Into<String>, kind: ObjectKind, size: usize) -> Self {
+        WebObject {
+            id,
+            path: path.into(),
+            kind,
+            size,
+        }
+    }
+
+    /// Deterministic body content: repeatable filler derived from the id,
+    /// so retransmitted copies are byte-identical (as real static objects
+    /// are) and tests can verify end-to-end integrity.
+    pub fn body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size);
+        let mut state = (self.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        while out.len() < self.size {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            out.push((state.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8);
+        }
+        out.truncate(self.size);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_matches_size_and_is_deterministic() {
+        let o = WebObject::new(ObjectId(3), "/a.png", ObjectKind::Image, 9_500);
+        assert_eq!(o.body().len(), 9_500);
+        assert_eq!(o.body(), o.body());
+    }
+
+    #[test]
+    fn different_objects_have_different_bodies() {
+        let a = WebObject::new(ObjectId(1), "/a", ObjectKind::Other, 100);
+        let b = WebObject::new(ObjectId(2), "/b", ObjectKind::Other, 100);
+        assert_ne!(a.body(), b.body());
+    }
+
+    #[test]
+    fn zero_size_body_is_empty() {
+        let o = WebObject::new(ObjectId(1), "/e", ObjectKind::Other, 0);
+        assert!(o.body().is_empty());
+    }
+
+    #[test]
+    fn content_types_are_distinct_for_main_kinds() {
+        assert_ne!(
+            ObjectKind::Html.content_type(),
+            ObjectKind::Image.content_type()
+        );
+        assert!(ObjectKind::Image.content_type().starts_with("image/"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", ObjectId(6)), "obj6");
+    }
+}

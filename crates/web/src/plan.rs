@@ -1,0 +1,122 @@
+//! Browsing plans: when the client requests what.
+//!
+//! The paper's Table II pins the inter-request timing of the target page
+//! (e.g. consecutive emblem images issued 0.1–2 ms apart, the result HTML
+//! 500 ms after its predecessor). A [`BrowsePlan`] encodes that structure
+//! as *phases*: a phase's requests are scheduled relative to its trigger
+//! (session start, or completion of a prerequisite object — the way real
+//! pages gate embedded fetches on HTML/JS arrival).
+
+use h2priv_netsim::SimDuration;
+
+use crate::object::ObjectId;
+
+/// What starts a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// The session start.
+    Start,
+    /// Completion (full receipt) of a prerequisite object.
+    AfterComplete(ObjectId),
+}
+
+/// One request within a phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Object to request (paths are resolved against the site at build
+    /// time; the id is authoritative).
+    pub object: ObjectId,
+    /// Gap after the *previous request in the phase* was issued (for the
+    /// first step: after the phase fire time).
+    pub gap: SimDuration,
+}
+
+/// A group of requests sharing a trigger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// What releases the phase.
+    pub trigger: Trigger,
+    /// Extra delay between the trigger and the first request (parse / JS
+    /// execution time).
+    pub delay: SimDuration,
+    /// The requests.
+    pub steps: Vec<PlanStep>,
+    /// Whether a stalled request of this phase is re-issued after its
+    /// stream is reset. Resources of a page being navigated away from are
+    /// abandoned (`false`); resources of the current page are re-fetched
+    /// (`true`) — the paper's "the client resends GET requests if a high
+    /// priority object is not yet received" (§IV-D).
+    pub reissue: bool,
+}
+
+/// A complete browsing session plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BrowsePlan {
+    /// Phases in declaration order (triggers may interleave them in time).
+    pub phases: Vec<Phase>,
+}
+
+impl BrowsePlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        BrowsePlan::default()
+    }
+
+    /// Appends a phase (builder style).
+    pub fn with_phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Total number of requests across all phases.
+    pub fn request_count(&self) -> usize {
+        self.phases.iter().map(|p| p.steps.len()).sum()
+    }
+
+    /// Iterates all planned object ids in declaration order.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.phases
+            .iter()
+            .flat_map(|p| p.steps.iter().map(|s| s.object))
+    }
+
+    /// The position of `object` in declaration order (the "n-th GET" the
+    /// paper's monitor counts), if planned.
+    pub fn request_index(&self, object: ObjectId) -> Option<usize> {
+        self.objects().position(|o| o == object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(id: u32, gap_ms: u64) -> PlanStep {
+        PlanStep {
+            object: ObjectId(id),
+            gap: SimDuration::from_millis(gap_ms),
+        }
+    }
+
+    #[test]
+    fn counting_and_indexing() {
+        let plan = BrowsePlan::new()
+            .with_phase(Phase {
+                trigger: Trigger::Start,
+                delay: SimDuration::ZERO,
+                steps: vec![step(0, 0), step(1, 100)],
+                reissue: false,
+            })
+            .with_phase(Phase {
+                trigger: Trigger::AfterComplete(ObjectId(1)),
+                delay: SimDuration::from_millis(30),
+                steps: vec![step(2, 0)],
+                reissue: true,
+            });
+        assert_eq!(plan.request_count(), 3);
+        assert_eq!(plan.request_index(ObjectId(2)), Some(2));
+        assert_eq!(plan.request_index(ObjectId(9)), None);
+        let ids: Vec<ObjectId> = plan.objects().collect();
+        assert_eq!(ids, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+    }
+}

@@ -1,0 +1,286 @@
+//! The website server application: request in, (possibly delayed)
+//! response out.
+//!
+//! Each accepted request becomes a *worker* — the paper's server "thread"
+//! (§IV, Fig. 3). A worker starts after a sampled service latency and then
+//! hands the whole object to the HTTP/2 mux, where the connection's
+//! [`SendPolicy`](h2priv_http2::SendPolicy) decides how concurrently-active
+//! workers interleave. The server is deliberately stateless across requests:
+//! a re-issued GET for an object already being served spawns another worker
+//! serving another copy — exactly the duplicate-service behaviour the paper
+//! reports under retransmitted requests (§IV-B).
+
+use h2priv_http2::{HeaderField, StreamId};
+use h2priv_netsim::{DurationDist, SimRng, SimTime};
+
+use crate::object::ObjectId;
+use crate::site::Website;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SiteServerConfig {
+    /// Latency between request arrival and the worker handing bytes to the
+    /// mux (disk/cache/application time).
+    pub worker_latency: DurationDist,
+    /// Size-padding defense: every response body is padded up to the next
+    /// multiple of this bucket, collapsing distinct object sizes onto a
+    /// few values. This is the classic countermeasure the paper's related
+    /// work proposes (refs \[17\]–\[21\]) at "unreasonable CPU and bandwidth
+    /// overheads"; the ablation bench quantifies both its protection and
+    /// its overhead against the serialization attack.
+    pub pad_bucket: Option<usize>,
+}
+
+impl Default for SiteServerConfig {
+    fn default() -> Self {
+        SiteServerConfig {
+            worker_latency: DurationDist::None,
+            pad_bucket: None,
+        }
+    }
+}
+
+/// A response ready to be transmitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Stream to respond on.
+    pub stream: StreamId,
+    /// Response header list.
+    pub headers: Vec<HeaderField>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+    /// The object served (`None` for 404s).
+    pub object: Option<ObjectId>,
+}
+
+#[derive(Debug)]
+struct Worker {
+    due: SimTime,
+    stream: StreamId,
+    object: Option<ObjectId>,
+}
+
+/// The server application state machine.
+#[derive(Debug)]
+pub struct SiteServer {
+    site: Website,
+    config: SiteServerConfig,
+    workers: Vec<Worker>,
+    requests_seen: u64,
+    rng: SimRng,
+}
+
+impl SiteServer {
+    /// Creates a server for `site`.
+    pub fn new(site: Website, config: SiteServerConfig, rng: SimRng) -> Self {
+        SiteServer {
+            site,
+            config,
+            workers: Vec::new(),
+            requests_seen: 0,
+            rng,
+        }
+    }
+
+    /// The site being served.
+    pub fn site(&self) -> &Website {
+        &self.site
+    }
+
+    /// Total requests accepted (including duplicates).
+    pub fn requests_seen(&self) -> u64 {
+        self.requests_seen
+    }
+
+    /// Accepts a request: spawns a worker. Returns the time at which the
+    /// worker will produce its response (the host should arrange a wakeup).
+    pub fn on_request(&mut self, stream: StreamId, path: &str, now: SimTime) -> SimTime {
+        self.requests_seen += 1;
+        let object = self.site.lookup(path).map(|o| o.id);
+        let due = now + self.rng.sample_duration(&self.config.worker_latency);
+        self.workers.push(Worker {
+            due,
+            stream,
+            object,
+        });
+        due
+    }
+
+    /// A stream was reset by the client: kill any worker still scheduled
+    /// for it (data already handed to the mux is the connection's problem —
+    /// it drops pending bytes on RST).
+    pub fn on_stream_reset(&mut self, stream: StreamId) {
+        self.workers.retain(|w| w.stream != stream);
+    }
+
+    /// The earliest pending worker deadline, if any.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        self.workers.iter().map(|w| w.due).min()
+    }
+
+    /// Pops every response whose worker is due at `now`.
+    pub fn due_responses(&mut self, now: SimTime) -> Vec<Response> {
+        let mut due = Vec::new();
+        let mut remaining = Vec::new();
+        for w in self.workers.drain(..) {
+            if w.due <= now {
+                due.push(w);
+            } else {
+                remaining.push(w);
+            }
+        }
+        // Deterministic service order for same-instant workers.
+        due.sort_by_key(|w| (w.due, w.stream));
+        self.workers = remaining;
+        due.into_iter()
+            .map(|w| match w.object {
+                Some(id) => {
+                    let obj = self.site.object(id).expect("worker references site object");
+                    let mut body = obj.body();
+                    if let Some(bucket) = self.config.pad_bucket {
+                        let padded = body.len().div_ceil(bucket.max(1)) * bucket.max(1);
+                        body.resize(padded, 0);
+                    }
+                    Response {
+                        stream: w.stream,
+                        headers: vec![
+                            HeaderField::new(":status", "200"),
+                            HeaderField::new("content-type", obj.kind.content_type()),
+                            HeaderField::new("content-length", body.len().to_string()),
+                            HeaderField::new("server", "h2priv-sim/0.1"),
+                            HeaderField::new("cache-control", "no-store"),
+                        ],
+                        body,
+                        object: Some(id),
+                    }
+                }
+                None => Response {
+                    stream: w.stream,
+                    headers: vec![
+                        HeaderField::new(":status", "404"),
+                        HeaderField::new("content-type", "text/plain"),
+                        HeaderField::new("server", "h2priv-sim/0.1"),
+                    ],
+                    body: b"not found".to_vec(),
+                    object: None,
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKind;
+    use h2priv_netsim::SimDuration;
+
+    fn server() -> SiteServer {
+        let mut site = Website::new();
+        site.add("/page.html", ObjectKind::Html, 9_500);
+        site.add("/img.png", ObjectKind::Image, 5_000);
+        SiteServer::new(site, SiteServerConfig::default(), SimRng::seed_from(1))
+    }
+
+    #[test]
+    fn serves_known_path() {
+        let mut s = server();
+        let due = s.on_request(StreamId(1), "/page.html", SimTime::ZERO);
+        assert_eq!(due, SimTime::ZERO);
+        let responses = s.due_responses(SimTime::ZERO);
+        assert_eq!(responses.len(), 1);
+        let r = &responses[0];
+        assert_eq!(r.stream, StreamId(1));
+        assert_eq!(r.body.len(), 9_500);
+        assert_eq!(r.object, Some(ObjectId(0)));
+        assert!(r.headers.contains(&HeaderField::new(":status", "200")));
+        assert!(r
+            .headers
+            .contains(&HeaderField::new("content-length", "9500")));
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let mut s = server();
+        s.on_request(StreamId(3), "/nope", SimTime::ZERO);
+        let responses = s.due_responses(SimTime::ZERO);
+        assert_eq!(responses[0].object, None);
+        assert!(responses[0]
+            .headers
+            .contains(&HeaderField::new(":status", "404")));
+    }
+
+    #[test]
+    fn worker_latency_defers_response() {
+        let mut site = Website::new();
+        site.add("/a", ObjectKind::Other, 10);
+        let cfg = SiteServerConfig {
+            worker_latency: DurationDist::Constant(SimDuration::from_millis(7)),
+            pad_bucket: None,
+        };
+        let mut s = SiteServer::new(site, cfg, SimRng::seed_from(1));
+        let due = s.on_request(StreamId(1), "/a", SimTime::ZERO);
+        assert_eq!(due, SimTime::from_millis(7));
+        assert!(s.due_responses(SimTime::from_millis(3)).is_empty());
+        assert_eq!(s.next_wakeup(), Some(SimTime::from_millis(7)));
+        assert_eq!(s.due_responses(SimTime::from_millis(7)).len(), 1);
+        assert_eq!(s.next_wakeup(), None);
+    }
+
+    #[test]
+    fn duplicate_requests_spawn_duplicate_workers() {
+        // The §IV-B behaviour: a re-issued GET is served again in full.
+        let mut s = server();
+        s.on_request(StreamId(1), "/img.png", SimTime::ZERO);
+        s.on_request(StreamId(5), "/img.png", SimTime::ZERO);
+        let responses = s.due_responses(SimTime::ZERO);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[0].body, responses[1].body);
+        assert_eq!(s.requests_seen(), 2);
+    }
+
+    #[test]
+    fn reset_kills_scheduled_worker() {
+        let mut site = Website::new();
+        site.add("/a", ObjectKind::Other, 10);
+        let cfg = SiteServerConfig {
+            worker_latency: DurationDist::Constant(SimDuration::from_millis(7)),
+            pad_bucket: None,
+        };
+        let mut s = SiteServer::new(site, cfg, SimRng::seed_from(1));
+        s.on_request(StreamId(1), "/a", SimTime::ZERO);
+        s.on_stream_reset(StreamId(1));
+        assert!(s.due_responses(SimTime::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn padding_rounds_bodies_up() {
+        let mut site = Website::new();
+        site.add("/a", ObjectKind::Image, 5_200);
+        site.add("/b", ObjectKind::Image, 6_800);
+        let cfg = SiteServerConfig {
+            pad_bucket: Some(4_096),
+            ..SiteServerConfig::default()
+        };
+        let mut s = SiteServer::new(site, cfg, SimRng::seed_from(1));
+        s.on_request(StreamId(1), "/a", SimTime::ZERO);
+        s.on_request(StreamId(3), "/b", SimTime::ZERO);
+        let responses = s.due_responses(SimTime::ZERO);
+        // Both land in the same 8 KiB bucket: indistinguishable sizes.
+        assert_eq!(responses[0].body.len(), 8_192);
+        assert_eq!(responses[1].body.len(), 8_192);
+        assert!(responses[0]
+            .headers
+            .contains(&HeaderField::new("content-length", "8192")));
+    }
+
+    #[test]
+    fn same_instant_workers_serve_in_stream_order() {
+        let mut s = server();
+        s.on_request(StreamId(7), "/img.png", SimTime::ZERO);
+        s.on_request(StreamId(3), "/page.html", SimTime::ZERO);
+        let responses = s.due_responses(SimTime::ZERO);
+        assert_eq!(responses[0].stream, StreamId(3));
+        assert_eq!(responses[1].stream, StreamId(7));
+    }
+}

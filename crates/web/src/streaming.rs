@@ -1,0 +1,152 @@
+//! Streaming (DASH-like) traffic — the paper's second future-work
+//! direction (§VII: "Exploring the suitability of our technique for other
+//! types of web traffic, such as streaming", citing the QUIC ADU-inference
+//! work of ref \[27\]).
+//!
+//! A segmented video is a sequence of fixed-duration media chunks whose
+//! *sizes* track the content's instantaneous complexity — a per-title
+//! fingerprint. The player requests one segment per segment-duration, so
+//! the transfers are **naturally serialized**: the defining condition the
+//! isidewith attack has to engineer is already present, and an
+//! eavesdropper can read the size sequence straight off the record bursts.
+//! The `streaming_leak` example demonstrates exactly that.
+
+use h2priv_netsim::{SimDuration, SimRng};
+
+use crate::object::{ObjectId, ObjectKind};
+use crate::plan::{BrowsePlan, Phase, PlanStep, Trigger};
+use crate::site::Website;
+
+/// A titled, segmented video.
+#[derive(Debug, Clone)]
+pub struct Video {
+    /// Title (catalog key).
+    pub title: String,
+    /// Segment sizes in bytes — the title's fingerprint.
+    pub segment_sizes: Vec<usize>,
+}
+
+impl Video {
+    /// Synthesizes a title's segment-size fingerprint: a base bitrate with
+    /// scene-dependent excursions, deterministic per (title, seed).
+    pub fn synthesize(title: &str, segments: usize, seed: u64) -> Video {
+        let mut rng = SimRng::seed_from(seed ^ title.bytes().map(u64::from).sum::<u64>());
+        let base = 30_000 + rng.gen_range_u64(0..40_000) as usize;
+        let mut sizes = Vec::with_capacity(segments);
+        let mut scene = base;
+        for _ in 0..segments {
+            if rng.chance(0.3) {
+                // Scene change: jump to a new complexity level.
+                scene = base / 2 + rng.gen_range_u64(0..base as u64) as usize;
+            }
+            let wobble = rng.gen_range_u64(0..5_000) as usize;
+            sizes.push(scene + wobble);
+        }
+        Video {
+            title: title.to_owned(),
+            segment_sizes: sizes,
+        }
+    }
+
+    /// Normalized L1 distance between two size sequences (comparable
+    /// lengths assumed; extra segments are ignored).
+    pub fn distance(&self, observed: &[u64]) -> f64 {
+        let n = self.segment_sizes.len().min(observed.len());
+        if n == 0 {
+            return f64::MAX;
+        }
+        let mut acc = 0.0;
+        for (&expected, &seen) in self.segment_sizes.iter().zip(observed).take(n) {
+            let a = expected as f64;
+            let b = seen as f64;
+            acc += (a - b).abs() / a.max(1.0);
+        }
+        acc / n as f64
+    }
+}
+
+/// A streaming session: the site holds one video's segments; the plan
+/// requests them paced at the segment duration (the player's steady
+/// state).
+#[derive(Debug, Clone)]
+pub struct StreamingSession {
+    /// The website serving the segments.
+    pub site: Website,
+    /// The playback plan.
+    pub plan: BrowsePlan,
+    /// Segment object ids, in playback order.
+    pub segments: Vec<ObjectId>,
+}
+
+/// Builds a session streaming `video` with `segment_gap` between requests
+/// (the media segment duration).
+pub fn build_session(video: &Video, segment_gap: SimDuration) -> StreamingSession {
+    let mut site = Website::new();
+    let mut steps = Vec::new();
+    let mut segments = Vec::new();
+    for (i, &size) in video.segment_sizes.iter().enumerate() {
+        let id = site.add(
+            format!("/media/{}/seg{i:04}.m4s", video.title),
+            ObjectKind::Other,
+            size,
+        );
+        segments.push(id);
+        steps.push(PlanStep {
+            object: id,
+            gap: if i == 0 {
+                SimDuration::ZERO
+            } else {
+                segment_gap
+            },
+        });
+    }
+    let plan = BrowsePlan::new().with_phase(Phase {
+        trigger: Trigger::Start,
+        delay: SimDuration::ZERO,
+        steps,
+        reissue: true,
+    });
+    StreamingSession {
+        site,
+        plan,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_deterministic_and_distinct() {
+        let a1 = Video::synthesize("attack-of-the-clones", 20, 7);
+        let a2 = Video::synthesize("attack-of-the-clones", 20, 7);
+        let b = Video::synthesize("a-new-hope", 20, 7);
+        assert_eq!(a1.segment_sizes, a2.segment_sizes);
+        assert_ne!(a1.segment_sizes, b.segment_sizes);
+    }
+
+    #[test]
+    fn distance_is_zero_on_self() {
+        let v = Video::synthesize("t", 10, 1);
+        let observed: Vec<u64> = v.segment_sizes.iter().map(|&s| s as u64).collect();
+        assert!(v.distance(&observed) < 1e-9);
+    }
+
+    #[test]
+    fn session_structure() {
+        let v = Video::synthesize("t", 12, 1);
+        let s = build_session(&v, SimDuration::from_secs(2));
+        assert_eq!(s.site.len(), 12);
+        assert_eq!(s.plan.request_count(), 12);
+        assert_eq!(s.plan.phases[0].steps[3].gap, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn distance_separates_titles() {
+        let a = Video::synthesize("title-a", 30, 3);
+        let b = Video::synthesize("title-b", 30, 3);
+        let observed_a: Vec<u64> = a.segment_sizes.iter().map(|&s| s as u64 + 300).collect();
+        assert!(a.distance(&observed_a) < b.distance(&observed_a));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the web model: schedule invariants of the
+//! browser under arbitrary plans, and isidewith structural guarantees for
+//! every survey outcome.
+
+use h2priv_http2::StreamId;
+use h2priv_netsim::{SimDuration, SimRng, SimTime};
+use h2priv_web::{
+    isidewith, BrowsePlan, Browser, BrowserCmd, BrowserConfig, ObjectId, ObjectKind, Phase,
+    PlanStep, Trigger, Website,
+};
+use proptest::prelude::*;
+
+fn arb_permutation() -> impl Strategy<Value = Vec<usize>> {
+    any::<u64>().prop_map(|seed| SimRng::seed_from(seed).permutation(8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The isidewith scenario holds its paper-pinned structure for every
+    /// possible survey outcome.
+    #[test]
+    fn isidewith_structure_for_any_outcome(order in arb_permutation()) {
+        let iw = isidewith::build(&order);
+        prop_assert_eq!(iw.site.len(), 53);
+        prop_assert_eq!(iw.plan.request_count(), 53);
+        prop_assert_eq!(iw.plan.request_index(iw.html), Some(5));
+        // The images are requested exactly in the golden order.
+        let phase_c = &iw.plan.phases[3];
+        let requested: Vec<ObjectId> = phase_c.steps[..8].iter().map(|s| s.object).collect();
+        let expected: Vec<ObjectId> = order.iter().map(|&p| iw.images[p]).collect();
+        prop_assert_eq!(requested, expected);
+        // Every image size is unique and in the paper's 5–16 KB band.
+        for (i, &img) in iw.images.iter().enumerate() {
+            let size = iw.site.object(img).unwrap().size;
+            prop_assert!((5_000..=16_000).contains(&size));
+            for &other in &iw.images[i + 1..] {
+                prop_assert_ne!(size, iw.site.object(other).unwrap().size);
+            }
+        }
+    }
+
+    /// Browser schedule: without noise, requests of a Start phase are
+    /// issued in order with exactly the planned cumulative gaps.
+    #[test]
+    fn browser_issues_planned_schedule(
+        gaps_ms in proptest::collection::vec(0u64..500, 1..12),
+    ) {
+        let mut site = Website::new();
+        let mut steps = Vec::new();
+        for (i, &gap) in gaps_ms.iter().enumerate() {
+            let id = site.add(format!("/o{i}"), ObjectKind::Other, 100);
+            steps.push(PlanStep {
+                object: id,
+                gap: SimDuration::from_millis(gap),
+            });
+        }
+        let plan = BrowsePlan::new().with_phase(Phase {
+            trigger: Trigger::Start,
+            delay: SimDuration::ZERO,
+            steps,
+            reissue: true,
+        });
+        let config = BrowserConfig {
+            // The fixture never completes responses; stalls must not fire.
+            stall_timeout: SimDuration::from_secs(10_000),
+            ..BrowserConfig::default()
+        };
+        let mut browser = Browser::new(&site, plan, config, SimRng::seed_from(1));
+        browser.start(SimTime::ZERO);
+        // Walk wakeups until all requests are issued.
+        let mut issued: Vec<(SimTime, ObjectId)> = Vec::new();
+        let mut now = SimTime::ZERO;
+        let mut next_stream = 1u32;
+        for _ in 0..100 {
+            for cmd in browser.poll_cmds(now) {
+                if let BrowserCmd::SendRequest { req, object, .. } = cmd {
+                    issued.push((now, object));
+                    browser.note_stream(req, StreamId(next_stream));
+                    next_stream += 2;
+                }
+            }
+            match browser.next_wakeup() {
+                Some(t) if issued.len() < gaps_ms.len() => now = t.max(now),
+                _ => break,
+            }
+        }
+        prop_assert_eq!(issued.len(), gaps_ms.len());
+        let mut expected = SimTime::ZERO;
+        for (k, &gap) in gaps_ms.iter().enumerate() {
+            expected += SimDuration::from_millis(gap);
+            prop_assert_eq!(issued[k].0, expected, "request {}", k);
+        }
+    }
+
+    /// Outcome accounting: bytes reported per request equal bytes fed in,
+    /// and completion is monotone with respect to END_STREAM.
+    #[test]
+    fn browser_accounts_bytes(
+        chunks in proptest::collection::vec(1usize..5_000, 1..10),
+    ) {
+        let total: usize = chunks.iter().sum();
+        let mut site = Website::new();
+        let id = site.add("/x", ObjectKind::Other, total);
+        let plan = BrowsePlan::new().with_phase(Phase {
+            trigger: Trigger::Start,
+            delay: SimDuration::ZERO,
+            steps: vec![PlanStep { object: id, gap: SimDuration::ZERO }],
+            reissue: true,
+        });
+        let mut browser = Browser::new(&site, plan, BrowserConfig::default(), SimRng::seed_from(1));
+        browser.start(SimTime::ZERO);
+        let cmds = browser.poll_cmds(SimTime::ZERO);
+        let req = match &cmds[0] {
+            BrowserCmd::SendRequest { req, .. } => *req,
+            other => panic!("unexpected {other:?}"),
+        };
+        browser.note_stream(req, StreamId(1));
+        for (t, (i, &c)) in (1u64..).zip(chunks.iter().enumerate()) {
+            let last = i == chunks.len() - 1;
+            browser.on_data(StreamId(1), c, last, SimTime::from_millis(t));
+            if !last {
+                prop_assert!(!browser.is_done());
+            }
+        }
+        prop_assert!(browser.is_done());
+        let outcome = &browser.outcomes()[0];
+        prop_assert_eq!(outcome.bytes as usize, total);
+        prop_assert!(!outcome.failed);
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's headline scenario at scale: "volunteers" take the survey,
+//! the gateway adversary watches, and we report how often each volunteer's
+//! political ranking was recovered from encrypted traffic alone.
+//!
+//! ```text
+//! cargo run --release --example survey_fingerprint -- [volunteers]
+//! ```
+
+use h2priv::attack::experiment::{
+    analyze_trial, calibrate_size_map, objects_of_interest, run_paper_trial,
+};
+use h2priv::attack::AttackConfig;
+use h2priv::web::isidewith::PARTY_NAMES;
+
+fn main() {
+    let volunteers: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+
+    let (iw, _) = h2priv::attack::experiment::paper_scenario(0);
+    let objects = objects_of_interest(&iw);
+    let map = calibrate_size_map(&objects);
+    let attack = AttackConfig::paper_attack();
+
+    let mut full_recoveries = 0u64;
+    let mut rank_hits = [0u64; 8];
+    for volunteer in 0..volunteers {
+        let trial = run_paper_trial(volunteer, Some(&attack), |_| {});
+        let start = trial
+            .adversary
+            .as_ref()
+            .and_then(|a| a.analysis_start(&attack));
+        let analysis = analyze_trial(&trial, &map, &objects, start);
+        for (rank, &ok) in analysis.rank_correct.iter().enumerate() {
+            if ok {
+                rank_hits[rank] += 1;
+            }
+        }
+        if analysis.full_sequence_correct {
+            full_recoveries += 1;
+        }
+        if volunteer < 5 {
+            let golden: Vec<&str> = trial
+                .iw
+                .golden_order
+                .iter()
+                .map(|&p| PARTY_NAMES[p])
+                .collect();
+            let predicted: Vec<&str> = analysis
+                .predicted_parties
+                .iter()
+                .map(|&p| PARTY_NAMES[p])
+                .collect();
+            println!("volunteer {volunteer:>2}:");
+            println!("  actual leaning    {golden:?}");
+            println!("  adversary's guess {predicted:?}");
+        }
+    }
+    println!(
+        "\nfull ranking recovered for {full_recoveries}/{volunteers} volunteers ({:.0} %)",
+        full_recoveries as f64 * 100.0 / volunteers as f64
+    );
+    println!("per-rank accuracy:");
+    for (rank, hits) in rank_hits.iter().enumerate() {
+        println!(
+            "  choice #{}: {:>3.0} %",
+            rank + 1,
+            *hits as f64 * 100.0 / volunteers as f64
+        );
+    }
+}

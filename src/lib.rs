@@ -1,0 +1,19 @@
+//! # h2priv — facade crate
+//!
+//! Re-exports the whole `h2priv` workspace: the reproduction of
+//! *"Depending on HTTP/2 for Privacy? Good Luck!"* (DSN 2020).
+//!
+//! See the workspace `README.md` for an architecture overview, `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for paper-vs-measured
+//! results. Runnable examples live under `examples/`.
+
+#![warn(missing_docs)]
+
+pub use h2priv_analysis as analysis;
+pub use h2priv_core as attack;
+pub use h2priv_http2 as http2;
+pub use h2priv_netsim as netsim;
+pub use h2priv_tcp as tcp;
+pub use h2priv_testkit as testkit;
+pub use h2priv_tls as tls;
+pub use h2priv_web as web;

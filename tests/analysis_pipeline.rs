@@ -1,0 +1,132 @@
+//! Cross-crate integration of the eavesdropper's pipeline: the passive
+//! observer's reconstruction must agree with ground truth exactly where the
+//! paper says it can — and must fail where multiplexing protects the page.
+
+use h2priv::analysis::{app_data_records, extract_records, segment_bursts};
+use h2priv::attack::experiment::{
+    calibrate_size_map, objects_of_interest, run_paper_trial, BURST_GAP,
+};
+use h2priv::attack::{identify_bursts, AttackConfig};
+use h2priv::netsim::Dir;
+use h2priv::tls::ContentType;
+
+#[test]
+fn observer_reconstructs_records_without_keys() {
+    let trial = run_paper_trial(1, None, |_| {});
+    let records = extract_records(&trial.result.trace);
+    assert!(!records.is_empty());
+    // Handshake records precede application data in each direction.
+    let first_app = records
+        .iter()
+        .position(|r| r.content_type == ContentType::ApplicationData)
+        .expect("app data present");
+    let first_hs = records
+        .iter()
+        .position(|r| r.content_type == ContentType::Handshake)
+        .expect("handshake present");
+    assert!(first_hs < first_app);
+    // Total reconstructed s2c application plaintext must cover the site's
+    // response bytes (body + frame overhead).
+    let s2c_plain: usize = app_data_records(&records, Dir::RightToLeft)
+        .iter()
+        .map(|r| r.plaintext_len())
+        .sum();
+    assert!(
+        s2c_plain as u64 >= trial.iw.site.total_bytes(),
+        "{s2c_plain} < site bytes"
+    );
+}
+
+#[test]
+fn calibrated_sizes_are_stable_and_distinct() {
+    let (iw, _) = h2priv::attack::experiment::paper_scenario(0);
+    let objects = objects_of_interest(&iw);
+    let map_a = calibrate_size_map(&objects);
+    let map_b = calibrate_size_map(&objects);
+    for &o in &objects {
+        let a = map_a.expected(o).expect("calibrated");
+        let b = map_b.expected(o).expect("calibrated");
+        assert_eq!(a, b, "calibration must be deterministic");
+        // The estimate sits just above the body size (frame overhead).
+        let body = iw.site.object(o).unwrap().size as u64;
+        assert!(
+            a >= body && a < body + body / 10 + 200,
+            "{o}: {a} vs {body}"
+        );
+    }
+    // All nine sizes resolve uniquely at the calibrated tolerance.
+    for &o in &objects {
+        let expected = map_a.expected(o).unwrap();
+        assert_eq!(map_a.match_size(expected), Some(o));
+    }
+}
+
+#[test]
+fn multiplexed_baseline_defeats_identification_of_the_html() {
+    let (iw0, _) = h2priv::attack::experiment::paper_scenario(0);
+    let objects = objects_of_interest(&iw0);
+    let map = calibrate_size_map(&objects);
+    let mut identified = 0;
+    let mut multiplexed_trials = 0;
+    for seed in 0..6 {
+        let trial = run_paper_trial(seed, None, |_| {});
+        if trial.result.truth.min_degree_for(trial.iw.html) == Some(0.0) {
+            continue; // naturally clean trial: identification is fair game
+        }
+        multiplexed_trials += 1;
+        let records = extract_records(&trial.result.trace);
+        let data = app_data_records(&records, Dir::RightToLeft);
+        let bursts = segment_bursts(&data, BURST_GAP);
+        let idents = identify_bursts(&map, &bursts);
+        if idents.iter().any(|i| i.object == trial.iw.html) {
+            identified += 1;
+        }
+    }
+    assert!(multiplexed_trials > 0, "expected some multiplexed trials");
+    assert!(
+        identified <= multiplexed_trials / 2,
+        "multiplexing should hide the HTML: {identified}/{multiplexed_trials} identified"
+    );
+}
+
+#[test]
+fn degree_zero_objects_are_identifiable_under_attack() {
+    let (iw0, _) = h2priv::attack::experiment::paper_scenario(0);
+    let objects = objects_of_interest(&iw0);
+    let map = calibrate_size_map(&objects);
+    let attack = AttackConfig::paper_attack();
+    let trial = run_paper_trial(0, Some(&attack), |_| {});
+    let start = trial
+        .adversary
+        .as_ref()
+        .and_then(|a| a.analysis_start(&attack))
+        .unwrap();
+    let records = extract_records(&trial.result.trace);
+    let mut data = app_data_records(&records, Dir::RightToLeft);
+    data.retain(|r| r.time >= start);
+    let bursts = segment_bursts(&data, BURST_GAP);
+    let idents = identify_bursts(&map, &bursts);
+    for &img in &trial.iw.images {
+        if trial.result.truth.min_degree_for(img) == Some(0.0) {
+            assert!(
+                idents.iter().any(|i| i.object == img),
+                "degree-0 image {img} should be identified"
+            );
+        }
+    }
+}
+
+#[test]
+fn observer_counts_match_tap_counts() {
+    // Sanity link between layers: every record the observer reconstructs
+    // fits inside the bytes the tap captured.
+    let trial = run_paper_trial(2, None, |_| {});
+    let records = extract_records(&trial.result.trace);
+    let recon: usize = records.iter().map(|r| r.wire_len).sum();
+    let captured: u64 = trial.result.trace.bytes_in_dir(Dir::LeftToRight)
+        + trial.result.trace.bytes_in_dir(Dir::RightToLeft);
+    assert!(
+        (recon as u64) < captured,
+        "reconstructed {recon} exceeds captured {captured}"
+    );
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration: a complete unattacked page load through the
+//! full stack (browser → HTTP/2 → TLS → TCP → simulated network → server)
+//! delivers every object, intact, with sensible traces and annotations.
+
+use h2priv::attack::experiment::{paper_scenario, run_paper_trial};
+use h2priv::netsim::{Dir, StopReason};
+
+#[test]
+fn baseline_page_load_completes_everything() {
+    let trial = run_paper_trial(3, None, |_| {});
+    assert!(!trial.result.broken, "baseline must not break");
+    assert!(matches!(
+        trial.result.stop,
+        StopReason::Halted | StopReason::Quiescent
+    ));
+    // 5 survey objects + HTML + 47 embedded.
+    assert_eq!(trial.result.outcomes.len(), 53);
+    for outcome in &trial.result.outcomes {
+        assert!(!outcome.failed, "{:?} failed", outcome.object);
+        let expected = trial.iw.site.object(outcome.object).unwrap().size as u64;
+        assert_eq!(
+            outcome.bytes, expected,
+            "{:?} delivered wrong byte count",
+            outcome.object
+        );
+    }
+}
+
+#[test]
+fn baseline_traffic_flows_in_both_directions() {
+    let trial = run_paper_trial(4, None, |_| {});
+    let c2s = trial.result.trace.bytes_in_dir(Dir::LeftToRight);
+    let s2c = trial.result.trace.bytes_in_dir(Dir::RightToLeft);
+    // The page is ≈ 2.7 MB of response data; requests are small.
+    assert!(s2c > 2_000_000, "s2c bytes = {s2c}");
+    assert!(c2s > 10_000 && c2s < s2c / 10, "c2s bytes = {c2s}");
+}
+
+#[test]
+fn ground_truth_covers_every_object() {
+    let trial = run_paper_trial(5, None, |_| {});
+    for object in trial.iw.site.objects() {
+        let instances = trial.result.truth.instances_of(object.id);
+        assert!(
+            !instances.is_empty(),
+            "{} has no ground-truth instances",
+            object.path
+        );
+        let complete = instances.iter().any(|&i| trial.result.truth.is_complete(i));
+        assert!(complete, "{} never completed", object.path);
+        // Annotated bytes cover at least the body (frames add overhead).
+        let best: u64 = instances
+            .iter()
+            .map(|&i| trial.result.truth.instance_bytes(i))
+            .max()
+            .unwrap();
+        assert!(
+            best >= object.size as u64,
+            "{}: {} annotated < {} body",
+            object.path,
+            best,
+            object.size
+        );
+    }
+}
+
+#[test]
+fn html_request_is_the_sixth_get() {
+    let (iw, _) = paper_scenario(0);
+    assert_eq!(iw.plan.request_index(iw.html), Some(5));
+}
+
+#[test]
+fn determinism_same_seed_identical_outcome() {
+    let a = run_paper_trial(11, None, |_| {});
+    let b = run_paper_trial(11, None, |_| {});
+    assert_eq!(a.result.trace.len(), b.result.trace.len());
+    assert_eq!(a.result.client_tcp, b.result.client_tcp);
+    assert_eq!(a.result.server_tcp, b.result.server_tcp);
+    let times_a: Vec<_> = a.result.outcomes.iter().map(|o| o.completed_at).collect();
+    let times_b: Vec<_> = b.result.outcomes.iter().map(|o| o.completed_at).collect();
+    assert_eq!(times_a, times_b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_paper_trial(1, None, |_| {});
+    let b = run_paper_trial(2, None, |_| {});
+    let t_a: Vec<_> = a.result.outcomes.iter().map(|o| o.completed_at).collect();
+    let t_b: Vec<_> = b.result.outcomes.iter().map(|o| o.completed_at).collect();
+    assert_ne!(t_a, t_b);
+}

@@ -1,0 +1,80 @@
+//! Integration tests of the experiment API surface that the benches and
+//! examples build on.
+
+use h2priv::attack::experiment::{
+    analyze_trial, calibrate_size_map, objects_of_interest, paper_scenario, run_paper_trial,
+};
+use h2priv::attack::{AttackConfig, AttackPhase};
+
+#[test]
+fn paper_scenario_derives_golden_from_seed() {
+    let (a1, _) = paper_scenario(9);
+    let (a2, _) = paper_scenario(9);
+    let (b, _) = paper_scenario(10);
+    assert_eq!(a1.golden_order, a2.golden_order);
+    assert_ne!(a1.golden_order, b.golden_order);
+    // Always a permutation of 0..8.
+    let mut sorted = b.golden_order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+}
+
+#[test]
+fn objects_of_interest_is_html_plus_images() {
+    let (iw, _) = paper_scenario(0);
+    let objects = objects_of_interest(&iw);
+    assert_eq!(objects.len(), 9);
+    assert_eq!(objects[0], iw.html);
+    assert_eq!(&objects[1..], &iw.images[..]);
+}
+
+#[test]
+fn analysis_start_prefers_gate_release() {
+    let attack = AttackConfig::paper_attack();
+    let trial = run_paper_trial(0, Some(&attack), |_| {});
+    let snap = trial.adversary.as_ref().unwrap();
+    assert!(snap.gate_released_at.is_some(), "gate should have released");
+    assert_eq!(snap.analysis_start(&attack), snap.gate_released_at);
+    // The gate releases after serialization begins.
+    assert!(snap.gate_released_at.unwrap() >= snap.serialize_start.unwrap());
+}
+
+#[test]
+fn jitter_only_snapshot_has_no_disruption() {
+    let attack = AttackConfig::jitter_only(h2priv::netsim::SimDuration::from_millis(50));
+    let trial = run_paper_trial(0, Some(&attack), |_| {});
+    let snap = trial.adversary.as_ref().unwrap();
+    assert!(snap.drop_window_end.is_none());
+    assert!(snap
+        .phase_log
+        .iter()
+        .all(|(_, p)| *p == AttackPhase::Observing));
+    assert!(snap.controller.dropped == 0);
+    assert!(snap.controller.gets_spaced > 0);
+}
+
+#[test]
+fn tweak_closure_reaches_the_scenario() {
+    // Shrinking the trial deadline must cut the run short.
+    let trial = run_paper_trial(0, None, |cfg| {
+        cfg.deadline = h2priv::netsim::SimDuration::from_millis(700);
+    });
+    assert!(trial
+        .result
+        .outcomes
+        .iter()
+        .any(|o| o.completed_at.is_none()));
+}
+
+#[test]
+fn analyze_trial_scores_against_any_object_set() {
+    let (iw0, _) = paper_scenario(0);
+    let objects = objects_of_interest(&iw0);
+    let map = calibrate_size_map(&objects);
+    let trial = run_paper_trial(0, None, |_| {});
+    // Score only the HTML.
+    let analysis = analyze_trial(&trial, &map, &objects[..1], None);
+    assert_eq!(analysis.objects.len(), 1);
+    // Rank vectors still come back sized 8.
+    assert_eq!(analysis.rank_correct.len(), 8);
+}
