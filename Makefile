@@ -1,0 +1,21 @@
+# Convenience targets; each is a thin wrapper over cargo.
+
+.PHONY: build test lint bench repro repro-quick
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test --workspace
+
+lint:
+	sh scripts/lint.sh
+
+bench:
+	cargo bench -p h2priv-bench
+
+repro:
+	cargo run --release -p h2priv-bench --bin repro
+
+repro-quick:
+	cargo run --release -p h2priv-bench --bin repro -- --quick --bench-json

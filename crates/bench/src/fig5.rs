@@ -16,12 +16,12 @@
 
 use h2priv_core::AttackConfig;
 use h2priv_netsim::{mbps, SimDuration};
-use serde::Serialize;
 
 use crate::common::{calibrated_map, run_batch};
+use crate::json::{object, Json, ToJson};
 
 /// One point of the regenerated Figure 5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5Point {
     /// Gateway bandwidth cap, Mbps.
     pub bandwidth_mbps: u64,
@@ -32,6 +32,17 @@ pub struct Fig5Point {
     pub success_pct: f64,
     /// Trials whose connection broke, percent.
     pub broken_pct: f64,
+}
+
+impl ToJson for Fig5Point {
+    fn to_json(&self) -> Json {
+        object([
+            ("bandwidth_mbps", self.bandwidth_mbps.to_json()),
+            ("retransmissions", self.retransmissions.to_json()),
+            ("success_pct", self.success_pct.to_json()),
+            ("broken_pct", self.broken_pct.to_json()),
+        ])
+    }
 }
 
 /// The paper's sweep, extended with sub-bottleneck points where our

@@ -1,0 +1,173 @@
+//! A minimal `std::time::Instant`-based micro-benchmark harness.
+//!
+//! The criterion crate is unavailable in offline builds, and the bench
+//! targets only need medians and throughput lines, so this module provides
+//! the subset the repo uses: named benchmark functions, automatic
+//! iteration-count calibration, and a stable one-line-per-bench report.
+//! Bench binaries (`harness = false`) build a [`Harness`], register
+//! closures, and call [`Harness::finish`].
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black-box optimization barrier, mirroring
+/// `criterion::black_box` so bench code reads the same.
+pub use std::hint::black_box;
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `group/name` label.
+    pub name: String,
+    /// Iterations in the measurement pass.
+    pub iters: u64,
+    /// Wall time of the measurement pass.
+    pub total: Duration,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Optional bytes processed per iteration (enables MB/s output).
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl BenchReport {
+    fn render(&self) -> String {
+        let per_iter = if self.ns_per_iter >= 1e6 {
+            format!("{:.3} ms", self.ns_per_iter / 1e6)
+        } else if self.ns_per_iter >= 1e3 {
+            format!("{:.3} us", self.ns_per_iter / 1e3)
+        } else {
+            format!("{:.1} ns", self.ns_per_iter)
+        };
+        let mut line = format!(
+            "{:<46} {:>12}/iter  ({} iters)",
+            self.name, per_iter, self.iters
+        );
+        if let Some(bytes) = self.bytes_per_iter {
+            let mbps = bytes as f64 / (self.ns_per_iter / 1e9) / 1e6;
+            line.push_str(&format!("  {mbps:.0} MB/s"));
+        }
+        line
+    }
+}
+
+/// The bench registry and runner.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    target: Duration,
+    reports: Vec<BenchReport>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::from_args(std::env::args().skip(1))
+    }
+}
+
+impl Harness {
+    /// Builds a harness from CLI args: any non-flag argument is a substring
+    /// filter on benchmark names (`cargo bench -- hpack`). `--bench` (which
+    /// cargo passes) is ignored.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let filter = args.filter(|a| !a.starts_with("--")).last();
+        Harness {
+            filter,
+            target: Duration::from_millis(300),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Lowers the per-bench measurement budget (for expensive bodies).
+    pub fn measurement_time(&mut self, target: Duration) -> &mut Self {
+        self.target = target;
+        self
+    }
+
+    /// Runs one benchmark: calibrates an iteration count to roughly the
+    /// measurement budget, measures, and records the report.
+    pub fn bench(&mut self, name: &str, mut body: impl FnMut()) -> &mut Self {
+        self.bench_inner(name, None, &mut body)
+    }
+
+    /// Like [`Harness::bench`] with a bytes-per-iteration throughput label.
+    pub fn bench_throughput(
+        &mut self,
+        name: &str,
+        bytes_per_iter: u64,
+        mut body: impl FnMut(),
+    ) -> &mut Self {
+        self.bench_inner(name, Some(bytes_per_iter), &mut body)
+    }
+
+    fn bench_inner(
+        &mut self,
+        name: &str,
+        bytes_per_iter: Option<u64>,
+        body: &mut dyn FnMut(),
+    ) -> &mut Self {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return self;
+            }
+        }
+        // Calibration: run once, estimate, then scale to the budget.
+        let t0 = Instant::now();
+        body();
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        // Warmup pass (a quarter of the measured iterations, capped).
+        for _ in 0..(iters / 4).min(1_000) {
+            body();
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        let total = t0.elapsed();
+        let report = BenchReport {
+            name: name.to_owned(),
+            iters,
+            total,
+            ns_per_iter: total.as_nanos() as f64 / iters as f64,
+            bytes_per_iter,
+        };
+        println!("{}", report.render());
+        self.reports.push(report);
+        self
+    }
+
+    /// Completed reports (useful for custom summary lines).
+    pub fn reports(&self) -> &[BenchReport] {
+        &self.reports
+    }
+
+    /// Prints the trailer. Call at the end of `main`.
+    pub fn finish(&self) {
+        println!("\n{} benchmark(s) run", self.reports.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut h = Harness::from_args(std::iter::empty());
+        h.measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        h.bench("smoke/add", || {
+            count = black_box(count + 1);
+        });
+        assert_eq!(h.reports().len(), 1);
+        assert!(h.reports()[0].iters >= 1);
+        assert!(h.reports()[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut h = Harness::from_args(["nomatch".to_owned()].into_iter());
+        h.measurement_time(Duration::from_millis(5));
+        h.bench("smoke/other", || {});
+        assert!(h.reports().is_empty());
+    }
+}

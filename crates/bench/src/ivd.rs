@@ -10,12 +10,12 @@
 //! point, reporting the reset rate, the success rate, and breakage.
 
 use h2priv_core::AttackConfig;
-use serde::Serialize;
 
 use crate::common::{calibrated_map, run_batch};
+use crate::json::{object, Json, ToJson};
 
 /// One drop-rate point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IvdPoint {
     /// Drop probability, percent.
     pub drop_pct: u16,
@@ -26,6 +26,17 @@ pub struct IvdPoint {
     pub success_pct: f64,
     /// Trials whose connection broke, percent.
     pub broken_pct: f64,
+}
+
+impl ToJson for IvdPoint {
+    fn to_json(&self) -> Json {
+        object([
+            ("drop_pct", self.drop_pct.to_json()),
+            ("reset_pct", self.reset_pct.to_json()),
+            ("success_pct", self.success_pct.to_json()),
+            ("broken_pct", self.broken_pct.to_json()),
+        ])
+    }
 }
 
 /// The sweep: no drops, a sub-threshold rate, the paper's 80 %, and

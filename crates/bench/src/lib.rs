@@ -21,6 +21,9 @@ pub mod ablations;
 pub mod common;
 pub mod fig1;
 pub mod fig5;
+pub mod harness;
 pub mod ivd;
+pub mod json;
+pub mod runner;
 pub mod table1;
 pub mod table2;

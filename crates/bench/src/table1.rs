@@ -17,12 +17,12 @@
 
 use h2priv_core::AttackConfig;
 use h2priv_netsim::SimDuration;
-use serde::Serialize;
 
 use crate::common::{calibrated_map, run_batch};
+use crate::json::{object, Json, ToJson};
 
 /// One row of the regenerated Table I.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Per-request jitter increment, ms.
     pub jitter_ms: u64,
@@ -32,6 +32,20 @@ pub struct Table1Row {
     pub retransmission_increase_pct: f64,
     /// Trials whose connection broke, percent.
     pub broken_pct: f64,
+}
+
+impl ToJson for Table1Row {
+    fn to_json(&self) -> Json {
+        object([
+            ("jitter_ms", self.jitter_ms.to_json()),
+            ("non_multiplexed_pct", self.non_multiplexed_pct.to_json()),
+            (
+                "retransmission_increase_pct",
+                self.retransmission_increase_pct.to_json(),
+            ),
+            ("broken_pct", self.broken_pct.to_json()),
+        ])
+    }
 }
 
 /// The jitter values of Table I.

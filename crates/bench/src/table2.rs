@@ -11,12 +11,12 @@
 
 use h2priv_core::experiment::{paper_scenario, run_paper_trial};
 use h2priv_core::AttackConfig;
-use serde::Serialize;
 
 use crate::common::{calibrated_map, run_batch};
+use crate::json::{object, Json, ToJson};
 
 /// One column of the regenerated Table II.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Column {
     /// "HTML" or "I1" … "I8".
     pub object: String,
@@ -32,6 +32,18 @@ pub struct Table2Column {
     pub all_at_once_pct: f64,
 }
 
+impl ToJson for Table2Column {
+    fn to_json(&self) -> Json {
+        object([
+            ("object", self.object.to_json()),
+            ("gap_prev_ms", self.gap_prev_ms.to_json()),
+            ("gap_next_ms", self.gap_next_ms.to_json()),
+            ("one_at_a_time_pct", self.one_at_a_time_pct.to_json()),
+            ("all_at_once_pct", self.all_at_once_pct.to_json()),
+        ])
+    }
+}
+
 /// Regenerates Table II with `trials` attacked downloads (plus a small
 /// unattacked batch to measure the natural inter-request gaps).
 pub fn run(trials: u64) -> Vec<Table2Column> {
@@ -42,9 +54,7 @@ pub fn run(trials: u64) -> Vec<Table2Column> {
     // Natural gaps from a few unattacked loads: positions of the HTML and
     // the rank-k image requests within the issue sequence.
     let gap_trials = 10.min(trials).max(1);
-    let mut gaps_prev = vec![Vec::new(); 9];
-    let mut gaps_next = vec![Vec::new(); 9];
-    for seed in 0..gap_trials {
+    let per_seed = crate::runner::run_seeded(gap_trials, |seed| {
         let trial = run_paper_trial(seed, None, |_| {});
         // Issue times in plan order.
         let mut times: Vec<(u64, h2priv_web::ObjectId)> = trial
@@ -57,14 +67,30 @@ pub fn run(trials: u64) -> Vec<Table2Column> {
         let pos_of = |obj| times.iter().position(|&(_, o)| o == obj);
         let mut targets = vec![trial.iw.html];
         targets.extend(trial.iw.golden_order.iter().map(|&p| trial.iw.images[p]));
-        for (i, &obj) in targets.iter().enumerate() {
-            if let Some(pos) = pos_of(obj) {
-                if pos > 0 {
-                    gaps_prev[i].push((times[pos].0 - times[pos - 1].0) as f64 / 1e6);
-                }
-                if pos + 1 < times.len() {
-                    gaps_next[i].push((times[pos + 1].0 - times[pos].0) as f64 / 1e6);
-                }
+        let gaps: Vec<(usize, Option<f64>, Option<f64>)> = targets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &obj)| {
+                pos_of(obj).map(|pos| {
+                    let prev = (pos > 0).then(|| (times[pos].0 - times[pos - 1].0) as f64 / 1e6);
+                    let next = (pos + 1 < times.len())
+                        .then(|| (times[pos + 1].0 - times[pos].0) as f64 / 1e6);
+                    (i, prev, next)
+                })
+            })
+            .collect();
+        (trial.result.events, gaps)
+    });
+    crate::runner::record_events(per_seed.iter().map(|(ev, _)| ev).sum());
+    let mut gaps_prev = vec![Vec::new(); 9];
+    let mut gaps_next = vec![Vec::new(); 9];
+    for (_, gaps) in &per_seed {
+        for &(i, prev, next) in gaps {
+            if let Some(gap) = prev {
+                gaps_prev[i].push(gap);
+            }
+            if let Some(gap) = next {
+                gaps_next[i].push(gap);
             }
         }
     }

@@ -1,6 +1,11 @@
 //! Property-based tests of the HTTP/2 substrate: codec and HPACK
 //! roundtrips over arbitrary inputs, and connection-level conservation
 //! laws under arbitrary interleavings.
+//!
+//! Gated behind the `proptests` feature: the external `proptest` crate is
+//! unavailable in offline builds. Re-add the dev-dependency and enable the
+//! feature to run these.
+#![cfg(feature = "proptests")]
 
 use h2priv_http2::hpack::{Decoder, Encoder, HeaderField};
 use h2priv_http2::{

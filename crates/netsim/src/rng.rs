@@ -7,12 +7,14 @@
 //! "repeat the download 100 times" experiments meaningful here: trial *i*
 //! uses `base_seed + i`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
 
 /// Deterministic random number generator used throughout a simulation run.
+///
+/// Internally a xoshiro256\*\* generator seeded through SplitMix64, so the
+/// whole workspace is free of external RNG dependencies while keeping the
+/// statistical quality the simulator needs (jitter draws, loss coin flips,
+/// permutations).
 ///
 /// # Examples
 ///
@@ -25,22 +27,52 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// The xoshiro256\*\* next step: uniform over all of `u64`.
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Derives an independent child generator. Useful for giving a component
     /// its own stream so that adding draws in one component does not perturb
     /// another component's sequence.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.next_u64())
     }
 
     /// Uniform draw from a `u64` range.
@@ -48,12 +80,34 @@ impl SimRng {
         if range.is_empty() {
             return range.start;
         }
-        self.inner.gen_range(range)
+        let span = range.end - range.start;
+        range.start + self.bounded(span)
+    }
+
+    /// Uniform draw from `[0, bound)` (`bound` = 0 means the full `u64`
+    /// range). Debiased with Lemire-style rejection sampling.
+    fn bounded(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return self.next_u64();
+        }
+        // Rejection threshold: the largest multiple of `bound` ≤ 2^64.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
     }
 
     /// Uniform draw from `[0, 1)`.
     pub fn gen_unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 mantissa bits of a uniform u64 → [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
@@ -64,7 +118,7 @@ impl SimRng {
         if p >= 1.0 {
             return true;
         }
-        self.inner.gen::<f64>() < p
+        self.gen_unit_f64() < p
     }
 
     /// Samples a duration from `dist`.
@@ -76,24 +130,33 @@ impl SimRng {
     pub fn permutation(&mut self, n: usize) -> Vec<usize> {
         let mut v: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.bounded(i as u64 + 1) as usize;
             v.swap(i, j);
         }
         v
     }
 
-    /// Standard normal draw via Box–Muller (we avoid a `rand_distr`
-    /// dependency; the simulator only needs a handful of distributions).
+    /// Uniform draw from `(0, 1)` — never exactly zero, safe to `ln()`.
+    fn gen_open_unit_f64(&mut self) -> f64 {
+        loop {
+            let u = self.gen_unit_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Standard normal draw via Box–Muller (we avoid an external
+    /// distributions dependency; the simulator only needs a handful).
     fn standard_normal(&mut self) -> f64 {
-        // Guard against log(0).
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen();
+        let u1 = self.gen_open_unit_f64();
+        let u2 = self.gen_unit_f64();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
     /// Exponential draw with the given mean, via inverse transform.
     fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
+        let u = self.gen_open_unit_f64();
         -mean * u.ln()
     }
 }

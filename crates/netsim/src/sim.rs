@@ -122,9 +122,18 @@ pub struct Simulator<P> {
     queue: BinaryHeap<Entry<P>>,
     nodes: Vec<Option<Box<dyn Node<P>>>>,
     links: HashMap<(usize, usize), Link>,
+    /// Sorted out-neighbors per node, maintained incrementally by
+    /// [`Simulator::add_link_oneway`] so route misses never rebuild the
+    /// graph from `links.keys()`.
+    adjacency: Vec<Vec<usize>>,
     /// Next-hop cache: (from, dst) → neighbor. Invalidated on topology change.
     route_cache: HashMap<(usize, usize), Option<usize>>,
-    cancelled: HashSet<u64>,
+    /// Timers scheduled but not yet fired or cancelled. An id is removed
+    /// when its event pops (fired or skipped-as-cancelled), so the set is
+    /// bounded by the number of live timers.
+    pending_timers: HashSet<u64>,
+    /// Scratch effects buffer reused across event dispatches.
+    scratch: Vec<Effect<P>>,
     rng: SimRng,
     timer_seq: u64,
     packet_seq: u64,
@@ -144,8 +153,10 @@ impl<P: 'static> Simulator<P> {
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             links: HashMap::new(),
+            adjacency: Vec::new(),
             route_cache: HashMap::new(),
-            cancelled: HashSet::new(),
+            pending_timers: HashSet::new(),
+            scratch: Vec::new(),
             rng: SimRng::seed_from(seed),
             timer_seq: 0,
             packet_seq: 0,
@@ -166,6 +177,7 @@ impl<P: 'static> Simulator<P> {
     pub fn add_node(&mut self, node: Box<dyn Node<P>>) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Some(node));
+        self.adjacency.push(Vec::new());
         id
     }
 
@@ -179,6 +191,7 @@ impl<P: 'static> Simulator<P> {
     pub fn reserve_node_id(&mut self) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(None);
+        self.adjacency.push(Vec::new());
         id
     }
 
@@ -214,7 +227,17 @@ impl<P: 'static> Simulator<P> {
     pub fn add_link_oneway(&mut self, from: NodeId, to: NodeId, config: LinkConfig) {
         assert!(from.0 < self.nodes.len(), "add_link: unknown node {from}");
         assert!(to.0 < self.nodes.len(), "add_link: unknown node {to}");
-        self.links.insert((from.0, to.0), Link::new(config));
+        if self
+            .links
+            .insert((from.0, to.0), Link::new(config))
+            .is_none()
+        {
+            // New edge: keep the neighbor list sorted for deterministic BFS.
+            let neighbors = &mut self.adjacency[from.0];
+            if let Err(pos) = neighbors.binary_search(&to.0) {
+                neighbors.insert(pos, to.0);
+            }
+        }
         self.route_cache.clear();
     }
 
@@ -238,6 +261,12 @@ impl<P: 'static> Simulator<P> {
     /// Engine-level drop counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Number of timers currently armed (scheduled, neither fired nor
+    /// cancelled). Bounded bookkeeping: fired and cancelled ids are purged.
+    pub fn live_timers(&self) -> usize {
+        self.pending_timers.len()
     }
 
     /// Current simulated time.
@@ -283,7 +312,9 @@ impl<P: 'static> Simulator<P> {
             match entry.ev {
                 Ev::Deliver { to, packet } => self.dispatch_packet(to, packet),
                 Ev::Timer { node, token, id } => {
-                    if self.cancelled.remove(&id.0) {
+                    // A timer fires only while still pending; removing the
+                    // id here keeps the set bounded by live timers.
+                    if !self.pending_timers.remove(&id.0) {
                         continue;
                     }
                     self.dispatch_timer(node, token);
@@ -310,7 +341,7 @@ impl<P: 'static> Simulator<P> {
 
     fn dispatch_start(&mut self, node: NodeId) {
         let mut boxed = self.nodes[node.0].take().expect("node present");
-        let mut effects = Vec::new();
+        let mut effects = std::mem::take(&mut self.scratch);
         {
             let mut ctx = Context {
                 now: self.now,
@@ -322,12 +353,13 @@ impl<P: 'static> Simulator<P> {
             boxed.on_start(&mut ctx);
         }
         self.nodes[node.0] = Some(boxed);
-        self.apply_effects(node, effects);
+        self.apply_effects(node, &mut effects);
+        self.scratch = effects;
     }
 
     fn dispatch_packet(&mut self, node: NodeId, packet: Packet<P>) {
         let mut boxed = self.nodes[node.0].take().expect("node present");
-        let mut effects = Vec::new();
+        let mut effects = std::mem::take(&mut self.scratch);
         {
             let mut ctx = Context {
                 now: self.now,
@@ -339,12 +371,13 @@ impl<P: 'static> Simulator<P> {
             boxed.on_packet(packet, &mut ctx);
         }
         self.nodes[node.0] = Some(boxed);
-        self.apply_effects(node, effects);
+        self.apply_effects(node, &mut effects);
+        self.scratch = effects;
     }
 
     fn dispatch_timer(&mut self, node: NodeId, token: u64) {
         let mut boxed = self.nodes[node.0].take().expect("node present");
-        let mut effects = Vec::new();
+        let mut effects = std::mem::take(&mut self.scratch);
         {
             let mut ctx = Context {
                 now: self.now,
@@ -356,11 +389,13 @@ impl<P: 'static> Simulator<P> {
             boxed.on_timer(token, &mut ctx);
         }
         self.nodes[node.0] = Some(boxed);
-        self.apply_effects(node, effects);
+        self.apply_effects(node, &mut effects);
+        self.scratch = effects;
     }
 
-    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect<P>>) {
-        for effect in effects {
+    /// Applies and drains `effects`, leaving the buffer empty for reuse.
+    fn apply_effects(&mut self, node: NodeId, effects: &mut Vec<Effect<P>>) {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send(packet) => self.transmit(node, packet),
                 Effect::SendAfter(delay, packet) => {
@@ -368,10 +403,13 @@ impl<P: 'static> Simulator<P> {
                     self.schedule(at, Ev::Transmit { from: node, packet });
                 }
                 Effect::SetTimer { at, token, id } => {
+                    self.pending_timers.insert(id.0);
                     self.schedule(at, Ev::Timer { node, token, id });
                 }
                 Effect::CancelTimer(id) => {
-                    self.cancelled.insert(id.0);
+                    // Already-fired or unknown ids are no-ops, so the set
+                    // never accumulates dead entries.
+                    self.pending_timers.remove(&id.0);
                 }
                 Effect::Halt => {
                     self.halted = true;
@@ -411,7 +449,7 @@ impl<P: 'static> Simulator<P> {
         }
     }
 
-    /// BFS next-hop routing over the link graph, memoized.
+    /// BFS next-hop routing over the maintained adjacency lists, memoized.
     fn next_hop(&mut self, from: usize, dst: usize) -> Option<usize> {
         if from == dst {
             return None;
@@ -419,42 +457,32 @@ impl<P: 'static> Simulator<P> {
         if let Some(hit) = self.route_cache.get(&(from, dst)) {
             return *hit;
         }
-        // Adjacency from link keys.
-        let mut adj: HashMap<usize, Vec<usize>> = HashMap::new();
-        for &(a, b) in self.links.keys() {
-            adj.entry(a).or_default().push(b);
-        }
-        for neighbors in adj.values_mut() {
-            neighbors.sort_unstable(); // determinism
-        }
-        // BFS from `from`, recording each node's parent.
-        let mut parent: HashMap<usize, usize> = HashMap::new();
+        // BFS from `from` over the incrementally-maintained (and sorted,
+        // for determinism) adjacency, recording each node's parent in a
+        // dense table — node ids are vector indices.
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
         let mut frontier = std::collections::VecDeque::new();
         frontier.push_back(from);
-        parent.insert(from, from);
+        parent[from] = Some(from);
         while let Some(u) = frontier.pop_front() {
             if u == dst {
                 break;
             }
-            if let Some(neighbors) = adj.get(&u) {
-                for &v in neighbors {
-                    parent.entry(v).or_insert_with(|| {
-                        frontier.push_back(v);
-                        u
-                    });
+            for &v in &self.adjacency[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    frontier.push_back(v);
                 }
             }
         }
-        let hop = if parent.contains_key(&dst) {
+        let hop = parent[dst].map(|_| {
             // Walk back from dst to the neighbor of `from`.
             let mut cur = dst;
-            while parent[&cur] != from {
-                cur = parent[&cur];
+            while parent[cur] != Some(from) {
+                cur = parent[cur].expect("parent chain reaches from");
             }
-            Some(cur)
-        } else {
-            None
-        };
+            cur
+        });
         self.route_cache.insert((from, dst), hop);
         hop
     }
@@ -604,6 +632,68 @@ mod tests {
         }));
         sim.run();
         assert_eq!(*fired.borrow(), vec![2]);
+        assert_eq!(sim.live_timers(), 0, "timer bookkeeping must not leak");
+    }
+
+    #[test]
+    fn timer_bookkeeping_never_leaks() {
+        // Arms a timer each round and cancels the *previous* (already
+        // fired) one — the pattern that used to grow the cancelled set
+        // unboundedly.
+        struct CancelFired {
+            last: Option<crate::node::TimerId>,
+            rounds: u32,
+        }
+        impl Node<u32> for CancelFired {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                self.last = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+            }
+            fn on_packet(&mut self, _p: Packet<u32>, _ctx: &mut Context<'_, u32>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_, u32>) {
+                if let Some(id) = self.last.take() {
+                    ctx.cancel_timer(id); // no-op: it just fired
+                }
+                if self.rounds > 0 {
+                    self.rounds -= 1;
+                    self.last = Some(ctx.set_timer(SimDuration::from_millis(1), 0));
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_node(Box::new(CancelFired {
+            last: None,
+            rounds: 1_000,
+        }));
+        let summary = sim.run();
+        assert_eq!(summary.stop, StopReason::Quiescent);
+        assert_eq!(sim.live_timers(), 0, "fired/cancelled ids must be purged");
+    }
+
+    #[test]
+    fn links_added_after_traffic_are_routable() {
+        // The adjacency is maintained incrementally; a link added between
+        // runs must invalidate the cache and route correctly.
+        let mut sim = Simulator::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = sim.reserve_node_id();
+        let b = sim.reserve_node_id();
+        let c = sim.add_node(Box::new(Echo));
+        sim.install_node(
+            a,
+            Box::new(Probe {
+                peer: b,
+                log: log.clone(),
+            }),
+        );
+        sim.install_node(b, Box::new(Echo));
+        sim.add_link(a, b, LinkConfig::with_delay(SimDuration::from_millis(5)));
+        sim.run();
+        assert_eq!(log.borrow().len(), 1);
+        // No path a→c yet: transmitting toward c is unroutable.
+        // Now connect b→c and verify a→c routes through b.
+        sim.add_link(b, c, LinkConfig::with_delay(SimDuration::from_millis(5)));
+        let hop = sim.next_hop(a.0, c.0);
+        assert_eq!(hop, Some(b.0));
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Property-based tests of the simulator: conservation, ordering and
 //! timing invariants of links, gateways and the event engine.
+//!
+//! Gated behind the `proptests` feature: the external `proptest` crate is
+//! unavailable in offline builds. Re-add the dev-dependency and enable the
+//! feature to run these.
+#![cfg(feature = "proptests")]
 
 use std::cell::RefCell;
 use std::rc::Rc;

@@ -1,6 +1,11 @@
 //! Property-based tests of the TCP substrate: whatever the network does —
 //! loss, reordering, duplication — an established connection must deliver
 //! the exact byte stream, in order, or abort cleanly.
+//!
+//! Gated behind the `proptests` feature: the external `proptest` crate is
+//! unavailable in offline builds. Re-add the dev-dependency and enable the
+//! feature to run these.
+#![cfg(feature = "proptests")]
 
 use h2priv_netsim::{SimDuration, SimTime};
 use h2priv_tcp::{Reassembler, Seq, TcpConfig, TcpConnection, TcpSegment};

@@ -140,6 +140,8 @@ pub struct RunResult {
     pub broken: bool,
     /// The client-side abort reason, if any.
     pub client_abort: Option<AbortReason>,
+    /// Simulator events the trial processed (throughput accounting).
+    pub events: u64,
 }
 
 impl RunResult {
@@ -236,6 +238,7 @@ pub fn run_scenario(mut scenario: Scenario) -> RunResult {
         server_tcp: server.tcp_stats(),
         broken: client.dead || server.dead,
         client_abort: client.abort_reason(),
+        events: summary.events,
     }
 }
 

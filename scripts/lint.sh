@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Lint gate: the workspace must be clippy-clean (warnings are errors)
+# and rustfmt-clean. CI and `make lint` both run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all -- --check
+
+echo "lint: clean"
