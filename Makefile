@@ -1,6 +1,6 @@
 # Convenience targets; each is a thin wrapper over cargo.
 
-.PHONY: build test lint bench repro repro-quick
+.PHONY: build test lint bench bench-check repro repro-quick
 
 build:
 	cargo build --release --workspace
@@ -13,6 +13,9 @@ lint:
 
 bench:
 	cargo bench -p h2priv-bench
+
+bench-check:
+	sh scripts/bench_check.sh
 
 repro:
 	cargo run --release -p h2priv-bench --bin repro

@@ -75,7 +75,7 @@ mod tests {
             ack: Seq(0),
             flags: TcpFlags::SYN,
             window: 1000,
-            payload: Vec::new(),
+            payload: h2priv_bytes::SharedBytes::new(),
         }
     }
 
@@ -85,7 +85,7 @@ mod tests {
             ack: Seq(0),
             flags: TcpFlags::ACK,
             window: 1000,
-            payload: payload.to_vec(),
+            payload: payload.to_vec().into(),
         }
     }
 

@@ -5,6 +5,7 @@
 //! An [`ObservedPacket`] is exactly that: TCP/IP header fields, sizes,
 //! timing, and the (encrypted) payload octets — never any decryption key.
 
+use h2priv_bytes::SharedBytes;
 use h2priv_netsim::{Dir, SimTime};
 use h2priv_tcp::{TcpFlags, TcpSegment};
 
@@ -24,8 +25,9 @@ pub struct ObservedPacket {
     /// TCP flags.
     pub flags: TcpFlags,
     /// The encrypted payload octets (copyable off the wire; opaque without
-    /// the session keys).
-    pub payload: Vec<u8>,
+    /// the session keys). A shared view of the captured segment's bytes —
+    /// capturing does not copy the payload.
+    pub payload: SharedBytes,
 }
 
 impl ObservedPacket {
@@ -101,7 +103,7 @@ mod tests {
             ack: Seq(2),
             flags: TcpFlags::ACK,
             window: 1000,
-            payload: vec![0xEE; len],
+            payload: vec![0xEE; len].into(),
         }
     }
 

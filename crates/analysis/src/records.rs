@@ -126,7 +126,7 @@ mod tests {
                 ack: Seq(0),
                 flags: TcpFlags::SYN,
                 window: 0,
-                payload: Vec::new(),
+                payload: h2priv_bytes::SharedBytes::new(),
             },
         ));
         for (i, chunk) in stream.chunks(1460).enumerate() {
@@ -138,7 +138,7 @@ mod tests {
                     ack: Seq(0),
                     flags: TcpFlags::ACK,
                     window: 0,
-                    payload: chunk.to_vec(),
+                    payload: chunk.into(),
                 },
             ));
         }

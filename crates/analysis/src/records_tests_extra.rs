@@ -34,7 +34,7 @@ impl Flow {
                 ack: Seq(0),
                 flags: TcpFlags::SYN,
                 window: 0,
-                payload: Vec::new(),
+                payload: h2priv_bytes::SharedBytes::new(),
             },
         )
     }
@@ -56,7 +56,7 @@ impl Flow {
                         ack: Seq(0),
                         flags: TcpFlags::ACK,
                         window: 0,
-                        payload: chunk.to_vec(),
+                        payload: chunk.to_vec().into(),
                     },
                 )
             })

@@ -13,7 +13,7 @@
 //! *interleaved* when they fall inside the transmission span of any other
 //! instance.
 
-use std::collections::HashMap;
+use h2priv_bytes::FxHashMap;
 
 use h2priv_http2::StreamId;
 use h2priv_web::ObjectId;
@@ -35,8 +35,8 @@ pub struct ObjectRange {
 #[derive(Debug, Clone, Default)]
 pub struct GroundTruth {
     ranges: Vec<ObjectRange>,
-    complete: HashMap<StreamId, bool>,
-    object_of: HashMap<StreamId, ObjectId>,
+    complete: FxHashMap<StreamId, bool>,
+    object_of: FxHashMap<StreamId, ObjectId>,
 }
 
 impl GroundTruth {
@@ -79,7 +79,7 @@ impl GroundTruth {
 
     /// Instances serving `object`, in first-byte order.
     pub fn instances_of(&self, object: ObjectId) -> Vec<StreamId> {
-        let mut firsts: HashMap<StreamId, u64> = HashMap::new();
+        let mut firsts: FxHashMap<StreamId, u64> = FxHashMap::default();
         for r in &self.ranges {
             if r.object == object {
                 let e = firsts.entry(r.instance).or_insert(r.start);
@@ -134,7 +134,7 @@ impl GroundTruth {
         let total: u64 = mine.iter().map(|r| r.end - r.start).sum();
 
         // Span overlap.
-        let mut spans: HashMap<StreamId, (u64, u64)> = HashMap::new();
+        let mut spans: FxHashMap<StreamId, (u64, u64)> = FxHashMap::default();
         for r in &self.ranges {
             if r.instance == instance {
                 continue;

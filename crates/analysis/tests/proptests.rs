@@ -135,7 +135,7 @@ proptest! {
                 ack: Seq(0),
                 flags: TcpFlags::ACK,
                 window: 0,
-                payload: c.to_vec(),
+                payload: c.to_vec().into(),
             })
             .collect();
         let n = segments.len();
@@ -148,7 +148,7 @@ proptest! {
             ack: Seq(0),
             flags: TcpFlags::SYN,
             window: 0,
-            payload: Vec::new(),
+            payload: h2priv_bytes::SharedBytes::new(),
         });
         let mut stream = Vec::new();
         for seg in &segments {

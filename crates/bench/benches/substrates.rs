@@ -40,7 +40,7 @@ fn bench_frame_codec(h: &mut Harness) {
     let frame = Frame::Data {
         stream_id: StreamId(7),
         end_stream: false,
-        data: vec![0xAB; 2048],
+        data: vec![0xAB; 2048].into(),
     };
     {
         let frame = frame.clone();

@@ -1,0 +1,91 @@
+//! A thread-local allocation-counting `GlobalAlloc`, for regression tests
+//! that assert a hot path is allocation-free.
+//!
+//! A test binary installs [`CountingAlloc`] as its `#[global_allocator]`
+//! and wraps the code under scrutiny in [`measure`]; the returned count is
+//! the number of heap allocations (`alloc`, `alloc_zeroed` and growing
+//! `realloc` calls) performed by the *current thread* while the closure
+//! ran. Counting is off by default, so the rest of the test binary —
+//! harness, setup, assertions — runs at full speed and unobserved.
+//!
+//! This module needs `unsafe` (the `GlobalAlloc` contract), which is why
+//! it lives outside the `forbid(unsafe_code)` shared-slice module and
+//! behind the `count-allocs` feature.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts this thread's allocations while enabled, delegating the actual
+/// memory management to [`System`].
+pub struct CountingAlloc;
+
+fn bump() {
+    // `Cell<bool>`/`Cell<u64>` have no destructors, so these accesses
+    // never re-enter the allocator.
+    if ENABLED.with(Cell::get) {
+        COUNT.with(|c| c.set(c.get() + 1));
+    }
+}
+
+// SAFETY: all calls delegate directly to `System`; the counting side
+// channel touches only const-initialized thread-local `Cell`s, which
+// neither allocate nor unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Runs `f` with allocation counting enabled and returns `(result,
+/// allocations)` for the current thread. Nested calls count into the
+/// innermost `measure`.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let (was_enabled, before) = (ENABLED.with(Cell::get), COUNT.with(Cell::get));
+    ENABLED.with(|e| e.set(true));
+    let result = f();
+    ENABLED.with(|e| e.set(was_enabled));
+    let after = COUNT.with(Cell::get);
+    (result, after - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: these tests exercise the bookkeeping only; without
+    // `#[global_allocator] static A: CountingAlloc` in the binary the
+    // measured count stays 0. The end-to-end assertion lives in the TCP
+    // crate's zero-copy integration test, which does install it.
+
+    #[test]
+    fn measure_returns_closure_result() {
+        let (value, _count) = measure(|| 21 * 2);
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn measure_restores_disabled_state() {
+        let _ = measure(|| ());
+        assert!(!ENABLED.with(Cell::get));
+    }
+}

@@ -1,0 +1,27 @@
+//! Reference-counted shared byte slices — the zero-copy payload currency
+//! of the h2priv stack.
+//!
+//! Every layer of the simulated stack used to hand payload bytes to the
+//! next layer by copying them: the web server materialized object bodies,
+//! HTTP/2 drained them into DATA frames, TLS re-materialized record
+//! plaintext, and the TCP sender sliced `send_buf[a..b].to_vec()` for
+//! every segment *and retransmit*. [`SharedBytes`] replaces those copies
+//! with a reference-counted view (an `Arc`'d buffer plus offset/len):
+//! slicing, splitting and cloning are O(1) and allocation-free, so a
+//! sealed TLS record can flow from the sender's buffer through TCP
+//! segmentation, netsim packet clones and wire taps without its bytes
+//! ever being copied again.
+//!
+//! The type is deliberately minimal — think a std-only `bytes::Bytes`
+//! with exactly the operations the stack needs. Buffers are **immutable
+//! after construction**; all mutation is constructing new views.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "count-allocs")]
+pub mod count_alloc;
+pub mod fxhash;
+mod shared;
+
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use shared::SharedBytes;

@@ -1,0 +1,343 @@
+//! The shared-slice type itself. This module is `forbid(unsafe_code)`:
+//! all sharing is plain `Arc` reference counting.
+
+#![forbid(unsafe_code)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::{Arc, OnceLock};
+
+/// A cheaply cloneable, immutable view into a reference-counted byte
+/// buffer.
+///
+/// A `SharedBytes` is an `Arc<Vec<u8>>` plus an `(offset, len)` window.
+/// [`slice`](Self::slice), [`split_to`](Self::split_to) and `clone` are
+/// O(1): they bump the reference count and adjust the window, never
+/// touching the bytes. The backing buffer is freed when the last view
+/// into it drops.
+///
+/// The buffer is immutable after construction — there is no `&mut [u8]`
+/// access — which is what makes sharing across cloned netsim packets,
+/// wire taps and retransmission queues safe.
+///
+/// # Examples
+///
+/// ```
+/// use h2priv_bytes::SharedBytes;
+///
+/// let whole = SharedBytes::from_vec(vec![1, 2, 3, 4, 5]);
+/// let mid = whole.slice(1..4);
+/// assert_eq!(mid, [2, 3, 4][..]);
+/// assert_eq!(&mid[..2], &[2, 3]);
+///
+/// let mut rest = whole.clone();
+/// let head = rest.split_to(2);
+/// assert_eq!(head, [1, 2][..]);
+/// assert_eq!(rest, [3, 4, 5][..]);
+/// ```
+#[derive(Clone)]
+pub struct SharedBytes {
+    buf: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+/// The shared backing buffer of every empty `SharedBytes`, so that
+/// constructing one (pure ACK segments do, per received segment) never
+/// allocates.
+fn empty_buf() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+impl SharedBytes {
+    /// Creates an empty slice. Allocation-free.
+    pub fn new() -> SharedBytes {
+        SharedBytes {
+            buf: empty_buf(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wraps an owned buffer without copying it (the `Vec` is moved into
+    /// the reference count).
+    pub fn from_vec(vec: Vec<u8>) -> SharedBytes {
+        if vec.is_empty() {
+            return SharedBytes::new();
+        }
+        let len = vec.len();
+        SharedBytes {
+            buf: Arc::new(vec),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Copies a borrowed slice into a fresh shared buffer. This is the
+    /// *one* deliberate copy at the boundary between borrowed and shared
+    /// bytes; everything downstream of it is copy-free.
+    pub fn copy_from_slice(data: &[u8]) -> SharedBytes {
+        SharedBytes::from_vec(data.to_vec())
+    }
+
+    /// Number of bytes in this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// Returns a sub-view of `range` (relative to this view), sharing the
+    /// same backing buffer. O(1), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> SharedBytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for SharedBytes of len {}",
+            self.len
+        );
+        SharedBytes {
+            buf: Arc::clone(&self.buf),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Splits the view at `at`: returns `[0, at)` and leaves `[at, len)`
+    /// in `self`. Both halves share the backing buffer. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> SharedBytes {
+        let head = self.slice(..at);
+        self.off += at;
+        self.len -= at;
+        head
+    }
+
+    /// Copies the viewed bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> Self {
+        SharedBytes::new()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for SharedBytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(vec: Vec<u8>) -> SharedBytes {
+        SharedBytes::from_vec(vec)
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(data: &[u8]) -> SharedBytes {
+        SharedBytes::copy_from_slice(data)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for SharedBytes {
+    fn from(data: &[u8; N]) -> SharedBytes {
+        SharedBytes::copy_from_slice(data)
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl Hash for SharedBytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<SharedBytes> for [u8] {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for SharedBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<SharedBytes> for Vec<u8> {
+    fn eq(&self, other: &SharedBytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for SharedBytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_views() {
+        let e = SharedBytes::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e, SharedBytes::default());
+        assert_eq!(e.as_slice(), &[] as &[u8]);
+        assert_eq!(SharedBytes::from_vec(Vec::new()), e);
+    }
+
+    #[test]
+    fn from_vec_views_all_bytes() {
+        let b = SharedBytes::from_vec(vec![1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b, [1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slicing_shares_the_buffer() {
+        let whole = SharedBytes::from_vec((0..100).collect());
+        let a = whole.slice(10..20);
+        let b = a.slice(5..);
+        assert_eq!(a.as_slice(), (10..20).collect::<Vec<u8>>().as_slice());
+        assert_eq!(b.as_slice(), (15..20).collect::<Vec<u8>>().as_slice());
+        // All three views point into one allocation.
+        assert!(Arc::ptr_eq(&whole.buf, &a.buf));
+        assert!(Arc::ptr_eq(&whole.buf, &b.buf));
+    }
+
+    #[test]
+    fn slice_range_forms() {
+        let b = SharedBytes::from_vec(vec![0, 1, 2, 3, 4]);
+        assert_eq!(b.slice(..), [0, 1, 2, 3, 4]);
+        assert_eq!(b.slice(2..), [2, 3, 4]);
+        assert_eq!(b.slice(..3), [0, 1, 2]);
+        assert_eq!(b.slice(1..=3), [1, 2, 3]);
+        assert!(b.slice(5..).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        SharedBytes::from_vec(vec![1, 2]).slice(..3);
+    }
+
+    #[test]
+    fn split_to_partitions() {
+        let mut b = SharedBytes::from_vec(vec![1, 2, 3, 4]);
+        let head = b.split_to(1);
+        assert_eq!(head, [1]);
+        assert_eq!(b, [2, 3, 4]);
+        let rest = b.split_to(3);
+        assert_eq!(rest, [2, 3, 4]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn equality_and_hash_follow_content() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = SharedBytes::from_vec(vec![9, 9]).slice(1..);
+        let b = SharedBytes::from_vec(vec![0, 9]).slice(1..);
+        assert_eq!(a, b);
+        assert_eq!(a, [9]);
+        assert_eq!(a, vec![9u8]);
+        assert_eq!(vec![9u8], a);
+        assert_eq!(a, [9u8][..]);
+        let hash = |x: &SharedBytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let b = SharedBytes::from_vec(b"hello world".to_vec());
+        assert!(b.starts_with(b"hello"));
+        assert_eq!(&b[6..], b"world");
+        fn takes_slice(s: &[u8]) -> usize {
+            s.len()
+        }
+        assert_eq!(takes_slice(&b), 11);
+    }
+
+    #[test]
+    fn debug_formats_as_bytes() {
+        let b = SharedBytes::from_vec(vec![1, 2]);
+        assert_eq!(format!("{b:?}"), "[1, 2]");
+    }
+}

@@ -357,7 +357,7 @@ mod tests {
                         ack: Seq(0),
                         flags: TcpFlags::SYN,
                         window: 0,
-                        payload: Vec::new(),
+                        payload: h2priv_bytes::SharedBytes::new(),
                     },
                     SimTime::ZERO,
                 );
@@ -376,7 +376,7 @@ mod tests {
                             ack: Seq(0),
                             flags: TcpFlags::ACK,
                             window: 0,
-                            payload: wire,
+                            payload: wire.into(),
                         },
                         SimTime::ZERO,
                     );
@@ -394,7 +394,7 @@ mod tests {
                     ack: Seq(0),
                     flags: TcpFlags::ACK,
                     window: 0,
-                    payload: wire,
+                    payload: wire.into(),
                 },
                 at,
             )
@@ -408,7 +408,7 @@ mod tests {
                     ack: Seq(0),
                     flags: TcpFlags::ACK,
                     window: 0,
-                    payload: vec![0xAA; 500],
+                    payload: vec![0xAA; 500].into(),
                 },
                 at,
             )
@@ -493,7 +493,7 @@ mod tests {
                 ack: Seq(2),
                 flags: TcpFlags::ACK,
                 window: 0,
-                payload: Vec::new(),
+                payload: h2priv_bytes::SharedBytes::new(),
             },
             SimTime::from_millis(5),
         );

@@ -49,6 +49,13 @@ pub mod experiment;
 mod monitor;
 mod predictor;
 
+/// The byte-sharing primitives of the stack ([`h2priv_bytes`]), re-exported
+/// so experiment code can name `h2priv_core::bytes::SharedBytes` without a
+/// separate dependency on the leaf crate.
+pub mod bytes {
+    pub use h2priv_bytes::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, SharedBytes};
+}
+
 pub use adversary::{Adversary, AttackConfig, AttackPhase};
 pub use controller::{ControllerStats, DropWindow, NetworkController};
 pub use monitor::{MonitorConfig, PacketInsight, TrafficMonitor};

@@ -143,7 +143,7 @@ mod tests {
                         ack: Seq(0),
                         flags: TcpFlags::SYN,
                         window: 0,
-                        payload: Vec::new(),
+                        payload: h2priv_bytes::SharedBytes::new(),
                     },
                 ));
             }
@@ -157,7 +157,7 @@ mod tests {
                         ack: Seq(0),
                         flags: TcpFlags::ACK,
                         window: 0,
-                        payload: chunk.to_vec(),
+                        payload: chunk.to_vec().into(),
                     },
                 ));
                 self.next_seq += chunk.len() as u32;
@@ -221,7 +221,7 @@ mod tests {
                 ack: Seq(0),
                 flags: TcpFlags::SYN,
                 window: 0,
-                payload: Vec::new(),
+                payload: h2priv_bytes::SharedBytes::new(),
             },
         );
         monitor.observe(&syn);
@@ -233,7 +233,7 @@ mod tests {
                 ack: Seq(0),
                 flags: TcpFlags::ACK,
                 window: 0,
-                payload: wire,
+                payload: wire.into(),
             },
         );
         let insight = monitor.observe(&data);

@@ -10,7 +10,7 @@
 //! abstains — ambiguity is a failure, exactly as in the paper's success
 //! criterion.
 
-use std::collections::HashMap;
+use h2priv_bytes::FxHashMap;
 
 use h2priv_analysis::Burst;
 use h2priv_web::{ObjectId, Website};
@@ -172,7 +172,7 @@ pub fn identify_bursts_with_pairs(map: &SizeMap, bursts: &[Burst]) -> Vec<Identi
 /// object's position is its first identification. Objects never identified
 /// are absent.
 pub fn predicted_order(idents: &[Identification], objects: &[ObjectId]) -> Vec<ObjectId> {
-    let mut first: HashMap<ObjectId, usize> = HashMap::new();
+    let mut first: FxHashMap<ObjectId, usize> = FxHashMap::default();
     for (i, ident) in idents.iter().enumerate() {
         first.entry(ident.object).or_insert(i);
     }

@@ -180,9 +180,15 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
 }
 
 /// Incremental frame parser over a byte stream.
+///
+/// Consumed frames advance a cursor rather than draining the front of the
+/// buffer, so parsing a frame does not `memmove` the bytes behind it; the
+/// consumed prefix is reclaimed when parsing pauses for more bytes.
 #[derive(Debug, Clone)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    pos: usize,
     max_frame_size: usize,
     /// Client preface bytes still expected (server side only).
     preface_remaining: usize,
@@ -198,6 +204,7 @@ impl FrameDecoder {
     pub fn new(expect_preface: bool) -> Self {
         FrameDecoder {
             buf: Vec::new(),
+            pos: 0,
             max_frame_size: DEFAULT_MAX_FRAME_SIZE,
             preface_remaining: if expect_preface {
                 CLIENT_PREFACE.len()
@@ -218,6 +225,15 @@ impl FrameDecoder {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Reclaims the consumed prefix. Called only when parsing pauses, so
+    /// the cost is once per burst of frames, not once per frame.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
     /// Attempts to parse the next frame; `Ok(None)` means more bytes are
     /// needed.
     ///
@@ -226,35 +242,42 @@ impl FrameDecoder {
     /// Fails on protocol violations; the connection must then GOAWAY.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameDecodeError> {
         if self.preface_remaining > 0 {
-            let take = self.preface_remaining.min(self.buf.len());
+            let avail = self.buf.len() - self.pos;
+            let take = self.preface_remaining.min(avail);
             let expected = &CLIENT_PREFACE[CLIENT_PREFACE.len() - self.preface_remaining..][..take];
-            if &self.buf[..take] != expected {
+            if &self.buf[self.pos..self.pos + take] != expected {
                 return Err(FrameDecodeError::BadPreface);
             }
-            self.buf.drain(..take);
+            self.pos += take;
             self.preface_remaining -= take;
             if self.preface_remaining > 0 {
+                self.compact();
                 return Ok(None);
             }
         }
-        if self.buf.len() < FRAME_HEADER_LEN {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER_LEN {
+            self.compact();
             return Ok(None);
         }
-        let len =
-            ((self.buf[0] as usize) << 16) | ((self.buf[1] as usize) << 8) | self.buf[2] as usize;
+        let len = ((avail[0] as usize) << 16) | ((avail[1] as usize) << 8) | avail[2] as usize;
         if len > self.max_frame_size {
             return Err(FrameDecodeError::FrameTooLarge);
         }
-        if self.buf.len() < FRAME_HEADER_LEN + len {
+        if avail.len() < FRAME_HEADER_LEN + len {
+            self.compact();
             return Ok(None);
         }
-        let ftype = self.buf[3];
-        let fl = self.buf[4];
-        let stream_id = StreamId(
-            u32::from_be_bytes([self.buf[5], self.buf[6], self.buf[7], self.buf[8]]) & 0x7FFF_FFFF,
-        );
-        let payload: Vec<u8> = self.buf[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
-        self.buf.drain(..FRAME_HEADER_LEN + len);
+        let ftype = avail[3];
+        let fl = avail[4];
+        let stream_id =
+            StreamId(u32::from_be_bytes([avail[5], avail[6], avail[7], avail[8]]) & 0x7FFF_FFFF);
+        let payload: Vec<u8> = avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        self.pos += FRAME_HEADER_LEN + len;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
         let Some(ftype) = FrameType::from_u8(ftype) else {
             // RFC 7540 §4.1: unknown types are ignored.
             return self.next_frame();
@@ -285,7 +308,7 @@ impl FrameDecoder {
                 Ok(Some(Frame::Data {
                     stream_id,
                     end_stream: fl & flags::END_STREAM != 0,
-                    data,
+                    data: data.into(),
                 }))
             }
             FrameType::Headers => {
@@ -428,7 +451,7 @@ mod tests {
         roundtrip(Frame::Data {
             stream_id: StreamId(5),
             end_stream: true,
-            data: vec![1, 2, 3],
+            data: vec![1, 2, 3].into(),
         });
         roundtrip(Frame::Headers {
             stream_id: StreamId(1),
@@ -475,7 +498,7 @@ mod tests {
         let bytes = encode_frame(&Frame::Data {
             stream_id: StreamId(5),
             end_stream: true,
-            data: vec![0xAA; 300],
+            data: vec![0xAA; 300].into(),
         });
         assert_eq!(bytes.len(), 9 + 300);
         assert_eq!(&bytes[..3], &[0, 1, 44]); // length 300
@@ -530,7 +553,7 @@ mod tests {
         let bytes = encode_frame(&Frame::Data {
             stream_id: StreamId(1),
             end_stream: false,
-            data: vec![0; 17],
+            data: vec![0; 17].into(),
         });
         dec.push(&bytes);
         assert_eq!(dec.next_frame(), Err(FrameDecodeError::FrameTooLarge));

@@ -7,7 +7,11 @@
 //! metadata so the host can build ground-truth annotations), application
 //! events out via [`H2Connection::poll_event`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use h2priv_bytes::FxHashMap;
+
+use h2priv_bytes::SharedBytes;
 
 use crate::codec::{encode_frame, encode_headers_split, FrameDecoder, CLIENT_PREFACE};
 use crate::error::{ErrorCode, H2Error};
@@ -45,8 +49,8 @@ pub enum H2Event {
     Data {
         /// Stream the data arrived on.
         stream_id: StreamId,
-        /// The bytes.
-        data: Vec<u8>,
+        /// The bytes (shared with the decoded frame, not copied).
+        data: SharedBytes,
         /// Peer will send no more frames on this stream.
         end_stream: bool,
     },
@@ -120,6 +124,71 @@ pub struct H2Stats {
     pub conn_window_stalls: u64,
 }
 
+/// Body bytes queued on one stream, as a FIFO of shared chunks. The mux
+/// takes frame-sized prefixes: a take within the front chunk is an O(1)
+/// sub-slice (the common case — a response body is queued as one chunk),
+/// so scheduling bodies into DATA frames does not copy them.
+#[derive(Debug, Default)]
+struct PendingData {
+    chunks: VecDeque<SharedBytes>,
+    len: usize,
+}
+
+impl PendingData {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a chunk (empty chunks are ignored).
+    fn push(&mut self, chunk: SharedBytes) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.len += chunk.len();
+        self.chunks.push_back(chunk);
+    }
+
+    /// Removes and returns the first `n` queued bytes. Zero-copy when they
+    /// lie within the front chunk; a take spanning chunks merges them with
+    /// one copy.
+    fn take(&mut self, n: usize) -> SharedBytes {
+        debug_assert!(n <= self.len);
+        if n == 0 {
+            return SharedBytes::new();
+        }
+        self.len -= n;
+        let front = self.chunks.front_mut().expect("pending bytes exist");
+        if n < front.len() {
+            return front.split_to(n);
+        }
+        if n == front.len() {
+            return self.chunks.pop_front().expect("front chunk exists");
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let front = self.chunks.front_mut().expect("pending bytes exist");
+            if front.len() > remaining {
+                out.extend_from_slice(&front.split_to(remaining));
+                remaining = 0;
+            } else {
+                remaining -= front.len();
+                out.extend_from_slice(&self.chunks.pop_front().expect("front chunk exists"));
+            }
+        }
+        SharedBytes::from_vec(out)
+    }
+
+    fn clear(&mut self) {
+        self.chunks.clear();
+        self.len = 0;
+    }
+}
+
 #[derive(Debug)]
 struct StreamEntry {
     state: StreamState,
@@ -128,7 +197,7 @@ struct StreamEntry {
     /// Bytes consumed from the recv window since the last WINDOW_UPDATE.
     recv_consumed: u32,
     /// Body bytes the application queued, awaiting mux scheduling.
-    pending: VecDeque<u8>,
+    pending: PendingData,
     /// Send END_STREAM once `pending` drains.
     pending_end: bool,
     /// RFC 7540 priority weight (1–256; default 16). Only the
@@ -145,7 +214,7 @@ impl StreamEntry {
             send_window: FlowWindow::new(send_window),
             recv_window: FlowWindow::new(recv_window),
             recv_consumed: 0,
-            pending: VecDeque::new(),
+            pending: PendingData::default(),
             pending_end: false,
             weight: 16,
             credit: 0,
@@ -205,7 +274,7 @@ pub struct H2Connection {
     frame_decoder: FrameDecoder,
 
     next_stream_id: StreamId,
-    streams: HashMap<StreamId, StreamEntry>,
+    streams: FxHashMap<StreamId, StreamEntry>,
     /// Insertion-ordered ids of streams that may have pending data.
     data_order: Vec<StreamId>,
 
@@ -262,7 +331,7 @@ impl H2Connection {
                 Peer::Client => StreamId(1),
                 Peer::Server => StreamId(2),
             },
-            streams: HashMap::new(),
+            streams: FxHashMap::default(),
             data_order: Vec::new(),
             conn_send_window: FlowWindow::default(),
             conn_recv_window: FlowWindow::new(
@@ -420,9 +489,11 @@ impl H2Connection {
         Ok(())
     }
 
-    /// Queues body bytes on a stream; the mux schedules them under flow
-    /// control. `end_stream` marks the stream finished once these bytes
-    /// drain.
+    /// Queues body bytes on a stream, copying them once into a shared
+    /// chunk; the mux schedules them under flow control. `end_stream`
+    /// marks the stream finished once these bytes drain. Callers that
+    /// already hold a [`SharedBytes`] should use
+    /// [`send_data_shared`](Self::send_data_shared) and skip the copy.
     ///
     /// # Errors
     ///
@@ -433,6 +504,21 @@ impl H2Connection {
         data: &[u8],
         end_stream: bool,
     ) -> Result<(), H2Error> {
+        self.send_data_shared(stream_id, SharedBytes::copy_from_slice(data), end_stream)
+    }
+
+    /// Queues an already-shared body chunk on a stream without copying it:
+    /// the mux slices DATA frames straight out of this buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is unknown or cannot send.
+    pub fn send_data_shared(
+        &mut self,
+        stream_id: StreamId,
+        data: SharedBytes,
+        end_stream: bool,
+    ) -> Result<(), H2Error> {
         let entry = self
             .streams
             .get_mut(&stream_id)
@@ -440,7 +526,7 @@ impl H2Connection {
         if !entry.state.can_send() {
             return Err(H2Error::new(ErrorCode::StreamClosed, "stream cannot send"));
         }
-        entry.pending.extend(data);
+        entry.pending.push(data);
         if end_stream {
             entry.pending_end = true;
         }
@@ -631,7 +717,7 @@ impl H2Connection {
             .data_chunk_size
             .min(self.peer_settings.max_frame_size as usize);
         let n = entry.sendable().min(chunk_cap).min(conn_avail);
-        let data: Vec<u8> = entry.pending.drain(..n).collect();
+        let data = entry.pending.take(n);
         let end_stream = entry.pending.is_empty() && entry.pending_end;
         if end_stream {
             entry.pending_end = false;

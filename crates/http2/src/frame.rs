@@ -142,8 +142,9 @@ pub enum Frame {
         stream_id: StreamId,
         /// Last frame of the stream from this sender.
         end_stream: bool,
-        /// Payload bytes.
-        data: Vec<u8>,
+        /// Payload bytes — a shared slice of the queued body, so muxing a
+        /// body into frames does not copy it.
+        data: h2priv_bytes::SharedBytes,
     },
     /// HEADERS: an HPACK-encoded header block (always END_HEADERS in this
     /// model; CONTINUATION is supported on the wire but never emitted).
@@ -274,7 +275,7 @@ mod tests {
         let f = Frame::Data {
             stream_id: StreamId(3),
             end_stream: true,
-            data: vec![1],
+            data: vec![1].into(),
         };
         assert_eq!(f.frame_type(), FrameType::Data);
         assert_eq!(f.stream_id(), StreamId(3));

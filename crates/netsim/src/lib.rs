@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod heap;
 mod link;
 mod middlebox;
 mod node;

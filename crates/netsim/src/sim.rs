@@ -6,8 +6,10 @@
 //! with the same seed and the same construction order is bit-identical.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
 
+use h2priv_bytes::{FxHashMap, FxHashSet};
+
+use crate::heap::MinHeap4;
 use crate::link::{Link, LinkConfig, LinkDrop, LinkStats};
 use crate::node::{Context, Effect, Node, TimerId};
 use crate::packet::{NodeId, Packet};
@@ -48,8 +50,10 @@ impl<P> PartialOrd for Entry<P> {
 }
 impl<P> Ord for Entry<P> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // Natural order: the min-heap pops the earliest `(at, seq)` first.
+        // `seq` is unique, so this is a strict total order and event order
+        // never depends on the heap's tie-breaking.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
@@ -119,19 +123,19 @@ pub struct EngineStats {
 pub struct Simulator<P> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Entry<P>>,
+    queue: MinHeap4<Entry<P>>,
     nodes: Vec<Option<Box<dyn Node<P>>>>,
-    links: HashMap<(usize, usize), Link>,
+    links: FxHashMap<(usize, usize), Link>,
     /// Sorted out-neighbors per node, maintained incrementally by
     /// [`Simulator::add_link_oneway`] so route misses never rebuild the
     /// graph from `links.keys()`.
     adjacency: Vec<Vec<usize>>,
     /// Next-hop cache: (from, dst) → neighbor. Invalidated on topology change.
-    route_cache: HashMap<(usize, usize), Option<usize>>,
+    route_cache: FxHashMap<(usize, usize), Option<usize>>,
     /// Timers scheduled but not yet fired or cancelled. An id is removed
     /// when its event pops (fired or skipped-as-cancelled), so the set is
     /// bounded by the number of live timers.
-    pending_timers: HashSet<u64>,
+    pending_timers: FxHashSet<u64>,
     /// Scratch effects buffer reused across event dispatches.
     scratch: Vec<Effect<P>>,
     rng: SimRng,
@@ -150,12 +154,12 @@ impl<P: 'static> Simulator<P> {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: MinHeap4::new(),
             nodes: Vec::new(),
-            links: HashMap::new(),
+            links: FxHashMap::default(),
             adjacency: Vec::new(),
-            route_cache: HashMap::new(),
-            pending_timers: HashSet::new(),
+            route_cache: FxHashMap::default(),
+            pending_timers: FxHashSet::default(),
             scratch: Vec::new(),
             rng: SimRng::seed_from(seed),
             timer_seq: 0,

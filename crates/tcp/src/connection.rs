@@ -13,10 +13,12 @@
 //! timeouts — because those are the exact behaviours the paper's adversary
 //! provokes and exploits (§IV).
 
+use h2priv_bytes::SharedBytes;
 use h2priv_netsim::{SimDuration, SimTime};
 
 use crate::congestion::{CcPhase, NewReno};
 use crate::reassembly::Reassembler;
+use crate::rope::SendRope;
 use crate::rtt::RttEstimator;
 use crate::segment::{TcpFlags, TcpSegment, DEFAULT_MSS};
 use crate::seq::Seq;
@@ -143,8 +145,10 @@ pub struct TcpConnection {
     abort_reason: Option<AbortReason>,
 
     // ---- send side ----
-    /// Every byte ever written, indexed by stream offset.
-    send_buf: Vec<u8>,
+    /// Unacknowledged (and unsent) bytes, as a rope of shared chunks
+    /// indexed by absolute stream offset. The fully-acked prefix is
+    /// released as acknowledgments arrive.
+    send_buf: SendRope,
     /// First unacknowledged stream offset.
     snd_una: u64,
     /// Next offset to transmit.
@@ -216,7 +220,7 @@ impl TcpConnection {
                 TcpState::Closed
             },
             abort_reason: None,
-            send_buf: Vec::new(),
+            send_buf: SendRope::new(),
             snd_una: 0,
             snd_nxt: 0,
             snd_max: 0,
@@ -298,37 +302,63 @@ impl TcpConnection {
     /// Total bytes ever written to the send stream (the current stream
     /// length); the next written byte gets this offset.
     pub fn total_written(&self) -> u64 {
-        self.send_buf.len() as u64
+        self.send_buf.total()
     }
 
     /// Bytes written but not yet acknowledged by the peer (what a kernel
     /// would hold in the socket send buffer). Hosts use this for
     /// application-layer backpressure.
     pub fn buffered(&self) -> usize {
-        self.send_buf.len() - self.snd_una as usize
+        (self.send_buf.total() - self.snd_una) as usize
     }
 
     /// Bytes written but not yet sent.
     pub fn unsent(&self) -> usize {
-        self.send_buf.len() - self.snd_nxt as usize
+        (self.send_buf.total() - self.snd_nxt) as usize
+    }
+
+    /// Bytes *resident* in the send buffer right now — queued chunks not
+    /// yet released by acknowledgments. Unlike
+    /// [`total_written`](Self::total_written) this is a gauge, not a
+    /// cumulative counter: on a healthy connection it stays bounded by
+    /// the send window however much data the stream carries. Also
+    /// surfaced as [`TcpStats::send_buf_bytes`](crate::TcpStats).
+    pub fn send_buf_bytes(&self) -> usize {
+        self.send_buf.resident()
     }
 
     /// True when all written data (and FIN if closed) has been acknowledged.
     pub fn send_drained(&self) -> bool {
-        self.snd_una as usize == self.send_buf.len()
-            && (self.fin_offset.is_none() || self.fin_acked)
+        self.snd_una == self.send_buf.total() && (self.fin_offset.is_none() || self.fin_acked)
     }
 
     // ---- application surface --------------------------------------------
 
-    /// Queues application bytes for transmission. Returns the number of
-    /// bytes accepted (0 after `close()` or on a dead connection).
+    /// Queues application bytes for transmission, copying them once into
+    /// a fresh shared chunk. Returns the number of bytes accepted (0
+    /// after `close()` or on a dead connection). Callers that already
+    /// hold a [`SharedBytes`] should use
+    /// [`write_shared`](Self::write_shared) and skip the copy.
     pub fn write(&mut self, data: &[u8]) -> usize {
         if self.fin_offset.is_some() || self.state == TcpState::Aborted {
             return 0;
         }
-        self.send_buf.extend_from_slice(data);
+        self.send_buf.push(SharedBytes::copy_from_slice(data));
+        self.stats.send_buf_bytes = self.send_buf.resident() as u64;
         data.len()
+    }
+
+    /// Queues an already-shared chunk for transmission without copying
+    /// it: segmentation (and any retransmission) will hand out sub-slices
+    /// of this very buffer. Returns the number of bytes accepted.
+    pub fn write_shared(&mut self, data: SharedBytes) -> usize {
+        if self.fin_offset.is_some() || self.state == TcpState::Aborted {
+            return 0;
+        }
+        let len = data.len();
+        self.send_buf.push(data);
+        self.stats.send_buf_bytes = self.send_buf.resident() as u64;
+        len
     }
 
     /// Drains bytes received in order.
@@ -345,7 +375,7 @@ impl TcpConnection {
     /// transmitted. Further writes are rejected.
     pub fn close(&mut self) {
         if self.fin_offset.is_none() {
-            self.fin_offset = Some(self.send_buf.len() as u64);
+            self.fin_offset = Some(self.send_buf.total());
         }
     }
 
@@ -393,7 +423,7 @@ impl TcpConnection {
 
     // ---- segment construction -------------------------------------------
 
-    fn base_segment(&self, flags: TcpFlags, seq: Seq, payload: Vec<u8>) -> TcpSegment {
+    fn base_segment(&self, flags: TcpFlags, seq: Seq, payload: SharedBytes) -> TcpSegment {
         TcpSegment {
             seq,
             ack: if flags.ack {
@@ -416,7 +446,11 @@ impl TcpConnection {
         if self.rst_pending {
             self.rst_pending = false;
             self.stats.segments_sent += 1;
-            return Some(self.base_segment(TcpFlags::RST, self.wire_seq(self.snd_nxt), Vec::new()));
+            return Some(self.base_segment(
+                TcpFlags::RST,
+                self.wire_seq(self.snd_nxt),
+                SharedBytes::new(),
+            ));
         }
         match self.state {
             TcpState::Closed | TcpState::Aborted => None,
@@ -431,7 +465,11 @@ impl TcpConnection {
     fn poll_pure_ack(&mut self) -> Option<TcpSegment> {
         let ack = self.pending_acks.pop_front()?;
         self.stats.segments_sent += 1;
-        let mut seg = self.base_segment(TcpFlags::ACK, self.wire_seq(self.snd_nxt), Vec::new());
+        let mut seg = self.base_segment(
+            TcpFlags::ACK,
+            self.wire_seq(self.snd_nxt),
+            SharedBytes::new(),
+        );
         seg.ack = ack;
         Some(seg)
     }
@@ -443,7 +481,7 @@ impl TcpConnection {
         self.syn_in_flight = true;
         self.arm_rto(now);
         self.stats.segments_sent += 1;
-        Some(self.base_segment(TcpFlags::SYN, self.config.iss, Vec::new()))
+        Some(self.base_segment(TcpFlags::SYN, self.config.iss, SharedBytes::new()))
     }
 
     fn poll_syn_ack(&mut self, now: SimTime) -> Option<TcpSegment> {
@@ -453,7 +491,7 @@ impl TcpConnection {
         self.syn_in_flight = true;
         self.arm_rto(now);
         self.stats.segments_sent += 1;
-        Some(self.base_segment(TcpFlags::SYN_ACK, self.config.iss, Vec::new()))
+        Some(self.base_segment(TcpFlags::SYN_ACK, self.config.iss, SharedBytes::new()))
     }
 
     fn poll_established(&mut self, now: SimTime) -> Option<TcpSegment> {
@@ -470,7 +508,7 @@ impl TcpConnection {
         // 1. Fast retransmit of the first unacknowledged segment.
         if self.fast_rexmit {
             self.fast_rexmit = false;
-            if (self.snd_una as usize) < self.send_buf.len() {
+            if self.snd_una < self.send_buf.total() {
                 return Some(self.make_data_segment(self.snd_una, now, true));
             }
             if self.fin_needs_rexmit() {
@@ -480,7 +518,7 @@ impl TcpConnection {
         // 2. New (or go-back-N re-sent) data within both windows.
         let window = self.cc.cwnd().min(self.peer_window as usize);
         let limit = self.snd_una + window as u64;
-        if (self.snd_nxt as usize) < self.send_buf.len() && self.snd_nxt < limit {
+        if self.snd_nxt < self.send_buf.total() && self.snd_nxt < limit {
             let offset = self.snd_nxt;
             let seg = self.make_data_segment(offset, now, offset < self.snd_max);
             self.snd_nxt = offset + seg.payload.len() as u64;
@@ -488,9 +526,7 @@ impl TcpConnection {
         }
         // 3. FIN once all data is out.
         if let Some(fin_offset) = self.fin_offset {
-            if !self.fin_sent
-                && self.snd_nxt >= fin_offset
-                && (self.snd_nxt as usize) >= self.send_buf.len()
+            if !self.fin_sent && self.snd_nxt >= fin_offset && self.snd_nxt >= self.send_buf.total()
             {
                 self.fin_sent = true;
                 if self.state == TcpState::Established {
@@ -510,8 +546,8 @@ impl TcpConnection {
     }
 
     fn make_data_segment(&mut self, offset: u64, now: SimTime, is_rexmit: bool) -> TcpSegment {
-        let end = (offset as usize + self.config.mss).min(self.send_buf.len());
-        let payload = self.send_buf[offset as usize..end].to_vec();
+        let end = (offset + self.config.mss as u64).min(self.send_buf.total());
+        let payload = self.send_buf.slice(offset, end);
         debug_assert!(!payload.is_empty());
         if is_rexmit {
             self.stats.retransmissions += 1;
@@ -523,9 +559,9 @@ impl TcpConnection {
                 }
             }
         } else {
-            self.snd_max = self.snd_max.max(end as u64);
+            self.snd_max = self.snd_max.max(end);
             if self.rtt_probe.is_none() {
-                self.rtt_probe = Some((end as u64, now));
+                self.rtt_probe = Some((end, now));
             }
         }
         self.arm_rto(now);
@@ -545,7 +581,11 @@ impl TcpConnection {
         self.stats.segments_sent += 1;
         self.pending_acks.clear();
         let fin_offset = self.fin_offset.expect("fin requested");
-        self.base_segment(TcpFlags::FIN_ACK, self.wire_seq(fin_offset), Vec::new())
+        self.base_segment(
+            TcpFlags::FIN_ACK,
+            self.wire_seq(fin_offset),
+            SharedBytes::new(),
+        )
     }
 
     // ---- timers ----------------------------------------------------------
@@ -613,7 +653,7 @@ impl TcpConnection {
                 self.recovery = None;
                 self.dup_acks = 0;
                 self.fast_rexmit = false;
-                if self.fin_needs_rexmit() && (self.snd_una as usize) >= self.send_buf.len() {
+                if self.fin_needs_rexmit() && self.snd_una >= self.send_buf.total() {
                     self.fast_rexmit = true; // re-send the FIN
                 }
                 self.arm_rto(now);
@@ -783,12 +823,15 @@ impl TcpConnection {
                 self.maybe_finish_close();
             }
         }
-        let data_len = self.send_buf.len() as u64;
+        let data_len = self.send_buf.total();
         let ack_offset = ack_offset.min(data_len);
         if ack_offset > self.snd_una {
             let newly = (ack_offset - self.snd_una) as usize;
             self.snd_una = ack_offset;
             self.snd_nxt = self.snd_nxt.max(self.snd_una);
+            // Reclaim the fully-acknowledged prefix of the send buffer.
+            self.send_buf.release_until(self.snd_una);
+            self.stats.send_buf_bytes = self.send_buf.resident() as u64;
             self.dup_acks = 0;
             self.consecutive_timeouts = 0;
             self.rtt.on_progress();
@@ -1158,7 +1201,7 @@ mod edge_tests {
                 ack: Seq(1),
                 flags: TcpFlags::ACK,
                 window: 100,
-                payload: vec![1, 2, 3],
+                payload: vec![1, 2, 3].into(),
             },
             SimTime::ZERO,
         );

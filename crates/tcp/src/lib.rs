@@ -27,6 +27,7 @@
 mod congestion;
 mod connection;
 mod reassembly;
+mod rope;
 mod rtt;
 mod segment;
 mod seq;

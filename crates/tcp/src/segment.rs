@@ -1,6 +1,7 @@
 //! TCP segments as they appear on the simulated wire.
 
 use crate::seq::Seq;
+use h2priv_bytes::SharedBytes;
 use std::fmt;
 
 /// Modeled size of the IP + TCP headers on every segment, in bytes.
@@ -95,8 +96,11 @@ pub struct TcpSegment {
     pub flags: TcpFlags,
     /// Advertised receive window, in bytes.
     pub window: u32,
-    /// Payload bytes (encrypted TLS records in the h2priv stack).
-    pub payload: Vec<u8>,
+    /// Payload bytes (encrypted TLS records in the h2priv stack). A
+    /// shared slice of the sender's retransmission buffer: cloning the
+    /// segment through links, middleboxes and taps shares the bytes
+    /// instead of copying them.
+    pub payload: SharedBytes,
 }
 
 impl TcpSegment {
@@ -157,7 +161,7 @@ mod tests {
             ack: Seq(1),
             flags: TcpFlags::ACK,
             window: 65_535,
-            payload: vec![0; len],
+            payload: vec![0; len].into(),
         }
     }
 
@@ -187,7 +191,7 @@ mod tests {
             ack: Seq(0),
             flags: TcpFlags::SYN,
             window: 0,
-            payload: Vec::new(),
+            payload: SharedBytes::new(),
         };
         assert!(!syn.is_pure_ack());
     }

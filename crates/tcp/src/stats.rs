@@ -30,6 +30,12 @@ pub struct TcpStats {
     pub dup_acks_received: u64,
     /// Duplicate ACKs we sent (out-of-order arrivals).
     pub dup_acks_sent: u64,
+    /// Bytes *resident* in the send buffer (queued chunks not yet
+    /// released by acknowledgments). A gauge, not a cumulative counter:
+    /// on a healthy connection it stays bounded by the send window no
+    /// matter how much data the stream carries. See
+    /// [`TcpConnection::send_buf_bytes`](crate::TcpConnection::send_buf_bytes).
+    pub send_buf_bytes: u64,
 }
 
 impl TcpStats {
@@ -47,6 +53,7 @@ impl TcpStats {
             syn_retransmissions: self.syn_retransmissions + other.syn_retransmissions,
             dup_acks_received: self.dup_acks_received + other.dup_acks_received,
             dup_acks_sent: self.dup_acks_sent + other.dup_acks_sent,
+            send_buf_bytes: self.send_buf_bytes + other.send_buf_bytes,
         }
     }
 }

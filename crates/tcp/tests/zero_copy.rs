@@ -1,0 +1,134 @@
+//! Zero-copy send-path regression tests.
+//!
+//! This binary installs the allocation-counting global allocator from
+//! `h2priv-bytes` (the `count-allocs` dev feature) and proves the two
+//! properties the chunked send buffer was built for:
+//!
+//! * steady-state segmentation and ack processing perform **zero** heap
+//!   allocations per segment — payloads are O(1) shared sub-slices of the
+//!   queued chunks, and acked chunks are popped, not compacted; and
+//! * the resident send buffer tracks the unacknowledged window, not the
+//!   cumulative stream, so long transfers run in bounded memory.
+
+use h2priv_bytes::count_alloc::{measure, CountingAlloc};
+use h2priv_bytes::SharedBytes;
+use h2priv_netsim::SimTime;
+use h2priv_tcp::{TcpConfig, TcpConnection, TcpSegment};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn pump(a: &mut TcpConnection, b: &mut TcpConnection, now: SimTime) {
+    loop {
+        let mut moved = false;
+        while let Some(seg) = a.poll_transmit(now) {
+            b.on_segment(seg, now);
+            moved = true;
+        }
+        while let Some(seg) = b.poll_transmit(now) {
+            a.on_segment(seg, now);
+            moved = true;
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+fn established_pair() -> (TcpConnection, TcpConnection) {
+    let mut c = TcpConnection::client(TcpConfig::default());
+    let mut s = TcpConnection::server(TcpConfig::default());
+    pump(&mut c, &mut s, SimTime::ZERO);
+    assert!(c.is_established() && s.is_established());
+    (c, s)
+}
+
+#[test]
+fn steady_state_send_path_is_allocation_free() {
+    let (mut c, mut s) = established_pair();
+
+    // Warm-up: grow the congestion window and let every internal buffer
+    // reach its steady-state size before counting.
+    c.write_shared(SharedBytes::from_vec(vec![7u8; 128 * 1024]));
+    for ms in 1..200u64 {
+        pump(&mut c, &mut s, SimTime::from_millis(ms));
+        if s.available() >= 128 * 1024 {
+            break;
+        }
+    }
+    assert_eq!(s.read().len(), 128 * 1024, "warm-up transfer incomplete");
+
+    // Steady state: one large application chunk; segmentation slices it,
+    // acks release it. Only the *sender's* calls are measured — the
+    // receiver's reassembly legitimately buffers.
+    let total = 256 * 1024;
+    c.write_shared(SharedBytes::from_vec(vec![9u8; total]));
+    let mut segs: Vec<TcpSegment> = Vec::with_capacity(256);
+    let mut acks: Vec<TcpSegment> = Vec::with_capacity(256);
+    let mut sender_allocs = 0u64;
+    for ms in 200..2_000u64 {
+        let now = SimTime::from_millis(ms);
+        segs.clear();
+        let ((), n) = measure(|| {
+            while let Some(seg) = c.poll_transmit(now) {
+                segs.push(seg);
+            }
+        });
+        sender_allocs += n;
+        acks.clear();
+        for seg in segs.drain(..) {
+            s.on_segment(seg, now);
+        }
+        while let Some(ack) = s.poll_transmit(now) {
+            acks.push(ack);
+        }
+        let ((), n) = measure(|| {
+            for ack in acks.drain(..) {
+                c.on_segment(ack, now);
+            }
+        });
+        sender_allocs += n;
+        if s.available() >= total {
+            break;
+        }
+    }
+    assert_eq!(s.read().len(), total, "steady-state transfer incomplete");
+    assert_eq!(
+        sender_allocs, 0,
+        "steady-state segmentation/ack path must not allocate"
+    );
+}
+
+#[test]
+fn resident_send_buffer_stays_bounded() {
+    let (mut c, mut s) = established_pair();
+
+    // Stream 2 MiB through the connection in 64 KiB application chunks,
+    // acking and draining continuously.
+    let chunk = 64 * 1024;
+    let total = 2 * 1024 * 1024;
+    let mut written = 0usize;
+    let mut received = 0usize;
+    let mut max_resident = 0usize;
+    for ms in 1..10_000u64 {
+        if written < total {
+            written += c.write_shared(SharedBytes::from_vec(vec![3u8; chunk]));
+        }
+        pump(&mut c, &mut s, SimTime::from_millis(ms));
+        received += s.read().len();
+        max_resident = max_resident.max(c.send_buf_bytes());
+        if received >= total {
+            break;
+        }
+    }
+    assert_eq!(received, total, "transfer incomplete");
+    // The old flat send buffer kept every streamed byte resident for the
+    // life of the connection (2 MiB here). The rope must stay bounded by
+    // the unacked window plus one queued application chunk.
+    assert!(
+        max_resident <= 512 * 1024,
+        "resident send buffer grew to {max_resident} bytes on a {total}-byte stream"
+    );
+    // Fully acked: nothing resident.
+    assert_eq!(c.send_buf_bytes(), 0, "acked bytes must be released");
+}

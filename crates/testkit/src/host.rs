@@ -8,10 +8,10 @@
 //! the [`GroundTruth`] used to score the attack.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use h2priv_analysis::GroundTruth;
+use h2priv_bytes::FxHashMap;
 use h2priv_http2::{
     ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId,
 };
@@ -45,13 +45,17 @@ pub struct HostCore {
     /// Ground truth collected at seal time (server writes; client ignores).
     truth: Rc<RefCell<GroundTruth>>,
     /// stream → object being served (server side).
-    stream_objects: HashMap<StreamId, ObjectId>,
+    stream_objects: FxHashMap<StreamId, ObjectId>,
     /// True once the TLS handshake completed.
     tls_established: bool,
     /// The peer's node id.
     peer: NodeId,
     /// Set when the connection failed at any layer.
     pub dead: bool,
+    /// Reusable scratch for decrypted application plaintext: the inbound
+    /// pump decrypts into this buffer and hands it to HTTP/2 in one piece,
+    /// so steady-state receive allocates nothing per record.
+    app_scratch: Vec<u8>,
     /// Halt the whole simulation when this host is finished (client).
     halt_when_done: bool,
     authority: String,
@@ -134,10 +138,11 @@ impl Host {
             h2: H2Connection::new_client(h2),
             app: App::Client(browser),
             truth,
-            stream_objects: HashMap::new(),
+            stream_objects: FxHashMap::default(),
             tls_established: false,
             peer,
             dead: false,
+            app_scratch: Vec::new(),
             halt_when_done: true,
             authority: authority.into(),
             socket_buffer,
@@ -168,10 +173,11 @@ impl Host {
             h2: H2Connection::new_server(h2),
             app: App::Server(server),
             truth,
-            stream_objects: HashMap::new(),
+            stream_objects: FxHashMap::default(),
             tls_established: false,
             peer,
             dead: false,
+            app_scratch: Vec::new(),
             halt_when_done: false,
             authority: String::new(),
             socket_buffer,
@@ -307,7 +313,9 @@ impl HostCore {
         if bytes.is_empty() {
             return false;
         }
-        let output = match self.tls.receive(&bytes) {
+        let mut app = std::mem::take(&mut self.app_scratch);
+        app.clear();
+        let output = match self.tls.receive_into(&bytes, &mut app) {
             Ok(o) => o,
             Err(_) => {
                 self.fail_connection(now);
@@ -323,12 +331,12 @@ impl HostCore {
                 b.start(now);
             }
         }
-        for chunk in output.app_data {
-            if self.h2.recv(&chunk).is_err() {
-                self.fail_connection(now);
-                return true;
-            }
+        if !app.is_empty() && self.h2.recv(&app).is_err() {
+            self.app_scratch = app;
+            self.fail_connection(now);
+            return true;
         }
+        self.app_scratch = app;
         self.dispatch_h2_events(now);
         true
     }
@@ -425,7 +433,9 @@ impl HostCore {
                         .send_headers(response.stream, &response.headers, false)
                         .is_ok()
                     {
-                        let _ = self.h2.send_data(response.stream, &response.body, true);
+                        let _ = self
+                            .h2
+                            .send_data_shared(response.stream, response.body, true);
                     }
                 }
             }
@@ -454,7 +464,7 @@ impl HostCore {
                 Err(_) => break,
             };
             let start = self.tcp.total_written();
-            self.tcp.write(&sealed);
+            self.tcp.write_shared(sealed);
             let end = self.tcp.total_written();
             if is_server {
                 if let OutgoingMeta::Frame {

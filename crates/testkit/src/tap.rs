@@ -46,7 +46,7 @@ mod tests {
             ack: Seq(0),
             flags: TcpFlags::ACK,
             window: 100,
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
         };
         let packet = Packet::new(NodeId(0), NodeId(2), seg.wire_bytes(), seg);
         let mut rng = SimRng::seed_from(0);

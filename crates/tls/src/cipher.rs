@@ -4,9 +4,16 @@
 //! but the simulation must still guarantee that nothing downstream can cheat
 //! by peeking into "ciphertext". We therefore scramble each fragment with a
 //! keystream derived from a session key and the record sequence number
-//! (a xorshift64* generator — **not** cryptographically secure, purely an
-//! anti-cheating seal), and append [`AEAD_OVERHEAD`] filler bytes so that
-//! ciphertext lengths match what a TLS 1.2 AES-GCM eavesdropper would see.
+//! (a counter-based splitmix64 generator emitting eight keystream bytes per
+//! block — **not** cryptographically secure, purely an anti-cheating seal),
+//! and append [`AEAD_OVERHEAD`] filler bytes so that ciphertext lengths
+//! match what a TLS 1.2 AES-GCM eavesdropper would see.
+//!
+//! Seal and open sit on the simulator's per-record hot path, so both the
+//! keystream and the tag consume input in 8-byte blocks, and neither has a
+//! serial dependency from one block to the next: the keystream hashes a
+//! per-record counter and the tag folds into four rotating lanes, so the
+//! CPU can keep several blocks in flight.
 //!
 //! Tampered or reordered records fail to open, which models AEAD integrity:
 //! the simulated endpoints abort on corruption just as real TLS stacks do.
@@ -36,26 +43,114 @@ pub struct RecordCipher {
     seq: u64,
 }
 
-/// A 16-bit checksum standing in for the AEAD tag: wrong key, wrong
-/// sequence number or flipped bits make verification fail.
-fn tag16(key: u64, seq: u64, plaintext: &[u8]) -> u16 {
-    let mut acc = key ^ seq.rotate_left(17);
-    for (i, &b) in plaintext.iter().enumerate() {
-        acc = acc
-            .wrapping_mul(0x100000001b3)
-            .wrapping_add(b as u64 + i as u64);
-    }
-    (acc ^ (acc >> 32)) as u16
+const PHI: u64 = 0x9E3779B97F4A7C15;
+
+/// Running tag accumulator standing in for the AEAD tag: wrong key, wrong
+/// sequence number or flipped bits make verification fail. Folds plaintext
+/// in 8-byte blocks across four independent multiply-add lanes (block `i`
+/// feeds lane `i % 4`), so the serial FNV multiply chain that bounds a
+/// single accumulator is split four ways and the CPU can overlap the
+/// multiplies; the lanes are mixed together (and avalanched) only once,
+/// in [`Tag16::finish`].
+#[derive(Debug, Clone, Copy)]
+struct Tag16 {
+    acc: [u64; 4],
 }
 
-fn keystream_byte(state: &mut u64) -> u8 {
-    // xorshift64* step.
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    (x.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+impl Tag16 {
+    fn new(key: u64, seq: u64, plaintext_len: usize) -> Self {
+        let base = key ^ seq.rotate_left(17) ^ plaintext_len as u64;
+        Tag16 {
+            acc: [
+                base,
+                base.wrapping_add(PHI),
+                base.wrapping_add(PHI.wrapping_mul(2)),
+                base.wrapping_add(PHI.wrapping_mul(3)),
+            ],
+        }
+    }
+
+    #[inline]
+    fn fold(&mut self, lane: usize, block: u64) {
+        self.acc[lane] = self.acc[lane]
+            .wrapping_mul(0x100000001b3)
+            .wrapping_add(block);
+    }
+
+    fn finish(self) -> u16 {
+        // Mix the lanes, then a final avalanche so every input bit reaches
+        // the 16 tag bits.
+        let mut acc = 0u64;
+        for lane in self.acc {
+            acc = (acc ^ lane).wrapping_mul(0x100000001b3);
+        }
+        acc ^= acc >> 33;
+        acc = acc.wrapping_mul(0xFF51AFD7ED558CCD);
+        acc ^= acc >> 33;
+        (acc ^ (acc >> 32)) as u16
+    }
+}
+
+/// Eight keystream bytes for block `i` of the record seeded by `seed` —
+/// splitmix64 over a per-record counter. Counter-based (rather than a
+/// chained xorshift) so consecutive blocks have no serial dependency and
+/// the compiler is free to compute several blocks in flight.
+#[inline]
+fn keystream_block(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(PHI));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// One fused pass over `data`: XORs the keystream in place (8 bytes per
+/// block) and folds the **plaintext** side of the transform into `tag`.
+/// `data` holds plaintext when sealing and ciphertext when opening, so the
+/// plaintext block is the input block when `sealing` and the post-XOR
+/// block otherwise. A single read-modify-write sweep keeps the record hot
+/// path at one memory pass instead of separate keystream and tag
+/// traversals, and both the keystream and the tag lanes are free of
+/// cross-block serial dependencies.
+fn transform(seed: u64, tag: &mut Tag16, data: &mut [u8], sealing: bool) {
+    let mut i = 0u64;
+    // Main loop: four blocks per iteration. Blocks `i..i+4` land on tag
+    // lanes `0..4` in order (quads always start at a multiple of four), so
+    // the four keystream hashes and the four lane multiplies are visibly
+    // independent and the CPU pipelines them instead of waiting on a
+    // one-block-at-a-time chain. Semantics are identical to the scalar
+    // loop below — this is purely an instruction-level-parallelism shape.
+    let mut quads = data.chunks_exact_mut(32);
+    for quad in &mut quads {
+        let mut xored = [0u64; 4];
+        for (j, x) in xored.iter_mut().enumerate() {
+            let word = &quad[j * 8..j * 8 + 8];
+            let block = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+            *x = block ^ keystream_block(seed, i + j as u64);
+            tag.fold(j, if sealing { block } else { *x });
+        }
+        for (j, x) in xored.iter().enumerate() {
+            quad[j * 8..j * 8 + 8].copy_from_slice(&x.to_le_bytes());
+        }
+        i += 4;
+    }
+    let mut chunks = quads.into_remainder().chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        let block = u64::from_le_bytes((&*chunk).try_into().expect("8-byte chunk"));
+        let xored = block ^ keystream_block(seed, i);
+        tag.fold((i & 3) as usize, if sealing { block } else { xored });
+        chunk.copy_from_slice(&xored.to_le_bytes());
+        i += 1;
+    }
+    let rest = chunks.into_remainder();
+    if !rest.is_empty() {
+        let ks = keystream_block(seed, i);
+        let mut block = [0u8; 8];
+        block[..rest.len()].copy_from_slice(rest);
+        let plain = u64::from_le_bytes(block);
+        let xored = plain ^ (ks & !(u64::MAX << (8 * rest.len())));
+        tag.fold((i & 3) as usize, if sealing { plain } else { xored });
+        rest.copy_from_slice(&xored.to_le_bytes()[..rest.len()]);
+    }
 }
 
 impl RecordCipher {
@@ -78,18 +173,28 @@ impl RecordCipher {
     ///
     /// Output length is `plaintext.len() + AEAD_OVERHEAD`.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + AEAD_OVERHEAD);
+        self.seal_into(plaintext, &mut out);
+        out
+    }
+
+    /// Seals one fragment, appending the ciphertext to `out` — the
+    /// allocation-free variant writers use to seal straight into a wire
+    /// buffer instead of materializing each fragment separately.
+    pub fn seal_into(&mut self, plaintext: &[u8], out: &mut Vec<u8>) {
         let seq = self.seq;
         self.seq += 1;
-        let mut out = Vec::with_capacity(plaintext.len() + AEAD_OVERHEAD);
+        out.reserve(plaintext.len() + AEAD_OVERHEAD);
+        let start = out.len();
         // Explicit nonce (8 bytes): the sequence number, as in TLS 1.2 GCM.
         out.extend_from_slice(&seq.to_be_bytes());
-        let mut state = self.key ^ seq.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        out.extend(plaintext.iter().map(|&b| b ^ keystream_byte(&mut state)));
+        let seed = self.key ^ seq.wrapping_mul(PHI) | 1;
+        out.extend_from_slice(plaintext);
+        let mut tag = Tag16::new(self.key, seq, plaintext.len());
+        transform(seed, &mut tag, &mut out[start + 8..], true);
         // Tag: 16 meaningful bits + 14 filler bytes to reach AEAD_OVERHEAD.
-        let tag = tag16(self.key, seq, plaintext);
-        out.extend_from_slice(&tag.to_be_bytes());
-        out.resize(plaintext.len() + AEAD_OVERHEAD, 0xA5);
-        out
+        out.extend_from_slice(&tag.finish().to_be_bytes());
+        out.resize(start + plaintext.len() + AEAD_OVERHEAD, 0xA5);
     }
 
     /// Opens one fragment, consuming the next sequence number.
@@ -98,30 +203,40 @@ impl RecordCipher {
     /// not match the expected sequence number (replay/reorder), or the tag
     /// check fails (corruption).
     pub fn open(&mut self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        self.open_into(ciphertext, &mut out).then_some(out)
+    }
+
+    /// Opens one fragment, appending the plaintext to `out` — the sink
+    /// variant readers use to decrypt straight into a stream buffer instead
+    /// of materializing each fragment separately. On failure `out` is left
+    /// exactly as it was and the sequence number is not consumed.
+    pub fn open_into(&mut self, ciphertext: &[u8], out: &mut Vec<u8>) -> bool {
         if ciphertext.len() < AEAD_OVERHEAD {
-            return None;
+            return false;
         }
         let seq = u64::from_be_bytes(ciphertext[..8].try_into().expect("8 bytes"));
         if seq != self.seq {
-            return None;
+            return false;
         }
         let body_len = ciphertext.len() - AEAD_OVERHEAD;
         let body = &ciphertext[8..8 + body_len];
-        let mut state = self.key ^ seq.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        let plaintext: Vec<u8> = body
-            .iter()
-            .map(|&b| b ^ keystream_byte(&mut state))
-            .collect();
-        let tag = u16::from_be_bytes(
+        let seed = self.key ^ seq.wrapping_mul(PHI) | 1;
+        let start = out.len();
+        out.extend_from_slice(body);
+        let mut tag = Tag16::new(self.key, seq, body_len);
+        transform(seed, &mut tag, &mut out[start..], false);
+        let wire_tag = u16::from_be_bytes(
             ciphertext[8 + body_len..8 + body_len + 2]
                 .try_into()
                 .expect("2 bytes"),
         );
-        if tag != tag16(self.key, seq, &plaintext) {
-            return None;
+        if wire_tag != tag.finish() {
+            out.truncate(start);
+            return false;
         }
         self.seq += 1;
-        Some(plaintext)
+        true
     }
 }
 

@@ -12,7 +12,7 @@
 //! `content_type == 23` filter on top of it.
 
 use crate::cipher::RecordCipher;
-use crate::record::{ContentType, RecordHeader, HEADER_LEN, MAX_PLAINTEXT};
+use crate::record::{ContentType, RecordHeader, AEAD_OVERHEAD, HEADER_LEN, MAX_PLAINTEXT};
 
 /// Seals application messages into record wire bytes.
 #[derive(Debug, Clone)]
@@ -31,19 +31,21 @@ impl RecordWriter {
     /// Messages longer than [`MAX_PLAINTEXT`] are fragmented; empty messages
     /// produce a single empty record (TLS permits these).
     pub fn seal_message(&mut self, content_type: ContentType, plaintext: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(plaintext.len() + HEADER_LEN + 32);
+        let records = plaintext.len().div_ceil(MAX_PLAINTEXT).max(1);
+        let mut out = Vec::with_capacity(plaintext.len() + records * (HEADER_LEN + AEAD_OVERHEAD));
         let mut chunks: Vec<&[u8]> = plaintext.chunks(MAX_PLAINTEXT).collect();
         if chunks.is_empty() {
             chunks.push(&[]);
         }
         for chunk in chunks {
-            let fragment = self.cipher.seal(chunk);
             let header = RecordHeader {
                 content_type,
-                fragment_len: fragment.len() as u16,
+                fragment_len: (chunk.len() + AEAD_OVERHEAD) as u16,
             };
             out.extend_from_slice(&header.encode());
-            out.extend_from_slice(&fragment);
+            // Seal straight into the wire buffer: no per-record fragment
+            // allocation or copy.
+            self.cipher.seal_into(chunk, &mut out);
         }
         out
     }
@@ -85,10 +87,17 @@ impl std::fmt::Display for ReadRecordError {
 impl std::error::Error for ReadRecordError {}
 
 /// Incrementally parses and opens records from a byte stream.
+///
+/// Consumed records advance a cursor instead of draining the front of the
+/// buffer, so reading a record is free of the `memmove` a `Vec::drain`
+/// would do on every record; the consumed prefix is reclaimed at the
+/// quiescent points (buffer fully drained, or waiting for more bytes).
 #[derive(Debug, Clone)]
 pub struct RecordReader {
     cipher: RecordCipher,
     buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf`.
+    pos: usize,
     poisoned: bool,
 }
 
@@ -98,6 +107,7 @@ impl RecordReader {
         RecordReader {
             cipher,
             buf: Vec::new(),
+            pos: 0,
             poisoned: false,
         }
     }
@@ -105,6 +115,15 @@ impl RecordReader {
     /// Appends newly received stream bytes.
     pub fn push(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reclaims the consumed prefix. Called only when parsing pauses, so
+    /// the cost is once per burst of records, not once per record.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
     }
 
     /// Attempts to read the next complete message.
@@ -117,36 +136,59 @@ impl RecordReader {
     /// error the reader is poisoned and every subsequent call fails, because
     /// record boundaries can no longer be trusted.
     pub fn next_message(&mut self) -> Result<Option<TlsMessage>, ReadRecordError> {
+        let mut plaintext = Vec::new();
+        Ok(self
+            .next_record_into(&mut plaintext)?
+            .map(|content_type| TlsMessage {
+                content_type,
+                plaintext,
+            }))
+    }
+
+    /// Attempts to read the next complete record, appending its plaintext
+    /// to `out` — the sink variant [`next_message`](Self::next_message)
+    /// wraps, for callers assembling a plaintext stream (no per-record
+    /// allocation). Returns the record's content type, or `Ok(None)` when
+    /// more bytes are needed; on `Ok(None)` and on errors `out` is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// As for [`next_message`](Self::next_message).
+    pub fn next_record_into(
+        &mut self,
+        out: &mut Vec<u8>,
+    ) -> Result<Option<ContentType>, ReadRecordError> {
         if self.poisoned {
             return Err(ReadRecordError::DecryptFailed);
         }
-        if self.buf.len() < HEADER_LEN {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            self.compact();
             return Ok(None);
         }
-        let header = match RecordHeader::decode(&self.buf) {
+        let header = match RecordHeader::decode(avail) {
             Some(h) => h,
             None => {
                 self.poisoned = true;
                 return Err(ReadRecordError::BadHeader);
             }
         };
-        if self.buf.len() < header.wire_len() {
+        if avail.len() < header.wire_len() {
+            self.compact();
             return Ok(None);
         }
-        let fragment = &self.buf[HEADER_LEN..header.wire_len()];
-        let plaintext = match self.cipher.open(fragment) {
-            Some(p) => p,
-            None => {
-                self.poisoned = true;
-                return Err(ReadRecordError::DecryptFailed);
-            }
-        };
-        let content_type = header.content_type;
-        self.buf.drain(..header.wire_len());
-        Ok(Some(TlsMessage {
-            content_type,
-            plaintext,
-        }))
+        let fragment = &self.buf[self.pos + HEADER_LEN..self.pos + header.wire_len()];
+        if !self.cipher.open_into(fragment, out) {
+            self.poisoned = true;
+            return Err(ReadRecordError::DecryptFailed);
+        }
+        self.pos += header.wire_len();
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        }
+        Ok(Some(header.content_type))
     }
 
     /// Drains all complete messages currently buffered.
@@ -164,7 +206,7 @@ impl RecordReader {
 
     /// Bytes buffered but not yet consumed.
     pub fn buffered_len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 }
 
@@ -184,6 +226,9 @@ pub struct ScannedRecord {
 #[derive(Debug, Clone, Default)]
 pub struct RecordScanner {
     buf: Vec<u8>,
+    /// Start of unconsumed bytes in `buf` (consumed records advance this
+    /// cursor; the prefix is reclaimed once per `push`, not per record).
+    pos: usize,
     offset: u64,
     desynced: bool,
 }
@@ -209,14 +254,15 @@ impl RecordScanner {
         self.buf.extend_from_slice(bytes);
         let mut out = Vec::new();
         loop {
-            if self.buf.len() < HEADER_LEN {
+            let avail = &self.buf[self.pos..];
+            if avail.len() < HEADER_LEN {
                 break;
             }
-            let Some(header) = RecordHeader::decode(&self.buf) else {
+            let Some(header) = RecordHeader::decode(avail) else {
                 self.desynced = true;
                 break;
             };
-            if self.buf.len() < header.wire_len() {
+            if avail.len() < header.wire_len() {
                 break;
             }
             out.push(ScannedRecord {
@@ -225,7 +271,11 @@ impl RecordScanner {
                 stream_offset: self.offset,
             });
             self.offset += header.wire_len() as u64;
-            self.buf.drain(..header.wire_len());
+            self.pos += header.wire_len();
+        }
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
         }
         out
     }

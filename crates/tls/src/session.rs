@@ -8,6 +8,8 @@
 //! distinguishes GET requests from handshake noise purely via the
 //! `content_type == 23` filter, so our traces must contain both kinds.
 
+use h2priv_bytes::SharedBytes;
+
 use crate::cipher::RecordCipher;
 use crate::codec::{ReadRecordError, RecordReader, RecordWriter, TlsMessage};
 use crate::record::ContentType;
@@ -174,6 +176,45 @@ impl TlsSession {
         Ok(out)
     }
 
+    /// Feeds received wire bytes into the session, appending application
+    /// plaintext to `app` instead of returning per-record chunks — the
+    /// sink variant the host's pump uses so that steady-state receive
+    /// decrypts straight into one reusable stream buffer (no per-record
+    /// allocation). `SessionOutput::app_data` is left empty.
+    ///
+    /// # Errors
+    ///
+    /// As for [`receive`](Self::receive).
+    pub fn receive_into(
+        &mut self,
+        bytes: &[u8],
+        app: &mut Vec<u8>,
+    ) -> Result<SessionOutput, SessionError> {
+        self.reader.push(bytes);
+        let mut out = SessionOutput::default();
+        loop {
+            let before = app.len();
+            let Some(content_type) = self.reader.next_record_into(app)? else {
+                break;
+            };
+            match content_type {
+                ContentType::ApplicationData => {
+                    if self.state != HandshakeState::Established {
+                        return Err(SessionError::EarlyAppData);
+                    }
+                }
+                ContentType::Handshake | ContentType::ChangeCipherSpec => {
+                    // Handshake plaintext drives the state machine but is
+                    // not application data.
+                    app.truncate(before);
+                    self.advance_handshake(&mut out)?;
+                }
+                ContentType::Alert => app.truncate(before),
+            }
+        }
+        Ok(out)
+    }
+
     fn handle_message(
         &mut self,
         msg: TlsMessage,
@@ -232,18 +273,21 @@ impl TlsSession {
         }
     }
 
-    /// Seals application bytes for transmission.
+    /// Seals application bytes for transmission. The sealed record is
+    /// returned as a [`SharedBytes`] so callers can queue it on a TCP
+    /// connection (or clone it into taps) without copying it again.
     ///
     /// # Errors
     ///
     /// Fails with [`SessionError::EarlyAppData`] before establishment.
-    pub fn seal_app_data(&mut self, payload: &[u8]) -> Result<Vec<u8>, SessionError> {
+    pub fn seal_app_data(&mut self, payload: &[u8]) -> Result<SharedBytes, SessionError> {
         if self.state != HandshakeState::Established {
             return Err(SessionError::EarlyAppData);
         }
-        Ok(self
-            .writer
-            .seal_message(ContentType::ApplicationData, payload))
+        Ok(SharedBytes::from_vec(
+            self.writer
+                .seal_message(ContentType::ApplicationData, payload),
+        ))
     }
 
     /// Total records sealed by this endpoint (handshake + data).
@@ -296,7 +340,8 @@ mod tests {
         let s1 = server.receive(&hello).unwrap();
         let mut c1 = client.receive(&s1.reply).unwrap();
         // Client piggybacks a request onto its finish flight.
-        c1.reply.extend(client.seal_app_data(b"early").unwrap());
+        c1.reply
+            .extend_from_slice(&client.seal_app_data(b"early").unwrap());
         let s2 = server.receive(&c1.reply).unwrap();
         assert!(s2.established_now);
         assert_eq!(s2.app_data, vec![b"early".to_vec()]);

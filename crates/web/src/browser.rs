@@ -8,7 +8,7 @@
 //! events and polls for commands; it touches neither sockets nor the
 //! HTTP/2 connection directly.
 
-use std::collections::HashMap;
+use h2priv_bytes::FxHashMap;
 
 use h2priv_http2::StreamId;
 use h2priv_netsim::{DurationDist, SimDuration, SimRng, SimTime};
@@ -133,8 +133,8 @@ pub struct Browser {
     paths: Vec<String>,
     requests: Vec<ReqState>,
     phase_progress: Vec<PhaseProgress>,
-    by_stream: HashMap<StreamId, usize>,
-    completed: HashMap<ObjectId, SimTime>,
+    by_stream: FxHashMap<StreamId, usize>,
+    completed: FxHashMap<ObjectId, SimTime>,
     started_at: Option<SimTime>,
     connection_dead: bool,
     rng: SimRng,
@@ -165,8 +165,8 @@ impl Browser {
             paths,
             requests: Vec::new(),
             phase_progress,
-            by_stream: HashMap::new(),
-            completed: HashMap::new(),
+            by_stream: FxHashMap::default(),
+            completed: FxHashMap::default(),
             started_at: None,
             connection_dead: false,
             rng,

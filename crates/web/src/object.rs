@@ -1,6 +1,9 @@
 //! Web objects: the things whose encrypted sizes the attack recovers.
 
+use std::cell::RefCell;
 use std::fmt;
+
+use h2priv_bytes::{FxHashMap, SharedBytes};
 
 /// Identifies an object within one [`Website`](crate::Website).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,18 +72,41 @@ impl WebObject {
 
     /// Deterministic body content: repeatable filler derived from the id,
     /// so retransmitted copies are byte-identical (as real static objects
-    /// are) and tests can verify end-to-end integrity.
+    /// are) and tests can verify end-to-end integrity. Bodies are generated
+    /// eight bytes per generator step — body generation is on the server's
+    /// per-response hot path.
     pub fn body(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.size);
+        let mut out = Vec::with_capacity(self.size.next_multiple_of(8));
         let mut state = (self.id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
         while out.len() < self.size {
             state ^= state >> 12;
             state ^= state << 25;
             state ^= state >> 27;
-            out.push((state.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8);
+            out.extend_from_slice(&state.wrapping_mul(0x2545F4914F6CDD1D).to_le_bytes());
         }
         out.truncate(self.size);
         out
+    }
+
+    /// [`body`](Self::body) as a shared slice, memoized per thread.
+    ///
+    /// Body content is a pure function of `(id, size)`, and experiment
+    /// runners rebuild the same site for every trial — so each distinct
+    /// body is generated once per thread and every later request for it is
+    /// an O(1) reference-count bump. Static-object serving stops being a
+    /// per-response generation cost.
+    pub fn shared_body(&self) -> SharedBytes {
+        thread_local! {
+            static BODY_CACHE: RefCell<FxHashMap<(u32, usize), SharedBytes>> =
+                RefCell::new(FxHashMap::default());
+        }
+        BODY_CACHE.with(|cache| {
+            cache
+                .borrow_mut()
+                .entry((self.id.0, self.size))
+                .or_insert_with(|| SharedBytes::from_vec(self.body()))
+                .clone()
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 //! serving another copy — exactly the duplicate-service behaviour the paper
 //! reports under retransmitted requests (§IV-B).
 
+use h2priv_bytes::SharedBytes;
 use h2priv_http2::{HeaderField, StreamId};
 use h2priv_netsim::{DurationDist, SimRng, SimTime};
 
@@ -47,8 +48,9 @@ pub struct Response {
     pub stream: StreamId,
     /// Response header list.
     pub headers: Vec<HeaderField>,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes. Shared so handing the body to the HTTP/2 mux (and
+    /// from there into DATA frames) never copies it.
+    pub body: SharedBytes,
     /// The object served (`None` for 404s).
     pub object: Option<ObjectId>,
 }
@@ -136,11 +138,18 @@ impl SiteServer {
             .map(|w| match w.object {
                 Some(id) => {
                     let obj = self.site.object(id).expect("worker references site object");
-                    let mut body = obj.body();
-                    if let Some(bucket) = self.config.pad_bucket {
-                        let padded = body.len().div_ceil(bucket.max(1)) * bucket.max(1);
-                        body.resize(padded, 0);
-                    }
+                    let body = match self.config.pad_bucket {
+                        // Padding rewrites the body, so the defense path
+                        // materializes its own copy; the undefended path
+                        // serves the memoized shared body as-is.
+                        Some(bucket) => {
+                            let mut body = obj.body();
+                            let padded = body.len().div_ceil(bucket.max(1)) * bucket.max(1);
+                            body.resize(padded, 0);
+                            SharedBytes::from_vec(body)
+                        }
+                        None => obj.shared_body(),
+                    };
                     Response {
                         stream: w.stream,
                         headers: vec![
@@ -161,7 +170,7 @@ impl SiteServer {
                         HeaderField::new("content-type", "text/plain"),
                         HeaderField::new("server", "h2priv-sim/0.1"),
                     ],
-                    body: b"not found".to_vec(),
+                    body: SharedBytes::from(b"not found"),
                     object: None,
                 },
             })

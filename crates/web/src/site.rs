@@ -1,6 +1,6 @@
 //! A website: a set of objects addressable by path.
 
-use std::collections::HashMap;
+use h2priv_bytes::FxHashMap;
 
 use crate::object::{ObjectId, ObjectKind, WebObject};
 
@@ -8,7 +8,7 @@ use crate::object::{ObjectId, ObjectKind, WebObject};
 #[derive(Debug, Clone, Default)]
 pub struct Website {
     objects: Vec<WebObject>,
-    by_path: HashMap<String, ObjectId>,
+    by_path: FxHashMap<String, ObjectId>,
 }
 
 impl Website {

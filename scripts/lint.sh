@@ -8,4 +8,6 @@ cd "$(dirname "$0")/.."
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all -- --check
 
+sh scripts/bench_check.sh
+
 echo "lint: clean"
