@@ -121,10 +121,15 @@ pub fn order_randomization_defense(trials: u64) -> Vec<AblationRow> {
                 // The displayed order is golden(seed); the requested order is
                 // an unrelated permutation. We model it by running the plan
                 // of a different user and scoring against this user's golden.
-                run_paper_trial(seed.wrapping_add(10_000), Some(&attack), |_| {})
+                run_paper_trial(
+                    seed.wrapping_add(10_000),
+                    Some(&attack),
+                    crate::common::conformance_tweak,
+                )
             } else {
-                run_paper_trial(seed, Some(&attack), |_| {})
+                run_paper_trial(seed, Some(&attack), crate::common::conformance_tweak)
             };
+            crate::common::record_conformance(&trial.result);
             let start = trial
                 .adversary
                 .as_ref()
@@ -222,7 +227,8 @@ pub fn pairwise_decomposition(trials: u64) -> Vec<AblationRow> {
     let attack = AttackConfig::jitter_only(SimDuration::from_millis(50));
     let total = trials * 9;
     let per_seed = crate::runner::run_seeded(trials, |seed| {
-        let trial = run_paper_trial(seed, Some(&attack), |_| {});
+        let trial = run_paper_trial(seed, Some(&attack), crate::common::conformance_tweak);
+        crate::common::record_conformance(&trial.result);
         let records = extract_records(&trial.result.trace);
         let data = app_data_records(&records, h2priv_netsim::Dir::RightToLeft);
         let bursts = segment_bursts(&data, BURST_GAP);

@@ -1,8 +1,9 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--json] [--threads N] [--trials N] [--bench-json[=PATH]]
-//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations]
+//! repro [--quick] [--json] [--check] [--threads N] [--trials N]
+//!       [--bench-json[=PATH]] [table1] [fig5] [ivd] [table2] [fig1]
+//!       [ablations]
 //! ```
 //!
 //! With no exhibit names, everything runs. `--quick` uses 25 trials per
@@ -13,6 +14,12 @@
 //! to stderr, and `--bench-json` additionally records them in
 //! `BENCH_repro.json` (or the given path) so the perf trajectory is
 //! tracked across changes.
+//!
+//! `--check` attaches the cross-layer conformance oracle
+//! (`h2priv-conformance`) to every trial: TCP, TLS and HTTP/2 invariants
+//! are validated on every segment, record and frame, a summary goes to
+//! stderr, and the process exits nonzero if any trial violated any
+//! invariant. Exhibit output is unchanged — the oracle only observes.
 
 use std::time::Instant;
 
@@ -67,6 +74,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+    runner::set_conformance(check);
     let bench_json: Option<String> = args.iter().find_map(|a| {
         if a == "--bench-json" {
             Some("BENCH_repro.json".to_owned())
@@ -189,6 +198,19 @@ fn main() {
         match std::fs::write(&path, body + "\n") {
             Ok(()) => eprintln!("[timing] wrote {path}"),
             Err(err) => eprintln!("[timing] failed to write {path}: {err}"),
+        }
+    }
+
+    if check {
+        let violations = runner::violations_snapshot();
+        if violations == 0 {
+            eprintln!("[conformance] all trials clean: no protocol invariant violations");
+        } else {
+            eprintln!("[conformance] {violations} violation(s) detected:");
+            for sample in runner::violation_samples() {
+                eprintln!("[conformance]   {sample}");
+            }
+            std::process::exit(2);
         }
     }
 }

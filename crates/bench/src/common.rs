@@ -5,7 +5,7 @@ use h2priv_core::experiment::{
     AttackTrial, TrialAnalysis,
 };
 use h2priv_core::{AttackConfig, SizeMap};
-use h2priv_testkit::ScenarioConfig;
+use h2priv_testkit::{RunResult, ScenarioConfig};
 
 /// Number of trials per experimental point — the paper's "the webpage was
 /// downloaded 100 times".
@@ -41,7 +41,11 @@ pub fn run_batch(
     tweak: impl Fn(&mut ScenarioConfig) + Sync,
 ) -> Batch {
     let out = crate::runner::run_seeded(trials, |seed| {
-        let trial = run_paper_trial(seed, attack, |cfg| tweak(cfg));
+        let trial = run_paper_trial(seed, attack, |cfg| {
+            conformance_tweak(cfg);
+            tweak(cfg);
+        });
+        record_conformance(&trial.result);
         let start = attack.and_then(|a| {
             trial
                 .adversary
@@ -54,6 +58,21 @@ pub fn run_batch(
     });
     crate::runner::record_events(out.iter().map(|(t, _)| t.result.events).sum());
     Batch { trials: out }
+}
+
+/// Applies the process-wide `--check` switch to a trial config. Every
+/// bench trial site routes its config through this so one flag governs
+/// the whole run.
+pub fn conformance_tweak(cfg: &mut ScenarioConfig) {
+    cfg.conformance = crate::runner::conformance_enabled();
+}
+
+/// Forwards a checked trial's violations to the run-wide counter.
+pub fn record_conformance(result: &RunResult) {
+    crate::runner::record_violations(
+        result.violations_total,
+        result.violations.iter().map(|v| v.to_string()),
+    );
 }
 
 impl Batch {

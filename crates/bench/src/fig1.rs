@@ -87,7 +87,9 @@ pub fn run() -> Vec<Fig1Case> {
                 ..ScenarioConfig::default()
             };
             cfg.browser.gap_noise_frac = 0.0;
+            crate::common::conformance_tweak(&mut cfg);
             let result = run_trial(&site, &plan, &cfg, None);
+            crate::common::record_conformance(&result);
             crate::runner::record_events(result.events);
             let records = extract_records(&result.trace);
             let data = app_data_records(&records, Dir::RightToLeft);

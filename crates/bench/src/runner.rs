@@ -19,7 +19,7 @@
 //! their trials processed via [`record_events`], and the `repro` binary
 //! diffs [`events_snapshot`] around each exhibit.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Configured worker count; 0 = auto (available parallelism).
@@ -27,6 +27,57 @@ static THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Simulator events processed by trials run through this module.
 static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Whether trials run with the conformance oracle (the `--check` flag).
+/// Off by default so the perf baseline measures the stacks, not the
+/// checkers.
+static CONFORMANCE: AtomicBool = AtomicBool::new(false);
+
+/// Conformance violations reported by checked trials.
+static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A few stored violation details for the end-of-run diagnostic.
+static VIOLATION_SAMPLES: Mutex<Vec<String>> = Mutex::new(Vec::new());
+const MAX_VIOLATION_SAMPLES: usize = 16;
+
+/// Turns the conformance oracle on/off for all subsequent trials.
+pub fn set_conformance(on: bool) {
+    CONFORMANCE.store(on, Ordering::SeqCst);
+}
+
+/// True when trials should run with the conformance oracle attached.
+pub fn conformance_enabled() -> bool {
+    CONFORMANCE.load(Ordering::SeqCst)
+}
+
+/// Adds `total` violations to the run-wide counter, keeping the first few
+/// `details` for diagnostics.
+pub fn record_violations(total: u64, details: impl IntoIterator<Item = String>) {
+    if total == 0 {
+        return;
+    }
+    VIOLATIONS.fetch_add(total, Ordering::Relaxed);
+    let mut samples = VIOLATION_SAMPLES.lock().expect("samples lock poisoned");
+    for d in details {
+        if samples.len() >= MAX_VIOLATION_SAMPLES {
+            break;
+        }
+        samples.push(d);
+    }
+}
+
+/// Total conformance violations recorded so far.
+pub fn violations_snapshot() -> u64 {
+    VIOLATIONS.load(Ordering::Relaxed)
+}
+
+/// The stored violation details (at most a small sample).
+pub fn violation_samples() -> Vec<String> {
+    VIOLATION_SAMPLES
+        .lock()
+        .expect("samples lock poisoned")
+        .clone()
+}
 
 /// Sets the worker-pool size for all subsequent batches (0 = auto).
 pub fn set_threads(n: usize) {

@@ -55,7 +55,8 @@ pub fn run(trials: u64) -> Vec<Table2Column> {
     // the rank-k image requests within the issue sequence.
     let gap_trials = 10.min(trials).max(1);
     let per_seed = crate::runner::run_seeded(gap_trials, |seed| {
-        let trial = run_paper_trial(seed, None, |_| {});
+        let trial = run_paper_trial(seed, None, crate::common::conformance_tweak);
+        crate::common::record_conformance(&trial.result);
         // Issue times in plan order.
         let mut times: Vec<(u64, h2priv_web::ObjectId)> = trial
             .result

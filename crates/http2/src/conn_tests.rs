@@ -284,6 +284,64 @@ fn late_data_after_reset_is_discarded() {
 }
 
 #[test]
+fn reset_stream_conn_accounting_is_exactly_once() {
+    // §IV-D flush regression: DATA in flight across a RST_STREAM must be
+    // debited from — and credited back to — the *connection* window exactly
+    // once, even though it is never delivered to the application. A leak
+    // (never credited) pins the window at zero after a few flushed bodies;
+    // a double credit inflates it past its initial size.
+    let (mut c, mut s) = ready_pair(H2Config::default(), H2Config::default());
+    let initial = s.conn_send_available();
+    // Ten flushed bodies of 30 kB vastly exceed the 64 kB default window:
+    // the transfer only keeps moving if reset-stream DATA earns credit.
+    for round in 0..10 {
+        let a = c.open_stream(&get("/flush"), true).unwrap();
+        shuttle(&mut c, &mut s);
+        drain_events(&mut s);
+        s.send_headers(a, &resp_200(), false).unwrap();
+        s.send_data(a, &vec![0xDD; 30_000], true).unwrap();
+        // Some of the body goes into flight before the reset.
+        let in_flight: Vec<_> = std::iter::from_fn(|| s.poll_send()).collect();
+        c.send_rst(a, ErrorCode::Cancel);
+        for out in in_flight {
+            c.recv(&out.bytes).unwrap();
+        }
+        shuttle(&mut c, &mut s);
+        drain_events(&mut s);
+        // None of the flushed body reaches the application...
+        assert!(
+            !drain_events(&mut c)
+                .iter()
+                .any(|ev| matches!(ev, H2Event::Data { stream_id, .. } if *stream_id == a)),
+            "round {round}: reset-stream DATA surfaced"
+        );
+        // ...and the server's view of the connection window never exceeds
+        // its initial size (a double credit would overshoot here).
+        assert!(
+            s.conn_send_available() <= initial,
+            "round {round}: conn window over-credited ({} > {initial})",
+            s.conn_send_available()
+        );
+        // Nothing may remain stuck in the server's send queue.
+        assert_eq!(s.pending_data(a), 0, "round {round}: flush stalled");
+    }
+    // A clean request after all the flushes still completes in full: the
+    // window was not leaked away.
+    let b = c.open_stream(&get("/after"), true).unwrap();
+    shuttle(&mut c, &mut s);
+    drain_events(&mut s);
+    s.send_headers(b, &resp_200(), false).unwrap();
+    s.send_data(b, &vec![0xEE; 60_000], true).unwrap();
+    shuttle(&mut c, &mut s);
+    let body: usize = data_sequence(&drain_events(&mut c))
+        .iter()
+        .filter(|(id, _)| *id == b)
+        .map(|(_, l)| l)
+        .sum();
+    assert_eq!(body, 60_000, "post-flush transfer lost window credit");
+}
+
+#[test]
 fn ping_pong() {
     let (mut c, mut s) = ready_pair(H2Config::default(), H2Config::default());
     c.send_ping([3; 8]);

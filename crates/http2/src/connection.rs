@@ -390,6 +390,11 @@ impl H2Connection {
         self.streams.get(&id).map_or(0, |s| s.pending.len())
     }
 
+    /// Connection-level send window currently available (peer credit).
+    pub fn conn_send_available(&self) -> usize {
+        self.conn_send_window.available()
+    }
+
     /// Ids of streams that still have body bytes queued.
     pub fn streams_with_pending_data(&self) -> Vec<StreamId> {
         let mut ids: Vec<StreamId> = self
@@ -882,6 +887,14 @@ impl H2Connection {
                         self.config.settings.initial_window_size,
                     )
                 });
+                if entry.state == StreamState::Closed {
+                    // HEADERS racing our RST_STREAM: the block was HPACK-
+                    // decoded above — the compression context is connection-
+                    // wide and skipping a block would desynchronize it
+                    // (RFC 7540 §4.3) — but the stream is dead, so nothing
+                    // is delivered and no state transition happens.
+                    return Ok(());
+                }
                 if end_stream {
                     entry.state = entry.state.on_remote_end();
                 }
@@ -924,38 +937,48 @@ impl H2Connection {
                         increment: inc,
                     });
                 }
-                // Stream-level accounting (unknown streams tolerated:
-                // frames may race our RST).
-                if let Some(entry) = self.streams.get_mut(&stream_id) {
-                    if entry.state == StreamState::Closed {
-                        return Ok(()); // late data after reset: discard
+                // Stream-level accounting. DATA for a stream we already
+                // reset (or never opened) may still arrive — it was in
+                // flight when the RST_STREAM crossed it. Its connection-
+                // window debit above has already happened, exactly once
+                // (RFC 7540 §5.1, §6.9: flow control is not reclaimed by
+                // resets); the payload itself is discarded, not delivered.
+                let deliver = match self.streams.get_mut(&stream_id) {
+                    Some(entry) if entry.state == StreamState::Closed => false,
+                    Some(entry) => {
+                        if len > entry.recv_window.available() {
+                            let err = H2Error::new(
+                                ErrorCode::FlowControlError,
+                                "peer overran stream window",
+                            );
+                            self.fail(err.code);
+                            return Err(err);
+                        }
+                        entry.recv_window.consume(len);
+                        entry.recv_consumed += len as u32;
+                        if entry.recv_consumed >= self.config.settings.initial_window_size / 2 {
+                            let inc = entry.recv_consumed;
+                            entry.recv_consumed = 0;
+                            entry.recv_window.expand(inc).expect("restoring credit");
+                            self.control_queue.push_back(Frame::WindowUpdate {
+                                stream_id,
+                                increment: inc,
+                            });
+                        }
+                        if end_stream {
+                            entry.state = entry.state.on_remote_end();
+                        }
+                        true
                     }
-                    if len > entry.recv_window.available() {
-                        let err =
-                            H2Error::new(ErrorCode::FlowControlError, "peer overran stream window");
-                        self.fail(err.code);
-                        return Err(err);
-                    }
-                    entry.recv_window.consume(len);
-                    entry.recv_consumed += len as u32;
-                    if entry.recv_consumed >= self.config.settings.initial_window_size / 2 {
-                        let inc = entry.recv_consumed;
-                        entry.recv_consumed = 0;
-                        entry.recv_window.expand(inc).expect("restoring credit");
-                        self.control_queue.push_back(Frame::WindowUpdate {
-                            stream_id,
-                            increment: inc,
-                        });
-                    }
-                    if end_stream {
-                        entry.state = entry.state.on_remote_end();
-                    }
+                    None => false,
+                };
+                if deliver {
+                    self.events.push_back(H2Event::Data {
+                        stream_id,
+                        data,
+                        end_stream,
+                    });
                 }
-                self.events.push_back(H2Event::Data {
-                    stream_id,
-                    data,
-                    end_stream,
-                });
                 Ok(())
             }
             Frame::RstStream {

@@ -223,6 +223,11 @@ impl Default for Encoder {
 #[derive(Debug, Clone)]
 pub struct Decoder {
     table: IndexTable,
+    /// Largest dynamic-table-size update declared by any decoded block
+    /// (`None` until a size-update instruction is seen). The conformance
+    /// oracle uses this to verify the encoder never declares a table
+    /// larger than the decoder's advertised `SETTINGS_HEADER_TABLE_SIZE`.
+    max_size_update: Option<usize>,
 }
 
 impl Decoder {
@@ -235,7 +240,18 @@ impl Decoder {
     pub fn with_table_size(max: usize) -> Self {
         Decoder {
             table: IndexTable::new(max),
+            max_size_update: None,
         }
+    }
+
+    /// Current dynamic-table occupancy in HPACK size units.
+    pub fn dynamic_size(&self) -> usize {
+        self.table.dynamic_size()
+    }
+
+    /// Largest dynamic-table-size update seen across all decoded blocks.
+    pub fn max_size_update(&self) -> Option<usize> {
+        self.max_size_update
     }
 
     /// Decodes a complete header block fragment.
@@ -264,6 +280,7 @@ impl Decoder {
                 // Dynamic table size update.
                 let (size, used) = decode_integer(buf, 5)?;
                 buf = &buf[used..];
+                self.max_size_update = Some(self.max_size_update.map_or(size, |m| m.max(size)));
                 self.table.set_max_dynamic_size(size);
             } else {
                 // Literal without indexing (0000) or never indexed (0001).

@@ -228,6 +228,11 @@ impl IndexTable {
     pub fn dynamic_len(&self) -> usize {
         self.dynamic.len()
     }
+
+    /// Dynamic-table occupancy in HPACK size units (RFC 7541 §4.1).
+    pub fn dynamic_size(&self) -> usize {
+        self.dynamic.size()
+    }
 }
 
 #[cfg(test)]

@@ -77,7 +77,12 @@ impl NewReno {
     pub fn on_ack(&mut self, newly_acked: usize, ack_offset: u64, _flight: usize) {
         match self.phase {
             CcPhase::SlowStart => {
-                self.cwnd = self.cwnd.saturating_add(newly_acked);
+                // RFC 5681 (3.1) / RFC 3465 ABC with L=1: grow by at most
+                // one MSS per ACK, so a stretch ACK (one ACK covering many
+                // segments, common behind delayed-ACK receivers and ACK
+                // thinning middleboxes) cannot inflate cwnd by the whole
+                // acked amount in one step.
+                self.cwnd = self.cwnd.saturating_add(newly_acked.min(self.mss));
                 if self.cwnd >= self.ssthresh {
                     self.cwnd = self.ssthresh;
                     self.phase = CcPhase::CongestionAvoidance;
@@ -194,6 +199,16 @@ mod tests {
             acked += MSS;
         }
         assert_eq!(c.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn slow_start_stretch_ack_growth_is_capped() {
+        // RFC 3465 (L=1): a stretch ACK covering four segments still grows
+        // cwnd by at most one MSS.
+        let mut c = cc();
+        let start = c.cwnd();
+        c.on_ack(4 * MSS, (4 * MSS) as u64, start);
+        assert_eq!(c.cwnd(), start + MSS);
     }
 
     #[test]

@@ -173,6 +173,12 @@ pub struct TcpConnection {
     /// Absolute deadline of the retransmission timer.
     rto_deadline: Option<SimTime>,
     consecutive_timeouts: u32,
+    /// Highest offset outstanding when the last RTO fired. The backed-off
+    /// RTO persists until an ACK *beyond* this point — an ACK of data first
+    /// sent after the timeout — arrives (RFC 6298, 5.7); ACKs that only
+    /// cover retransmitted ranges are ambiguous under Karn's algorithm and
+    /// leave the backoff alone.
+    backoff_point: Option<u64>,
     /// When a data segment was last transmitted (idle detection, RFC 7661).
     last_data_sent: Option<SimTime>,
 
@@ -236,6 +242,7 @@ impl TcpConnection {
             rtt_probe: None,
             rto_deadline: None,
             consecutive_timeouts: 0,
+            backoff_point: None,
             last_data_sent: None,
             reassembler: Reassembler::new(),
             peer_iss: None,
@@ -289,6 +296,11 @@ impl TcpConnection {
         self.cc.cwnd()
     }
 
+    /// Current slow-start threshold (bytes).
+    pub fn ssthresh(&self) -> usize {
+        self.cc.ssthresh()
+    }
+
     /// Current congestion phase.
     pub fn cc_phase(&self) -> CcPhase {
         self.cc.phase()
@@ -297,6 +309,33 @@ impl TcpConnection {
     /// Smoothed RTT, once measured.
     pub fn srtt(&self) -> Option<SimDuration> {
         self.rtt.srtt()
+    }
+
+    /// Configured maximum segment size (bytes).
+    pub fn mss(&self) -> usize {
+        self.config.mss
+    }
+
+    /// First unacknowledged send-stream offset.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Highest send-stream offset ever transmitted.
+    pub fn snd_max(&self) -> u64 {
+        self.snd_max
+    }
+
+    /// Current RTO backoff exponent (0 when no timeout is outstanding).
+    pub fn rto_backoff_exp(&self) -> u32 {
+        self.rtt.backoff_exp()
+    }
+
+    /// End offset of the outstanding Karn RTT probe, if any. The probe must
+    /// be invalidated whenever a retransmission overlaps it (no samples
+    /// from retransmitted segments); the conformance oracle checks this.
+    pub fn rtt_probe_end(&self) -> Option<u64> {
+        self.rtt_probe.map(|(end, _)| end)
     }
 
     /// Total bytes ever written to the send stream (the current stream
@@ -621,6 +660,7 @@ impl TcpConnection {
                 }
                 self.stats.syn_retransmissions += 1;
                 self.rtt.on_timeout();
+                self.backoff_point = Some(self.backoff_point.unwrap_or(0).max(self.snd_max));
                 self.syn_in_flight = false; // re-emit SYN / SYN-ACK
             }
             TcpState::Established | TcpState::FinWait | TcpState::CloseWait | TcpState::LastAck => {
@@ -646,6 +686,7 @@ impl TcpConnection {
                     return;
                 }
                 self.rtt.on_timeout();
+                self.backoff_point = Some(self.backoff_point.unwrap_or(0).max(self.snd_max));
                 self.cc
                     .on_timeout(self.flight(), self.consecutive_timeouts == 1);
                 // Go-back-N: rewind the send cursor.
@@ -834,7 +875,15 @@ impl TcpConnection {
             self.stats.send_buf_bytes = self.send_buf.resident() as u64;
             self.dup_acks = 0;
             self.consecutive_timeouts = 0;
-            self.rtt.on_progress();
+            // A backed-off RTO persists until new data — data beyond what
+            // was outstanding at the timeout — is cumulatively acked.
+            match self.backoff_point {
+                Some(point) if ack_offset <= point => {}
+                _ => {
+                    self.backoff_point = None;
+                    self.rtt.on_progress();
+                }
+            }
             // RTT sample (Karn-safe: probe is invalidated on retransmit).
             if let Some((probe_end, sent_at)) = self.rtt_probe {
                 if ack_offset >= probe_end {
@@ -876,7 +925,7 @@ impl TcpConnection {
 mod tests {
     use super::*;
 
-    fn pump(a: &mut TcpConnection, b: &mut TcpConnection, now: SimTime) {
+    pub(super) fn pump(a: &mut TcpConnection, b: &mut TcpConnection, now: SimTime) {
         // Exchange until quiescent at a single instant.
         loop {
             let mut moved = false;
@@ -894,7 +943,7 @@ mod tests {
         }
     }
 
-    fn established_pair() -> (TcpConnection, TcpConnection) {
+    pub(super) fn established_pair() -> (TcpConnection, TcpConnection) {
         let mut c = TcpConnection::client(TcpConfig::default());
         let mut s = TcpConnection::server(TcpConfig::default());
         pump(&mut c, &mut s, SimTime::ZERO);
@@ -1340,5 +1389,68 @@ mod delayed_ack_tests {
             acks += 1;
         }
         assert_eq!(acks, delivered);
+    }
+}
+
+#[cfg(test)]
+mod rto_backoff_tests {
+    use super::tests::{established_pair, pump};
+    use super::*;
+
+    #[test]
+    fn rto_backoff_persists_until_new_data_acked() {
+        // RFC 6298 (5.7): after a timeout the backed-off RTO must survive
+        // dup ACKs and ACKs of the data that was outstanding at the
+        // timeout; only an ACK covering data sent afterwards resets it.
+        let (mut c, mut s) = established_pair();
+        let t1 = SimTime::from_millis(10);
+        c.write(&vec![5u8; 5 * 1460]);
+        let mut segs = Vec::new();
+        while let Some(seg) = c.poll_transmit(t1) {
+            segs.push(seg);
+        }
+        assert_eq!(segs.len(), 5);
+        // Lose the first segment; the rest arrive and draw dup ACKs.
+        for seg in segs.into_iter().skip(1) {
+            s.on_segment(seg, t1);
+        }
+        let mut dup_acks = Vec::new();
+        while let Some(seg) = s.poll_transmit(t1) {
+            dup_acks.push(seg);
+        }
+        assert!(dup_acks.len() >= 2);
+
+        let t2 = SimTime::from_millis(2_000); // past the armed RTO
+        c.on_tick(t2);
+        assert_eq!(c.rto_backoff_exp(), 1, "timeout should back off the RTO");
+        let rexmit = c.poll_transmit(t2).expect("RTO retransmission");
+        assert!(!rexmit.payload.is_empty());
+
+        // Two dup ACKs (below the fast-retransmit threshold): no progress,
+        // backoff stays.
+        for seg in dup_acks.into_iter().take(2) {
+            c.on_segment(seg, t2);
+        }
+        assert_eq!(c.rto_backoff_exp(), 1, "dup ACKs must not clear backoff");
+
+        // The retransmission fills the hole; the cumulative ACK covers all
+        // five segments — still only data outstanding at the timeout.
+        s.on_segment(rexmit, t2);
+        while let Some(seg) = s.poll_transmit(t2) {
+            c.on_segment(seg, t2);
+        }
+        assert_eq!(c.snd_una(), 5 * 1460);
+        assert_eq!(
+            c.rto_backoff_exp(),
+            1,
+            "ACK of retransmitted-era data must not clear backoff"
+        );
+
+        // New data sent after the timeout, once acked, resets the timer.
+        c.write(&[6u8; 100]);
+        let t3 = SimTime::from_millis(2_100);
+        pump(&mut c, &mut s, t3);
+        assert_eq!(c.snd_una(), 5 * 1460 + 100);
+        assert_eq!(c.rto_backoff_exp(), 0, "ACK of new data clears backoff");
     }
 }

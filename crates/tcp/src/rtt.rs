@@ -75,8 +75,9 @@ impl RttEstimator {
         let srtt = self.srtt.expect("just set");
         let raw = srtt + (self.rttvar * 4).max(SimDuration::from_millis(1));
         self.rto = raw.max(self.min_rto).min(self.max_rto);
-        // A valid sample means the network is delivering: clear backoff.
-        self.backoff_exp = 0;
+        // RFC 6298 (5.7): a sample recomputes the *base* RTO but must not
+        // discard a still-outstanding backoff — only an ACK of new data
+        // (reported via `on_progress`) may collapse it.
     }
 
     /// Doubles the RTO after a retransmission timeout.
@@ -84,7 +85,10 @@ impl RttEstimator {
         self.backoff_exp = self.backoff_exp.saturating_add(1).min(16);
     }
 
-    /// Clears backoff after forward progress (a new cumulative ACK).
+    /// Clears backoff after forward progress. Per RFC 6298 (5.7) the caller
+    /// must invoke this only for an ACK of *new* data — data first sent
+    /// after the timeout — not for ACKs that merely cover retransmitted
+    /// ranges (those are ambiguous under Karn's algorithm).
     pub fn on_progress(&mut self) {
         self.backoff_exp = 0;
     }
@@ -164,12 +168,18 @@ mod tests {
     }
 
     #[test]
-    fn sample_clears_backoff() {
+    fn sample_preserves_outstanding_backoff() {
+        // RFC 6298 (5.7): taking a sample recomputes the base RTO but must
+        // not silently cancel a backoff that is still outstanding.
         let mut e = est();
         e.on_sample(SimDuration::from_millis(100));
+        let base = e.rto();
         e.on_timeout();
         assert!(e.backoff_exp() > 0);
         e.on_sample(SimDuration::from_millis(100));
+        assert!(e.backoff_exp() > 0, "sample must not clear backoff");
+        assert!(e.rto() > base, "RTO stays backed off until new data acked");
+        e.on_progress();
         assert_eq!(e.backoff_exp(), 0);
     }
 

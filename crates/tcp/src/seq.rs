@@ -116,4 +116,42 @@ mod tests {
         assert_eq!(Seq(5).max(Seq(9)), Seq(9));
         assert_eq!(Seq(5).max(Seq(u32::MAX)), Seq(5)); // MAX precedes 5 here
     }
+
+    #[test]
+    fn ordering_sweep_across_wrap_boundary() {
+        // Exhaustive local sweep straddling the wrap point: for every base
+        // near u32::MAX and every forward step within the window, the
+        // ordering predicates must agree with 64-bit arithmetic.
+        let bases = (0..32u32).map(|i| (u32::MAX - 16).wrapping_add(i)); // wraps halfway
+        for base in bases {
+            let a = Seq(base);
+            for step in 1..=64u32 {
+                let b = a + step;
+                assert!(a.lt(b), "{a} < {a}+{step}");
+                assert!(a.leq(b) && b.geq(a) && b.gt(a));
+                assert!(!b.lt(a), "{a}+{step} must not precede {a}");
+                assert_eq!(b - a, step, "forward distance across wrap");
+                assert_eq!(a.max(b), b);
+            }
+            assert!(a.leq(a) && a.geq(a) && !a.lt(a) && !a.gt(a));
+        }
+    }
+
+    #[test]
+    fn half_window_boundary_is_never_less_both_ways() {
+        // RFC 1982: comparisons are defined only within half the space;
+        // at exactly 2^31 apart the order is undefined. Our lt() answers
+        // false in *both* directions there — what must never happen is
+        // both directions claiming "less" at once.
+        for base in [0u32, 1, u32::MAX, u32::MAX / 2, 0x8000_0000] {
+            let a = Seq(base);
+            let just_under = a + (u32::MAX / 2); // 2^31 - 1 ahead
+            assert!(a.lt(just_under), "2^31-1 ahead is still 'later'");
+            assert!(!just_under.lt(a));
+            let exactly_half = a + 0x8000_0000;
+            assert!(!a.lt(exactly_half), "2^31 ahead is outside the window");
+            assert!(!exactly_half.lt(a), "undefined, but never both-less");
+            assert_eq!(exactly_half - a, 0x8000_0000);
+        }
+    }
 }

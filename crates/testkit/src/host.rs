@@ -12,6 +12,7 @@ use std::rc::Rc;
 
 use h2priv_analysis::GroundTruth;
 use h2priv_bytes::FxHashMap;
+use h2priv_conformance::{H2LedgerChecker, TcpEndpointChecker, ViolationSink};
 use h2priv_http2::{
     ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId,
 };
@@ -22,6 +23,31 @@ use h2priv_web::{Browser, BrowserCmd, ObjectId, SiteServer};
 
 const TOKEN_TCP: u64 = 0;
 const TOKEN_APP: u64 = 1;
+
+/// Endpoint-side conformance checkers attached to one host: an HTTP/2
+/// flow-control/HPACK ledger fed the exact bytes this endpoint sends and
+/// receives, plus a TCP checker watching every transmitted segment against
+/// the connection's own state.
+pub struct HostOracle {
+    h2: H2LedgerChecker,
+    tcp: TcpEndpointChecker,
+}
+
+impl HostOracle {
+    /// Creates the checkers for one endpoint, reporting into `sink`.
+    pub fn new(label: &'static str, is_client: bool, sink: ViolationSink) -> Self {
+        HostOracle {
+            h2: H2LedgerChecker::new(label, is_client, sink.clone()),
+            tcp: TcpEndpointChecker::new(label, sink),
+        }
+    }
+}
+
+impl std::fmt::Debug for HostOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostOracle").finish_non_exhaustive()
+    }
+}
 
 /// The application running on a host.
 #[derive(Debug)]
@@ -64,6 +90,8 @@ pub struct HostCore {
     /// backpressure is what keeps several response streams pending in the
     /// mux simultaneously — i.e. what makes multiplexing happen at all.
     socket_buffer: usize,
+    /// Conformance checkers, when the scenario enables the oracle.
+    oracle: Option<HostOracle>,
 }
 
 impl HostCore {
@@ -103,6 +131,12 @@ impl HostCore {
 
     fn is_client(&self) -> bool {
         matches!(self.app, App::Client(_))
+    }
+
+    /// Attaches conformance checkers; every byte pumped from here on is
+    /// validated.
+    pub fn set_oracle(&mut self, oracle: HostOracle) {
+        self.oracle = Some(oracle);
     }
 }
 
@@ -146,6 +180,7 @@ impl Host {
             halt_when_done: true,
             authority: authority.into(),
             socket_buffer,
+            oracle: None,
         }));
         (
             Host {
@@ -181,6 +216,7 @@ impl Host {
             halt_when_done: false,
             authority: String::new(),
             socket_buffer,
+            oracle: None,
         }));
         (
             Host {
@@ -276,6 +312,9 @@ impl HostCore {
         // Flush TCP output.
         let self_id = ctx.node_id();
         while let Some(seg) = self.tcp.poll_transmit(now) {
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.tcp.on_transmit(&self.tcp, &seg, now);
+            }
             let wire_bytes = seg.wire_bytes();
             ctx.send(Packet::new(self_id, self.peer, wire_bytes, seg));
         }
@@ -331,10 +370,15 @@ impl HostCore {
                 b.start(now);
             }
         }
-        if !app.is_empty() && self.h2.recv(&app).is_err() {
-            self.app_scratch = app;
-            self.fail_connection(now);
-            return true;
+        if !app.is_empty() {
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.h2.on_received(&app, now);
+            }
+            if self.h2.recv(&app).is_err() {
+                self.app_scratch = app;
+                self.fail_connection(now);
+                return true;
+            }
         }
         self.app_scratch = app;
         self.dispatch_h2_events(now);
@@ -444,7 +488,7 @@ impl HostCore {
     }
 
     /// HTTP/2 → TLS → TCP, with ground-truth annotation on the server.
-    fn pump_outbound(&mut self, _now: SimTime) -> bool {
+    fn pump_outbound(&mut self, now: SimTime) -> bool {
         if self.dead || !self.tls_established {
             return false;
         }
@@ -459,6 +503,9 @@ impl HostCore {
                 break;
             };
             progressed = true;
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.h2.on_sent(&out.bytes, now);
+            }
             let sealed = match self.tls.seal_app_data(&out.bytes) {
                 Ok(s) => s,
                 Err(_) => break,

@@ -16,6 +16,6 @@ mod host;
 mod scenario;
 mod tap;
 
-pub use host::{App, Host, HostCore};
+pub use host::{App, Host, HostCore, HostOracle};
 pub use scenario::{build_scenario, run_scenario, run_trial, RunResult, Scenario, ScenarioConfig};
 pub use tap::WireTap;

@@ -17,8 +17,10 @@ use h2priv_web::{
     BrowsePlan, Browser, BrowserConfig, RequestOutcome, SiteServer, SiteServerConfig, Website,
 };
 
+use h2priv_conformance::{ConformanceTap, Violation, ViolationSink};
+
 use crate::calib;
-use crate::host::{Host, HostCore};
+use crate::host::{Host, HostCore, HostOracle};
 use crate::tap::WireTap;
 
 /// Everything configurable about one trial.
@@ -45,6 +47,11 @@ pub struct ScenarioConfig {
     /// Modeled kernel socket send-buffer size per endpoint (backpressure
     /// that keeps several responses pending in the mux at once).
     pub socket_buffer: usize,
+    /// Run the cross-layer conformance oracle alongside the trial: endpoint
+    /// checkers on both hosts plus a wire tap at the gateway, all reporting
+    /// into [`RunResult::violations`]. On by default; benches turn it off
+    /// unless `--check` is given.
+    pub conformance: bool,
 }
 
 impl Default for ScenarioConfig {
@@ -91,6 +98,7 @@ impl Default for ScenarioConfig {
                 .jitter(calib::natural_jitter()),
             deadline: calib::TRIAL_DEADLINE,
             socket_buffer: calib::SOCKET_BUFFER,
+            conformance: true,
         }
     }
 }
@@ -109,6 +117,8 @@ pub struct Scenario {
     pub truth: Rc<RefCell<GroundTruth>>,
     /// Node ids (client, gateway, server).
     pub nodes: (NodeId, NodeId, NodeId),
+    /// The conformance oracle's sink, when the oracle is enabled.
+    pub violations: Option<ViolationSink>,
     deadline: h2priv_netsim::SimDuration,
 }
 
@@ -142,6 +152,11 @@ pub struct RunResult {
     pub client_abort: Option<AbortReason>,
     /// Simulator events the trial processed (throughput accounting).
     pub events: u64,
+    /// Conformance violations the oracle detected (empty when the oracle
+    /// was disabled; capped at the sink's storage limit).
+    pub violations: Vec<Violation>,
+    /// Total violations reported, including any past the storage cap.
+    pub violations_total: u64,
 }
 
 impl RunResult {
@@ -152,6 +167,20 @@ impl RunResult {
             + self.server_tcp.retransmissions
             + self.client_tcp.syn_retransmissions
             + self.server_tcp.syn_retransmissions
+    }
+
+    /// Panics if the conformance oracle recorded any violation, listing
+    /// the stored ones. No-op when the oracle was disabled.
+    pub fn assert_conformant(&self) {
+        if self.violations_total == 0 {
+            return;
+        }
+        let listing: Vec<String> = self.violations.iter().map(|v| format!("  {v}")).collect();
+        panic!(
+            "{} conformance violation(s):\n{}",
+            self.violations_total,
+            listing.join("\n")
+        );
     }
 }
 
@@ -205,6 +234,20 @@ pub fn build_scenario(
     }
     gateway.push_middlebox(WireTap::new(trace.clone()));
 
+    // The oracle: wire checks at the gateway (after the adversary, so it
+    // validates exactly the traffic that survives) plus endpoint checkers
+    // on both hosts, all reporting into one sink.
+    let violations = config.conformance.then(ViolationSink::new);
+    if let Some(sink) = &violations {
+        client
+            .borrow_mut()
+            .set_oracle(HostOracle::new("client", true, sink.clone()));
+        server
+            .borrow_mut()
+            .set_oracle(HostOracle::new("server", false, sink.clone()));
+        gateway.push_middlebox(Box::new(ConformanceTap::new(sink.clone())));
+    }
+
     sim.install_node(client_id, Box::new(client_host));
     sim.install_node(gateway_id, Box::new(gateway));
     sim.install_node(server_id, Box::new(server_host));
@@ -218,6 +261,7 @@ pub fn build_scenario(
         trace,
         truth,
         nodes: (client_id, gateway_id, server_id),
+        violations,
         deadline: config.deadline,
     }
 }
@@ -229,6 +273,13 @@ pub fn run_scenario(mut scenario: Scenario) -> RunResult {
     let summary = scenario.sim.run_until(deadline);
     let client = scenario.client.borrow();
     let server = scenario.server.borrow();
+    let (violations, violations_total) = match &scenario.violations {
+        Some(sink) => {
+            let total = sink.total();
+            (sink.take(), total)
+        }
+        None => (Vec::new(), 0),
+    };
     RunResult {
         stop: summary.stop,
         outcomes: client.browser().outcomes(),
@@ -239,6 +290,8 @@ pub fn run_scenario(mut scenario: Scenario) -> RunResult {
         broken: client.dead || server.dead,
         client_abort: client.abort_reason(),
         events: summary.events,
+        violations,
+        violations_total,
     }
 }
 

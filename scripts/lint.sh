@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# Lint gate: the workspace must be clippy-clean (warnings are errors)
-# and rustfmt-clean. CI and `make lint` both run this.
+# Lint gate: the workspace must be clippy-clean (warnings are errors),
+# rustfmt-clean, and protocol-conformant (the oracle must stay silent
+# across a quick repro run). CI and `make lint` both run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,5 +10,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all -- --check
 
 sh scripts/bench_check.sh
+
+# Cross-layer conformance oracle over a quick full-exhibit run
+# (equivalent to `make check-conformance`): exits nonzero on any TCP/TLS/
+# HTTP/2 invariant violation.
+cargo run --release -p h2priv-bench --bin repro -- --quick --check > /dev/null
 
 echo "lint: clean"

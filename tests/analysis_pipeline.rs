@@ -13,6 +13,7 @@ use h2priv::tls::ContentType;
 #[test]
 fn observer_reconstructs_records_without_keys() {
     let trial = run_paper_trial(1, None, |_| {});
+    trial.result.assert_conformant();
     let records = extract_records(&trial.result.trace);
     assert!(!records.is_empty());
     // Handshake records precede application data in each direction.
@@ -96,6 +97,7 @@ fn degree_zero_objects_are_identifiable_under_attack() {
     let map = calibrate_size_map(&objects);
     let attack = AttackConfig::paper_attack();
     let trial = run_paper_trial(0, Some(&attack), |_| {});
+    trial.result.assert_conformant();
     let start = trial
         .adversary
         .as_ref()

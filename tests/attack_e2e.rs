@@ -20,6 +20,7 @@ fn paper_attack_recovers_the_survey_result() {
     let mut sequences_ok = 0;
     for seed in 0..trials {
         let trial = run_paper_trial(seed, Some(&attack), |_| {});
+        trial.result.assert_conformant();
         let start = trial
             .adversary
             .as_ref()
@@ -47,6 +48,7 @@ fn paper_attack_recovers_the_survey_result() {
 fn attack_phases_progress_in_order() {
     let attack = AttackConfig::paper_attack();
     let trial = run_paper_trial(1, Some(&attack), |_| {});
+    trial.result.assert_conformant();
     let snapshot = trial.adversary.expect("adversary installed");
     let phases: Vec<AttackPhase> = snapshot.phase_log.iter().map(|&(_, p)| p).collect();
     assert_eq!(
@@ -79,6 +81,7 @@ fn attack_forces_the_stream_reset() {
     let mut resets = 0;
     for seed in 0..5 {
         let trial = run_paper_trial(seed, Some(&attack), |_| {});
+        trial.result.assert_conformant();
         if trial.result.outcomes[5].resets_sent > 0 {
             resets += 1;
         }
@@ -100,6 +103,7 @@ fn jitter_only_leaves_connection_alive() {
     let attack = AttackConfig::jitter_only(h2priv::netsim::SimDuration::from_millis(50));
     for seed in 0..5 {
         let trial = run_paper_trial(seed, Some(&attack), |_| {});
+        trial.result.assert_conformant();
         assert!(!trial.result.broken, "seed {seed} broke");
         assert!(
             trial.result.outcomes.iter().all(|o| !o.failed),

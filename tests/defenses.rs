@@ -23,6 +23,7 @@ fn padding_defeats_the_calibrated_size_map() {
         let trial = run_paper_trial(seed, Some(&attack), |cfg| {
             cfg.server.pad_bucket = Some(BUCKET);
         });
+        trial.result.assert_conformant();
         assert!(!trial.result.broken, "seed {seed}: padding broke the page");
         let start = trial
             .adversary
@@ -33,6 +34,7 @@ fn padding_defeats_the_calibrated_size_map() {
         defended_total += analysis.objects.iter().filter(|o| o.success).count();
 
         let baseline = run_paper_trial(seed, Some(&attack), |_| {});
+        baseline.result.assert_conformant();
         let start = baseline
             .adversary
             .as_ref()

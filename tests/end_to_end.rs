@@ -8,6 +8,7 @@ use h2priv::netsim::{Dir, StopReason};
 #[test]
 fn baseline_page_load_completes_everything() {
     let trial = run_paper_trial(3, None, |_| {});
+    trial.result.assert_conformant();
     assert!(!trial.result.broken, "baseline must not break");
     assert!(matches!(
         trial.result.stop,
@@ -29,6 +30,7 @@ fn baseline_page_load_completes_everything() {
 #[test]
 fn baseline_traffic_flows_in_both_directions() {
     let trial = run_paper_trial(4, None, |_| {});
+    trial.result.assert_conformant();
     let c2s = trial.result.trace.bytes_in_dir(Dir::LeftToRight);
     let s2c = trial.result.trace.bytes_in_dir(Dir::RightToLeft);
     // The page is ≈ 2.7 MB of response data; requests are small.
@@ -39,6 +41,7 @@ fn baseline_traffic_flows_in_both_directions() {
 #[test]
 fn ground_truth_covers_every_object() {
     let trial = run_paper_trial(5, None, |_| {});
+    trial.result.assert_conformant();
     for object in trial.iw.site.objects() {
         let instances = trial.result.truth.instances_of(object.id);
         assert!(
