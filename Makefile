@@ -1,6 +1,6 @@
 # Convenience targets; each is a thin wrapper over cargo.
 
-.PHONY: build test lint bench bench-check check-conformance repro repro-quick
+.PHONY: build test lint bench bench-check bench-sched check-conformance repro repro-quick
 
 build:
 	cargo build --release --workspace
@@ -16,6 +16,9 @@ bench:
 
 bench-check:
 	sh scripts/bench_check.sh
+
+bench-sched:
+	cargo bench -p h2priv-bench --bench sched
 
 check-conformance:
 	cargo run --release -p h2priv-bench --bin repro -- --quick --check

@@ -1,0 +1,195 @@
+//! Event-scheduler microbenchmark: the calendar queue (`CalendarQueue`)
+//! against the 4-ary min-heap it replaced (`MinHeap4`), isolated from the
+//! protocol stacks, at the event mixes the trials actually produce.
+//!
+//! Three regimes, payload sized like the engine's event (a `Packet` of
+//! `TcpSegment` is 72 bytes):
+//!
+//! * `fig5_mix` — the measured fig5 trial shape: bimodal deadlines (µs-scale
+//!   serialization/ACK events plus an RTO/stall-scale far tail), queue held
+//!   at ~2k live entries, steady-state push/pop.
+//! * `burst` — near-only dense trains (12 µs serialization quanta), the
+//!   regime the bucket ring is built for.
+//! * `tombstone_pop` — pop-through of an RTO-rearm-style backlog, the
+//!   cancelled-timer drain that inflates trial queues.
+//!
+//! Run via `make bench-sched`; `scripts/lint.sh` executes it as a smoke
+//! check so a scheduler regression fails CI before it blurs into
+//! whole-trial numbers.
+
+use h2priv_bench::harness::{black_box, Harness};
+use h2priv_netsim::internals::{CalendarQueue, MinHeap4};
+use h2priv_netsim::{SimDuration, SimTime};
+
+/// Mimics the engine's event payload footprint (`Ev<TcpSegment>`). The
+/// heap stored whole events inline, so its entries must carry the payload
+/// too — `Ord` ignores it (the `(at, seq)` prefix decides first and is
+/// unique).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Payload([u64; 9]);
+
+impl Payload {
+    fn new(seed: u64) -> Self {
+        Payload([seed; 9])
+    }
+}
+
+/// xorshift64*: deterministic workload without external RNG crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The fig5 trial's measured deadline mix: slightly more near than far
+/// inserts (54% / 46%), with the far tail spread over RTO-to-stall scales.
+fn fig5_delta(rng: &mut Rng) -> u64 {
+    let r = rng.next();
+    match r % 100 {
+        0..=53 => rng.next() % 50_000,                     // ≤ 50 µs
+        54..=89 => 100_000_000 + rng.next() % 900_000_000, // RTO-scale
+        _ => 1_000_000_000 + rng.next() % 4_000_000_000,   // stall-scale
+    }
+}
+
+/// Steady-state push+pop pair on a queue held at `hold` live entries.
+/// Returns closures so both implementations run the identical schedule.
+fn bench_fig5_mix(h: &mut Harness) {
+    const HOLD: usize = 2_000;
+
+    let mut rng = Rng(0x5EED);
+    let mut wheel = CalendarQueue::new();
+    let mut seq = 0u64;
+    for _ in 0..HOLD {
+        wheel.push(
+            SimTime::ZERO + SimDuration::from_nanos(fig5_delta(&mut rng)),
+            seq,
+            Payload::new(seq),
+        );
+        seq += 1;
+    }
+    h.bench("sched/wheel_fig5_mix", move || {
+        let (at, _, v) = wheel.pop().expect("steady state");
+        black_box(v);
+        wheel.push(
+            at + SimDuration::from_nanos(fig5_delta(&mut rng)),
+            seq,
+            Payload::new(seq),
+        );
+        seq += 1;
+    });
+
+    let mut rng = Rng(0x5EED);
+    let mut heap: MinHeap4<(SimTime, u64, Payload)> = MinHeap4::new();
+    let mut seq = 0u64;
+    for _ in 0..HOLD {
+        heap.push((
+            SimTime::ZERO + SimDuration::from_nanos(fig5_delta(&mut rng)),
+            seq,
+            Payload::new(seq),
+        ));
+        seq += 1;
+    }
+    h.bench("sched/heap_fig5_mix", move || {
+        let (at, _, v) = heap.pop().expect("steady state");
+        black_box(v);
+        heap.push((
+            at + SimDuration::from_nanos(fig5_delta(&mut rng)),
+            seq,
+            Payload::new(seq),
+        ));
+        seq += 1;
+    });
+}
+
+/// Dense near-future trains: 0–48 µs deadlines (serialization quanta).
+fn bench_burst(h: &mut Harness) {
+    const HOLD: usize = 256;
+
+    let mut rng = Rng(7);
+    let mut wheel = CalendarQueue::new();
+    let mut seq = 0u64;
+    for _ in 0..HOLD {
+        wheel.push(
+            SimTime::ZERO + SimDuration::from_nanos(rng.next() % 48_000),
+            seq,
+            Payload::new(seq),
+        );
+        seq += 1;
+    }
+    h.bench("sched/wheel_burst", move || {
+        let (at, _, v) = wheel.pop().expect("steady state");
+        black_box(v);
+        wheel.push(
+            at + SimDuration::from_nanos(rng.next() % 48_000),
+            seq,
+            Payload::new(seq),
+        );
+        seq += 1;
+    });
+
+    let mut rng = Rng(7);
+    let mut heap: MinHeap4<(SimTime, u64, Payload)> = MinHeap4::new();
+    let mut seq = 0u64;
+    for _ in 0..HOLD {
+        heap.push((
+            SimTime::ZERO + SimDuration::from_nanos(rng.next() % 48_000),
+            seq,
+            Payload::new(seq),
+        ));
+        seq += 1;
+    }
+    h.bench("sched/heap_burst", move || {
+        let (at, _, v) = heap.pop().expect("steady state");
+        black_box(v);
+        heap.push((
+            at + SimDuration::from_nanos(rng.next() % 48_000),
+            seq,
+            Payload::new(seq),
+        ));
+        seq += 1;
+    });
+}
+
+/// RTO-rearm backlog drain: refill a 4k-deep far-future backlog, then pop
+/// it dry — the shape of a cancelled-timer tombstone flush.
+fn bench_tombstone_pop(h: &mut Harness) {
+    const DEPTH: u64 = 4_096;
+
+    h.bench("sched/wheel_tombstone_pop", || {
+        let mut rng = Rng(11);
+        let mut wheel = CalendarQueue::new();
+        for seq in 0..DEPTH {
+            let at = SimTime::from_nanos(200_000_000 + rng.next() % 800_000_000);
+            wheel.push(at, seq, Payload::new(seq));
+        }
+        while let Some((_, _, v)) = wheel.pop() {
+            black_box(v);
+        }
+    });
+
+    h.bench("sched/heap_tombstone_pop", || {
+        let mut rng = Rng(11);
+        let mut heap: MinHeap4<(SimTime, u64, Payload)> = MinHeap4::new();
+        for seq in 0..DEPTH {
+            let at = SimTime::from_nanos(200_000_000 + rng.next() % 800_000_000);
+            heap.push((at, seq, Payload::new(seq)));
+        }
+        while let Some((_, _, v)) = heap.pop() {
+            black_box(v);
+        }
+    });
+}
+
+fn main() {
+    let mut h = Harness::from_args(std::env::args().skip(1));
+    bench_fig5_mix(&mut h);
+    bench_burst(&mut h);
+    bench_tombstone_pop(&mut h);
+    h.finish();
+}

@@ -130,6 +130,7 @@ pub fn order_randomization_defense(trials: u64) -> Vec<AblationRow> {
                 run_paper_trial(seed, Some(&attack), crate::common::conformance_tweak)
             };
             crate::common::record_conformance(&trial.result);
+            crate::runner::record_sched(&trial.result.sched);
             let start = trial
                 .adversary
                 .as_ref()
@@ -229,6 +230,7 @@ pub fn pairwise_decomposition(trials: u64) -> Vec<AblationRow> {
     let per_seed = crate::runner::run_seeded(trials, |seed| {
         let trial = run_paper_trial(seed, Some(&attack), crate::common::conformance_tweak);
         crate::common::record_conformance(&trial.result);
+        crate::runner::record_sched(&trial.result.sched);
         let records = extract_records(&trial.result.trace);
         let data = app_data_records(&records, h2priv_netsim::Dir::RightToLeft);
         let bursts = segment_bursts(&data, BURST_GAP);

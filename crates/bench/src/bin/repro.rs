@@ -33,6 +33,10 @@ struct ExhibitTiming {
     threads: usize,
     wall_ms: f64,
     events: u64,
+    /// Event-scheduler behaviour over the exhibit's trials (tier split,
+    /// promotions, peak bucket/overflow occupancy), so baselines are
+    /// self-describing about which scheduler produced them.
+    sched: h2priv_netsim::SchedStats,
 }
 
 impl ExhibitTiming {
@@ -53,6 +57,13 @@ impl ToJson for ExhibitTiming {
             ("wall_ms", self.wall_ms.to_json()),
             ("events", self.events.to_json()),
             ("events_per_sec", self.events_per_sec().to_json()),
+            ("scheduler", h2priv_netsim::SchedStats::SCHEDULER.to_json()),
+            ("sched_near_inserts", self.sched.near_inserts.to_json()),
+            ("sched_far_inserts", self.sched.far_inserts.to_json()),
+            ("sched_promotions", self.sched.promotions.to_json()),
+            ("sched_rebases", self.sched.rebases.to_json()),
+            ("sched_peak_near", self.sched.peak_near.to_json()),
+            ("sched_peak_overflow", self.sched.peak_overflow.to_json()),
         ])
     }
 }
@@ -110,6 +121,7 @@ fn main() {
     let mut timings: Vec<ExhibitTiming> = Vec::new();
     let mut timed = |exhibit: &'static str, trials: u64, body: &mut dyn FnMut()| {
         let events_before = runner::events_snapshot();
+        runner::sched_take(); // reset so the exhibit reports only its own
         let t0 = Instant::now();
         body();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -120,6 +132,7 @@ fn main() {
             threads,
             wall_ms,
             events,
+            sched: runner::sched_take(),
         };
         eprintln!(
             "[timing] {exhibit}: {wall_ms:.0} ms, {events} events, {:.0} events/sec, {threads} thread(s)",

@@ -46,6 +46,7 @@ pub fn run_batch(
             tweak(cfg);
         });
         record_conformance(&trial.result);
+        crate::runner::record_sched(&trial.result.sched);
         let start = attack.and_then(|a| {
             trial
                 .adversary

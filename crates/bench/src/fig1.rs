@@ -91,6 +91,7 @@ pub fn run() -> Vec<Fig1Case> {
             let result = run_trial(&site, &plan, &cfg, None);
             crate::common::record_conformance(&result);
             crate::runner::record_events(result.events);
+            crate::runner::record_sched(&result.sched);
             let records = extract_records(&result.trace);
             let data = app_data_records(&records, Dir::RightToLeft);
             let bursts = segment_bursts(&data, BURST_GAP);

@@ -22,11 +22,23 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use h2priv_netsim::SchedStats;
+
 /// Configured worker count; 0 = auto (available parallelism).
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Simulator events processed by trials run through this module.
 static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Run-wide event-scheduler counters (tier split, promotions, peak
+/// occupancy), merged across trials. Counters accumulate with `fetch_add`,
+/// peaks with `fetch_max`; [`sched_take`] drains them per exhibit.
+static SCHED_NEAR_INSERTS: AtomicU64 = AtomicU64::new(0);
+static SCHED_FAR_INSERTS: AtomicU64 = AtomicU64::new(0);
+static SCHED_PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+static SCHED_REBASES: AtomicU64 = AtomicU64::new(0);
+static SCHED_PEAK_NEAR: AtomicU64 = AtomicU64::new(0);
+static SCHED_PEAK_OVERFLOW: AtomicU64 = AtomicU64::new(0);
 
 /// Whether trials run with the conformance oracle (the `--check` flag).
 /// Off by default so the perf baseline measures the stacks, not the
@@ -104,6 +116,31 @@ pub fn record_events(n: u64) {
 /// its event count).
 pub fn events_snapshot() -> u64 {
     EVENTS.load(Ordering::Relaxed)
+}
+
+/// Merges one trial's scheduler counters into the run-wide accumulator.
+pub fn record_sched(stats: &SchedStats) {
+    SCHED_NEAR_INSERTS.fetch_add(stats.near_inserts, Ordering::Relaxed);
+    SCHED_FAR_INSERTS.fetch_add(stats.far_inserts, Ordering::Relaxed);
+    SCHED_PROMOTIONS.fetch_add(stats.promotions, Ordering::Relaxed);
+    SCHED_REBASES.fetch_add(stats.rebases, Ordering::Relaxed);
+    SCHED_PEAK_NEAR.fetch_max(stats.peak_near, Ordering::Relaxed);
+    SCHED_PEAK_OVERFLOW.fetch_max(stats.peak_overflow, Ordering::Relaxed);
+}
+
+/// Drains the scheduler accumulator, returning everything recorded since
+/// the previous take. Exhibits run sequentially, so taking around each one
+/// yields per-exhibit stats (peaks included — a plain snapshot diff could
+/// not reset the maxima).
+pub fn sched_take() -> SchedStats {
+    SchedStats {
+        near_inserts: SCHED_NEAR_INSERTS.swap(0, Ordering::Relaxed),
+        far_inserts: SCHED_FAR_INSERTS.swap(0, Ordering::Relaxed),
+        promotions: SCHED_PROMOTIONS.swap(0, Ordering::Relaxed),
+        rebases: SCHED_REBASES.swap(0, Ordering::Relaxed),
+        peak_near: SCHED_PEAK_NEAR.swap(0, Ordering::Relaxed),
+        peak_overflow: SCHED_PEAK_OVERFLOW.swap(0, Ordering::Relaxed),
+    }
 }
 
 /// Runs `f(seed)` for every seed in `0..n`, fanning out across the worker

@@ -57,6 +57,7 @@ pub fn run(trials: u64) -> Vec<Table2Column> {
     let per_seed = crate::runner::run_seeded(gap_trials, |seed| {
         let trial = run_paper_trial(seed, None, crate::common::conformance_tweak);
         crate::common::record_conformance(&trial.result);
+        crate::runner::record_sched(&trial.result.sched);
         // Issue times in plan order.
         let mut times: Vec<(u64, h2priv_web::ObjectId)> = trial
             .result

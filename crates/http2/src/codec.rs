@@ -95,6 +95,13 @@ pub fn encode_headers_split(
 /// Encodes one frame to wire bytes.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_frame_into(&mut out, frame);
+    out
+}
+
+/// Encodes one frame, appending its wire bytes to `out`. Lets a caller
+/// reserve headroom in front of the frame for in-place transport sealing.
+pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
     match frame {
         Frame::Data {
             stream_id,
@@ -102,7 +109,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             data,
         } => {
             let fl = if *end_stream { flags::END_STREAM } else { 0 };
-            header(&mut out, data.len(), FrameType::Data, fl, *stream_id);
+            header(out, data.len(), FrameType::Data, fl, *stream_id);
             out.extend_from_slice(data);
         }
         Frame::Headers {
@@ -114,13 +121,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             if *end_stream {
                 fl |= flags::END_STREAM;
             }
-            header(
-                &mut out,
-                header_block.len(),
-                FrameType::Headers,
-                fl,
-                *stream_id,
-            );
+            header(out, header_block.len(), FrameType::Headers, fl, *stream_id);
             out.extend_from_slice(header_block);
         }
         Frame::Priority {
@@ -129,22 +130,22 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             exclusive,
             weight,
         } => {
-            header(&mut out, 5, FrameType::Priority, 0, *stream_id);
+            header(out, 5, FrameType::Priority, 0, *stream_id);
             let dep = (depends_on.0 & 0x7FFF_FFFF) | if *exclusive { 0x8000_0000 } else { 0 };
-            put_u32(&mut out, dep);
+            put_u32(out, dep);
             out.push(*weight);
         }
         Frame::RstStream {
             stream_id,
             error_code,
         } => {
-            header(&mut out, 4, FrameType::RstStream, 0, *stream_id);
-            put_u32(&mut out, error_code.as_u32());
+            header(out, 4, FrameType::RstStream, 0, *stream_id);
+            put_u32(out, error_code.as_u32());
         }
         Frame::Settings { ack, settings } => {
             let fl = if *ack { flags::ACK } else { 0 };
             header(
-                &mut out,
+                out,
                 settings.len() * 6,
                 FrameType::Settings,
                 fl,
@@ -152,31 +153,30 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             );
             for &(id, value) in settings {
                 out.extend_from_slice(&id.as_u16().to_be_bytes());
-                put_u32(&mut out, value);
+                put_u32(out, value);
             }
         }
         Frame::Ping { ack, data } => {
             let fl = if *ack { flags::ACK } else { 0 };
-            header(&mut out, 8, FrameType::Ping, fl, StreamId::CONNECTION);
+            header(out, 8, FrameType::Ping, fl, StreamId::CONNECTION);
             out.extend_from_slice(data);
         }
         Frame::GoAway {
             last_stream_id,
             error_code,
         } => {
-            header(&mut out, 8, FrameType::GoAway, 0, StreamId::CONNECTION);
-            put_u32(&mut out, last_stream_id.0 & 0x7FFF_FFFF);
-            put_u32(&mut out, error_code.as_u32());
+            header(out, 8, FrameType::GoAway, 0, StreamId::CONNECTION);
+            put_u32(out, last_stream_id.0 & 0x7FFF_FFFF);
+            put_u32(out, error_code.as_u32());
         }
         Frame::WindowUpdate {
             stream_id,
             increment,
         } => {
-            header(&mut out, 4, FrameType::WindowUpdate, 0, *stream_id);
-            put_u32(&mut out, increment & 0x7FFF_FFFF);
+            header(out, 4, FrameType::WindowUpdate, 0, *stream_id);
+            put_u32(out, increment & 0x7FFF_FFFF);
         }
     }
-    out
 }
 
 /// Incremental frame parser over a byte stream.
@@ -223,6 +223,11 @@ impl FrameDecoder {
     /// Appends received bytes.
     pub fn push(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    fn buffered_len(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     /// Reclaims the consumed prefix. Called only when parsing pauses, so
@@ -291,6 +296,94 @@ impl FrameDecoder {
         match self.parse(ftype, fl, stream_id, payload)? {
             Some(frame) => Ok(Some(frame)),
             None => self.next_frame(), // mid-sequence fragment consumed
+        }
+    }
+
+    /// Attempts to parse the next frame from the internal buffer plus
+    /// `input`, consuming from `input`. The streaming variant of
+    /// [`next_frame`](Self::next_frame): complete frames that lie entirely
+    /// within `input` are parsed borrowed — only their payload is copied
+    /// out, never the whole stream — and a trailing partial frame is
+    /// stashed for the next feed. `Ok(None)` with a non-empty `input`
+    /// means the consumed bytes completed a mid-sequence fragment; call
+    /// again until `input` is empty.
+    ///
+    /// # Errors
+    ///
+    /// As for [`next_frame`](Self::next_frame).
+    pub fn next_frame_borrowed(
+        &mut self,
+        input: &mut &[u8],
+    ) -> Result<Option<Frame>, FrameDecodeError> {
+        if self.preface_remaining > 0 {
+            // Startup path (once per connection): lean on the buffered
+            // parser until the preface is consumed.
+            self.push(input);
+            *input = &[];
+            return self.next_frame();
+        }
+        if self.buffered_len() > 0 {
+            // Top the stashed partial frame up with only what it needs,
+            // then let the buffered parser finish it.
+            if self.buffered_len() < FRAME_HEADER_LEN {
+                let take = (FRAME_HEADER_LEN - self.buffered_len()).min(input.len());
+                self.buf.extend_from_slice(&input[..take]);
+                *input = &input[take..];
+            }
+            if self.buffered_len() < FRAME_HEADER_LEN {
+                self.compact();
+                return Ok(None);
+            }
+            let avail = &self.buf[self.pos..];
+            let len = ((avail[0] as usize) << 16) | ((avail[1] as usize) << 8) | avail[2] as usize;
+            if len > self.max_frame_size {
+                return Err(FrameDecodeError::FrameTooLarge);
+            }
+            let take = (FRAME_HEADER_LEN + len)
+                .saturating_sub(self.buffered_len())
+                .min(input.len());
+            self.buf.extend_from_slice(&input[..take]);
+            *input = &input[take..];
+            if self.buffered_len() < FRAME_HEADER_LEN + len {
+                self.compact();
+                return Ok(None);
+            }
+            return self.next_frame();
+        }
+        let avail = *input;
+        if avail.len() < FRAME_HEADER_LEN {
+            self.buf.extend_from_slice(avail);
+            *input = &[];
+            return Ok(None);
+        }
+        let len = ((avail[0] as usize) << 16) | ((avail[1] as usize) << 8) | avail[2] as usize;
+        if len > self.max_frame_size {
+            return Err(FrameDecodeError::FrameTooLarge);
+        }
+        if avail.len() < FRAME_HEADER_LEN + len {
+            self.buf.extend_from_slice(avail);
+            *input = &[];
+            return Ok(None);
+        }
+        let ftype = avail[3];
+        let fl = avail[4];
+        let stream_id =
+            StreamId(u32::from_be_bytes([avail[5], avail[6], avail[7], avail[8]]) & 0x7FFF_FFFF);
+        let payload: Vec<u8> = avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
+        *input = &input[FRAME_HEADER_LEN + len..];
+        let Some(ftype) = FrameType::from_u8(ftype) else {
+            // RFC 7540 §4.1: unknown types are ignored.
+            return self.next_frame_borrowed(input);
+        };
+        // A header sequence admits only its own CONTINUATIONs.
+        if let Some((seq_stream, _, _)) = &self.header_sequence {
+            if ftype != FrameType::Continuation || stream_id != *seq_stream {
+                return Err(FrameDecodeError::UnexpectedContinuation);
+            }
+        }
+        match self.parse(ftype, fl, stream_id, payload)? {
+            Some(frame) => Ok(Some(frame)),
+            None => self.next_frame_borrowed(input), // mid-sequence fragment consumed
         }
     }
 

@@ -13,7 +13,7 @@ use h2priv_bytes::FxHashMap;
 
 use h2priv_bytes::SharedBytes;
 
-use crate::codec::{encode_frame, encode_headers_split, FrameDecoder, CLIENT_PREFACE};
+use crate::codec::{encode_frame_into, encode_headers_split, FrameDecoder, CLIENT_PREFACE};
 use crate::error::{ErrorCode, H2Error};
 use crate::flow::FlowWindow;
 use crate::frame::{Frame, FrameType};
@@ -95,10 +95,22 @@ pub enum OutgoingMeta {
 /// — the simulation's ground truth for the degree-of-multiplexing metric.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Outgoing {
-    /// Exact bytes to hand to the transport.
+    /// Buffer holding the wire bytes at `bytes[headroom..]`. The leading
+    /// `headroom` bytes are reserved scratch the transport encryption may
+    /// claim to seal the frame in place (header + nonce) without copying
+    /// the payload into a fresh record buffer.
     pub bytes: Vec<u8>,
+    /// Where the frame's wire bytes start within `bytes`.
+    pub headroom: usize,
     /// What the bytes are.
     pub meta: OutgoingMeta,
+}
+
+impl Outgoing {
+    /// The frame's exact wire bytes.
+    pub fn frame_bytes(&self) -> &[u8] {
+        &self.bytes[self.headroom..]
+    }
 }
 
 /// Counters for one connection.
@@ -292,8 +304,17 @@ pub struct H2Connection {
     headers_queue: VecDeque<Frame>,
     events: VecDeque<H2Event>,
 
+    /// Scratch bytes reserved at the front of every [`Outgoing`] buffer
+    /// (see [`Outgoing::headroom`]). Zero unless the transport opts in.
+    send_headroom: usize,
     /// Round-robin cursor into `data_order`.
     rr_cursor: usize,
+    /// Set when a full [`H2Connection::poll_send`] pass came up empty and
+    /// nothing has changed since: the next poll can answer `None` without
+    /// re-walking the schedule. Cleared by every mutation that could make
+    /// output available (queueing frames or data, and `recv`, which covers
+    /// window updates and settings from the peer).
+    output_idle: bool,
     /// Private xorshift state for [`SendPolicy::RandomOrder`].
     rand_state: u64,
 
@@ -346,11 +367,21 @@ impl H2Connection {
             control_queue: VecDeque::new(),
             headers_queue: VecDeque::new(),
             events: VecDeque::new(),
+            send_headroom: 0,
             rr_cursor: 0,
+            output_idle: false,
             rand_state,
             stats: H2Stats::default(),
             config,
         }
+    }
+
+    /// Reserves `headroom` scratch bytes at the front of every frame buffer
+    /// this connection emits, so a transport layer can seal frames in place
+    /// instead of copying them into a fresh record buffer. The wire bytes
+    /// are unchanged; only [`Outgoing::headroom`] moves.
+    pub fn set_send_headroom(&mut self, headroom: usize) {
+        self.send_headroom = headroom;
     }
 
     // ---- inspectors -------------------------------------------------------
@@ -421,6 +452,7 @@ impl H2Connection {
         headers: &[HeaderField],
         end_stream: bool,
     ) -> Result<StreamId, H2Error> {
+        self.output_idle = false;
         if self.is_closed() {
             return Err(H2Error::new(ErrorCode::Cancel, "connection closed"));
         }
@@ -475,6 +507,7 @@ impl H2Connection {
         headers: &[HeaderField],
         end_stream: bool,
     ) -> Result<(), H2Error> {
+        self.output_idle = false;
         let entry = self
             .streams
             .get_mut(&stream_id)
@@ -509,6 +542,7 @@ impl H2Connection {
         data: &[u8],
         end_stream: bool,
     ) -> Result<(), H2Error> {
+        self.output_idle = false;
         self.send_data_shared(stream_id, SharedBytes::copy_from_slice(data), end_stream)
     }
 
@@ -524,6 +558,7 @@ impl H2Connection {
         data: SharedBytes,
         end_stream: bool,
     ) -> Result<(), H2Error> {
+        self.output_idle = false;
         let entry = self
             .streams
             .get_mut(&stream_id)
@@ -544,6 +579,7 @@ impl H2Connection {
 
     /// Resets a stream: queues RST_STREAM and drops its pending data.
     pub fn send_rst(&mut self, stream_id: StreamId, error_code: ErrorCode) {
+        self.output_idle = false;
         if let Some(entry) = self.streams.get_mut(&stream_id) {
             entry.state = StreamState::Closed;
             entry.pending.clear();
@@ -558,6 +594,7 @@ impl H2Connection {
 
     /// Queues a PING.
     pub fn send_ping(&mut self, data: [u8; 8]) {
+        self.output_idle = false;
         self.control_queue
             .push_back(Frame::Ping { ack: false, data });
     }
@@ -565,6 +602,7 @@ impl H2Connection {
     /// Sets a stream's local scheduling weight and announces it with a
     /// PRIORITY frame (wire value = weight − 1 per RFC 7540 §6.3).
     pub fn set_stream_weight(&mut self, stream_id: StreamId, weight: u16) {
+        self.output_idle = false;
         let weight = weight.clamp(1, 256);
         if let Some(entry) = self.streams.get_mut(&stream_id) {
             entry.weight = weight;
@@ -584,6 +622,7 @@ impl H2Connection {
 
     /// Queues a GOAWAY.
     pub fn send_goaway(&mut self, error_code: ErrorCode) {
+        self.output_idle = false;
         let last = StreamId(self.next_stream_id.0.saturating_sub(2));
         self.control_queue.push_back(Frame::GoAway {
             last_stream_id: last,
@@ -600,13 +639,14 @@ impl H2Connection {
 
     /// Produces the next chunk of wire output, or `None` when idle.
     pub fn poll_send(&mut self) -> Option<Outgoing> {
-        if self.dead {
+        if self.dead || self.output_idle {
             return None;
         }
         if !self.preface_sent {
             self.preface_sent = true;
             return Some(Outgoing {
                 bytes: CLIENT_PREFACE.to_vec(),
+                headroom: 0,
                 meta: OutgoingMeta::Preface,
             });
         }
@@ -633,7 +673,9 @@ impl H2Connection {
             self.stats.headers_sent += 1;
             return Some(self.emit(frame));
         }
-        self.poll_send_data()
+        let out = self.poll_send_data();
+        self.output_idle = out.is_none();
+        out
     }
 
     fn poll_send_data(&mut self) -> Option<Outgoing> {
@@ -647,7 +689,75 @@ impl H2Connection {
             return None;
         }
         let conn_avail = self.conn_send_window.available();
-        // Candidate list: streams that can make progress right now.
+        // Candidate test: a stream that can make progress right now. The
+        // common policies pick with one pass over `data_order` instead of
+        // materializing the candidate list (this probe runs on every pump
+        // round, so it must not allocate).
+        let is_ready = |e: &StreamEntry| {
+            (e.sendable() > 0 && conn_avail > 0)
+                || (e.pending.is_empty() && e.pending_end && e.state.can_send())
+        };
+        let pick = match self.config.send_policy {
+            SendPolicy::Sequential => {
+                let first = self
+                    .data_order
+                    .iter()
+                    .position(|id| is_ready(&self.streams[id]));
+                let Some(i) = first else {
+                    return self.note_send_stall(conn_avail);
+                };
+                i
+            }
+            SendPolicy::RoundRobin => {
+                // First ready index at or after the cursor, wrapping to the
+                // first ready index overall.
+                let mut first = None;
+                let mut at_or_after = None;
+                for (i, id) in self.data_order.iter().enumerate() {
+                    if !is_ready(&self.streams[id]) {
+                        continue;
+                    }
+                    if first.is_none() {
+                        first = Some(i);
+                    }
+                    if i >= self.rr_cursor {
+                        at_or_after = Some(i);
+                        break;
+                    }
+                }
+                let Some(i) = at_or_after.or(first) else {
+                    return self.note_send_stall(conn_avail);
+                };
+                self.rr_cursor = i + 1;
+                if self.rr_cursor >= self.data_order.len() {
+                    self.rr_cursor = 0;
+                }
+                i
+            }
+            SendPolicy::RandomOrder { .. } | SendPolicy::WeightedFair => {
+                return self.poll_send_data_listed(conn_avail);
+            }
+        };
+        self.send_data_at(pick, conn_avail)
+    }
+
+    /// Records a connection-window stall when data is pending but the
+    /// connection window is exhausted; the shared no-candidate exit.
+    fn note_send_stall(&mut self, conn_avail: usize) -> Option<Outgoing> {
+        if conn_avail == 0
+            && self
+                .data_order
+                .iter()
+                .any(|id| self.streams[id].sendable() > 0)
+        {
+            self.stats.conn_window_stalls += 1;
+        }
+        None
+    }
+
+    /// The list-materializing scheduler for policies whose pick needs the
+    /// whole candidate set (random draw, deficit round-robin).
+    fn poll_send_data_listed(&mut self, conn_avail: usize) -> Option<Outgoing> {
         let ready: Vec<usize> = self
             .data_order
             .iter()
@@ -660,31 +770,10 @@ impl H2Connection {
             .map(|(i, _)| i)
             .collect();
         if ready.is_empty() {
-            if conn_avail == 0
-                && self
-                    .data_order
-                    .iter()
-                    .any(|id| self.streams[id].sendable() > 0)
-            {
-                self.stats.conn_window_stalls += 1;
-            }
-            return None;
+            return self.note_send_stall(conn_avail);
         }
         let pick = match self.config.send_policy {
-            SendPolicy::Sequential => ready[0],
-            SendPolicy::RoundRobin => {
-                // First ready index at or after the cursor, wrapping.
-                let i = ready
-                    .iter()
-                    .copied()
-                    .find(|&i| i >= self.rr_cursor)
-                    .unwrap_or(ready[0]);
-                self.rr_cursor = i + 1;
-                if self.rr_cursor >= self.data_order.len() {
-                    self.rr_cursor = 0;
-                }
-                i
-            }
+            SendPolicy::Sequential | SendPolicy::RoundRobin => unreachable!("handled inline"),
             SendPolicy::RandomOrder { .. } => {
                 // xorshift64* pick.
                 let mut x = self.rand_state;
@@ -715,6 +804,11 @@ impl H2Connection {
                 }
             }
         };
+        self.send_data_at(pick, conn_avail)
+    }
+
+    /// Emits the next DATA chunk of the stream at `data_order[pick]`.
+    fn send_data_at(&mut self, pick: usize, conn_avail: usize) -> Option<Outgoing> {
         let id = self.data_order[pick];
         let entry = self.streams.get_mut(&id).expect("scheduled stream exists");
         let chunk_cap = self
@@ -760,15 +854,19 @@ impl H2Connection {
                         payload_len: header_block.len(),
                         end_stream: *end_stream,
                     },
+                    headroom: 0,
                     bytes,
                 };
             }
         }
-        let bytes = encode_frame(&frame);
+        let headroom = self.send_headroom;
+        let mut bytes = Vec::with_capacity(headroom + crate::frame::FRAME_HEADER_LEN + 64);
+        bytes.resize(headroom, 0);
+        encode_frame_into(&mut bytes, &frame);
         let meta = OutgoingMeta::Frame {
             frame_type: frame.frame_type(),
             stream_id: frame.stream_id(),
-            payload_len: bytes.len() - crate::frame::FRAME_HEADER_LEN,
+            payload_len: bytes.len() - headroom - crate::frame::FRAME_HEADER_LEN,
             end_stream: matches!(
                 frame,
                 Frame::Data {
@@ -780,7 +878,11 @@ impl H2Connection {
                 }
             ),
         };
-        Outgoing { bytes, meta }
+        Outgoing {
+            bytes,
+            headroom,
+            meta,
+        }
     }
 
     // ---- input ---------------------------------------------------------------
@@ -792,13 +894,15 @@ impl H2Connection {
     /// A returned error is fatal: the connection queues a GOAWAY (drain it
     /// with [`poll_send`](Self::poll_send)) and refuses further work.
     pub fn recv(&mut self, bytes: &[u8]) -> Result<(), H2Error> {
+        self.output_idle = false;
         if self.dead {
             return Err(H2Error::new(ErrorCode::InternalError, "connection dead"));
         }
-        self.frame_decoder.push(bytes);
+        let mut input = bytes;
         loop {
-            match self.frame_decoder.next_frame() {
-                Ok(None) => return Ok(()),
+            match self.frame_decoder.next_frame_borrowed(&mut input) {
+                Ok(None) if input.is_empty() => return Ok(()),
+                Ok(None) => {} // consumed a mid-sequence fragment; keep going
                 Ok(Some(frame)) => self.handle_frame(frame)?,
                 Err(_) => {
                     let err = H2Error::new(ErrorCode::ProtocolError, "frame decode failed");

@@ -1,8 +1,8 @@
-//! A 4-ary min-heap backing the event queue.
+//! A 4-ary min-heap: formerly the global event queue, now the far-future
+//! overflow tier of the calendar queue (`wheel`) and the reference
+//! implementation the scheduler differential tests compare against.
 //!
-//! The simulator pops and pushes one event per simulated packet, timer and
-//! transmit, so the queue is the single hottest non-payload data structure
-//! in the engine. A d=4 heap halves the tree depth of the binary
+//! A d=4 heap halves the tree depth of the binary
 //! `std::collections::BinaryHeap` (log4 vs log2), trading a slightly wider
 //! per-level scan (up to four child comparisons, all within one cache line
 //! for small entries) for fewer levels touched per sift — a well-known win
@@ -16,32 +16,44 @@
 //! events.
 
 /// A d=4 min-heap: `pop` yields the smallest element by `T`'s `Ord`.
+///
+/// Exposed (via the hidden `internals` module) only so the scheduler
+/// differential tests and microbenchmarks can drive the old queue and the
+/// calendar queue side by side.
 #[derive(Debug)]
-pub(crate) struct MinHeap4<T> {
+pub struct MinHeap4<T> {
     items: Vec<T>,
 }
 
 impl<T: Ord> MinHeap4<T> {
-    pub(crate) const fn new() -> Self {
+    /// Creates an empty heap.
+    pub const fn new() -> Self {
         MinHeap4 { items: Vec::new() }
     }
 
-    pub(crate) fn len(&self) -> usize {
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
         self.items.len()
     }
 
+    /// True iff the heap holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
     /// The smallest element, if any.
-    pub(crate) fn peek(&self) -> Option<&T> {
+    pub fn peek(&self) -> Option<&T> {
         self.items.first()
     }
 
-    pub(crate) fn push(&mut self, item: T) {
+    /// Inserts an element.
+    pub fn push(&mut self, item: T) {
         self.items.push(item);
         self.sift_up(self.items.len() - 1);
     }
 
     /// Removes and returns the smallest element.
-    pub(crate) fn pop(&mut self) -> Option<T> {
+    pub fn pop(&mut self) -> Option<T> {
         if self.items.is_empty() {
             return None;
         }
@@ -85,6 +97,12 @@ impl<T: Ord> MinHeap4<T> {
             self.items.swap(i, min);
             i = min;
         }
+    }
+}
+
+impl<T: Ord> Default for MinHeap4<T> {
+    fn default() -> Self {
+        MinHeap4::new()
     }
 }
 

@@ -61,6 +61,7 @@ mod packet;
 mod rng;
 mod sim;
 mod time;
+mod wheel;
 
 pub use link::{mbps, BitsPerSec, Link, LinkConfig, LinkDrop, LinkStats};
 pub use middlebox::{
@@ -71,3 +72,12 @@ pub use packet::{Dir, NodeId, Packet};
 pub use rng::{DurationDist, SimRng};
 pub use sim::{EngineStats, RunSummary, Simulator, StopReason};
 pub use time::{SimDuration, SimTime};
+pub use wheel::{SchedStats, BUCKET_COUNT, BUCKET_NANOS_SHIFT};
+
+/// Scheduler internals re-exported for the crate's differential tests and
+/// the scheduler microbenchmark. Not a stable API.
+#[doc(hidden)]
+pub mod internals {
+    pub use crate::heap::MinHeap4;
+    pub use crate::wheel::CalendarQueue;
+}

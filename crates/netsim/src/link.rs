@@ -41,7 +41,10 @@ pub struct LinkConfig {
     /// drop-tail discards kick in. `None` means unbounded.
     pub queue_limit: Option<u64>,
     /// If true (default), a packet never arrives before a packet sent
-    /// earlier on the same link.
+    /// earlier on the same link — [`Link::transmit`] returns non-decreasing
+    /// arrival times. The engine's batched link delivery depends on this
+    /// contract: ordered links keep their in-flight packets in a plain FIFO
+    /// with a single scheduler entry for the head.
     pub preserve_order: bool,
 }
 
@@ -97,8 +100,15 @@ impl LinkConfig {
             None => SimDuration::ZERO,
             Some(rate) => {
                 debug_assert!(rate > 0, "bandwidth must be positive");
-                let bits = bytes as u128 * 8;
-                let nanos = bits * 1_000_000_000 / rate.max(1) as u128;
+                let bits = bytes as u64 * 8;
+                // Any frame under ~2 GB keeps `bits * 1e9` inside u64, so
+                // the division stays 64-bit (the 128-bit fallback compiles
+                // to a libcall several times slower, and this runs once per
+                // transmitted packet). Identical floor-division result.
+                if let Some(scaled) = bits.checked_mul(1_000_000_000) {
+                    return SimDuration::from_nanos(scaled / rate.max(1));
+                }
+                let nanos = bits as u128 * 1_000_000_000 / rate.max(1) as u128;
                 SimDuration::from_nanos(nanos.min(u64::MAX as u128) as u64)
             }
         }
@@ -168,7 +178,10 @@ impl Link {
     /// Offers a packet of `bytes` to the link at time `now`.
     ///
     /// Returns the scheduled arrival time at the far end, or the reason the
-    /// packet was dropped.
+    /// packet was dropped. With `preserve_order` the returned arrivals are
+    /// non-decreasing across calls (enforced by clamping to the latest
+    /// scheduled arrival), which is what lets the simulator queue this
+    /// link's in-flight packets as a FIFO.
     pub fn transmit(
         &mut self,
         now: SimTime,

@@ -4,22 +4,32 @@
 //! RNG. Events are totally ordered by `(time, insertion sequence)`, so
 //! simultaneous events execute in a deterministic FIFO order and every run
 //! with the same seed and the same construction order is bit-identical.
+//!
+//! The queue is a two-tier calendar queue ([`CalendarQueue`]): O(1) for the
+//! dense near-future mix, an overflow heap for RTO/stall-scale deadlines.
+//! Order-preserving links additionally get **batched delivery**: their
+//! in-flight packets wait in a per-link FIFO with a single scheduler entry
+//! for the head, and one scheduler visit drains the whole due packet-train
+//! (each next packet is delivered in-line exactly while it is provably the
+//! global minimum), so a serialized burst costs one queue round-trip
+//! instead of one per packet.
 
-use std::cmp::Ordering;
+use std::collections::VecDeque;
 
 use h2priv_bytes::{FxHashMap, FxHashSet};
 
-use crate::heap::MinHeap4;
 use crate::link::{Link, LinkConfig, LinkDrop, LinkStats};
 use crate::node::{Context, Effect, Node, TimerId};
 use crate::packet::{NodeId, Packet};
 use crate::rng::SimRng;
 use crate::time::SimTime;
+use crate::wheel::{CalendarQueue, SchedStats};
 
 /// Internal event kinds.
 #[derive(Debug)]
 enum Ev<P> {
-    /// A packet arrives at a node.
+    /// A packet arrives at a node (used by links that may reorder; ordered
+    /// links batch through [`Ev::LinkHead`] instead).
     Deliver { to: NodeId, packet: Packet<P> },
     /// A node's timer fires.
     Timer {
@@ -29,32 +39,21 @@ enum Ev<P> {
     },
     /// A deferred transmission enters the outbound link of `from`.
     Transmit { from: NodeId, packet: Packet<P> },
+    /// The head of an order-preserving link's in-flight FIFO is due; the
+    /// visit drains the link's whole due packet-train.
+    LinkHead { link: u32 },
 }
 
-struct Entry<P> {
-    at: SimTime,
-    seq: u64,
-    ev: Ev<P>,
-}
-
-impl<P> PartialEq for Entry<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<P> Eq for Entry<P> {}
-impl<P> PartialOrd for Entry<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Entry<P> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Natural order: the min-heap pops the earliest `(at, seq)` first.
-        // `seq` is unique, so this is a strict total order and event order
-        // never depends on the heap's tie-breaking.
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// One unidirectional link plus its engine-side delivery state.
+struct LinkState<P> {
+    link: Link,
+    /// The far-end node.
+    to: usize,
+    /// In-flight packets awaiting delivery, as `(arrival, seq, packet)`.
+    /// Arrivals are non-decreasing (the link preserves order), and exactly
+    /// one [`Ev::LinkHead`] scheduler entry — keyed by the head packet's
+    /// own `(arrival, seq)` — is outstanding whenever this is non-empty.
+    inflight: VecDeque<(SimTime, u64, Packet<P>)>,
 }
 
 /// Why a run stopped.
@@ -123,15 +122,21 @@ pub struct EngineStats {
 pub struct Simulator<P> {
     now: SimTime,
     seq: u64,
-    queue: MinHeap4<Entry<P>>,
+    queue: CalendarQueue<Ev<P>>,
     nodes: Vec<Option<Box<dyn Node<P>>>>,
-    links: FxHashMap<(usize, usize), Link>,
+    /// Edge → index into `link_states`. The dense vector keeps the hot
+    /// delivery path on an index instead of a hash probe.
+    links: FxHashMap<(usize, usize), u32>,
+    link_states: Vec<LinkState<P>>,
     /// Sorted out-neighbors per node, maintained incrementally by
     /// [`Simulator::add_link_oneway`] so route misses never rebuild the
     /// graph from `links.keys()`.
     adjacency: Vec<Vec<usize>>,
-    /// Next-hop cache: (from, dst) → neighbor. Invalidated on topology change.
-    route_cache: FxHashMap<(usize, usize), Option<usize>>,
+    /// Next-hop cache: dense `from * nodes + dst` → computed next hop
+    /// (outer `None` = not computed yet). Node counts are tiny, so a flat
+    /// table keeps the per-transmit lookup to one indexed load instead of
+    /// a hash probe. Invalidated (cleared / resized) on topology change.
+    route_cache: Vec<Option<Option<(usize, u32)>>>,
     /// Timers scheduled but not yet fired or cancelled. An id is removed
     /// when its event pops (fired or skipped-as-cancelled), so the set is
     /// bounded by the number of live timers.
@@ -154,11 +159,12 @@ impl<P: 'static> Simulator<P> {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            queue: MinHeap4::new(),
+            queue: CalendarQueue::new(),
             nodes: Vec::new(),
             links: FxHashMap::default(),
+            link_states: Vec::new(),
             adjacency: Vec::new(),
-            route_cache: FxHashMap::default(),
+            route_cache: Vec::new(),
             pending_timers: FxHashSet::default(),
             scratch: Vec::new(),
             rng: SimRng::seed_from(seed),
@@ -231,15 +237,25 @@ impl<P: 'static> Simulator<P> {
     pub fn add_link_oneway(&mut self, from: NodeId, to: NodeId, config: LinkConfig) {
         assert!(from.0 < self.nodes.len(), "add_link: unknown node {from}");
         assert!(to.0 < self.nodes.len(), "add_link: unknown node {to}");
-        if self
-            .links
-            .insert((from.0, to.0), Link::new(config))
-            .is_none()
-        {
-            // New edge: keep the neighbor list sorted for deterministic BFS.
-            let neighbors = &mut self.adjacency[from.0];
-            if let Err(pos) = neighbors.binary_search(&to.0) {
-                neighbors.insert(pos, to.0);
+        match self.links.get(&(from.0, to.0)) {
+            Some(&idx) => {
+                // Re-adding an existing edge replaces the link (fresh stats
+                // and queue state); packets already in flight still arrive.
+                self.link_states[idx as usize].link = Link::new(config);
+            }
+            None => {
+                let idx = u32::try_from(self.link_states.len()).expect("more than 2^32 links");
+                self.link_states.push(LinkState {
+                    link: Link::new(config),
+                    to: to.0,
+                    inflight: VecDeque::new(),
+                });
+                self.links.insert((from.0, to.0), idx);
+                // New edge: keep the neighbor list sorted for deterministic BFS.
+                let neighbors = &mut self.adjacency[from.0];
+                if let Err(pos) = neighbors.binary_search(&to.0) {
+                    neighbors.insert(pos, to.0);
+                }
             }
         }
         self.route_cache.clear();
@@ -251,20 +267,29 @@ impl<P: 'static> Simulator<P> {
     ///
     /// Panics if the link does not exist.
     pub fn set_link_config(&mut self, from: NodeId, to: NodeId, config: LinkConfig) {
-        self.links
-            .get_mut(&(from.0, to.0))
-            .unwrap_or_else(|| panic!("set_link_config: no link {from}→{to}"))
-            .set_config(config);
+        let idx = *self
+            .links
+            .get(&(from.0, to.0))
+            .unwrap_or_else(|| panic!("set_link_config: no link {from}→{to}"));
+        self.link_states[idx as usize].link.set_config(config);
     }
 
     /// Stats of the `from` → `to` link, if it exists.
     pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
-        self.links.get(&(from.0, to.0)).map(|l| l.stats())
+        self.links
+            .get(&(from.0, to.0))
+            .map(|&idx| self.link_states[idx as usize].link.stats())
     }
 
     /// Engine-level drop counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Scheduler behaviour counters for the run so far (tier split, window
+    /// re-anchors, peak occupancy).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.queue.stats()
     }
 
     /// Number of timers currently armed (scheduled, neither fired nor
@@ -303,17 +328,17 @@ impl<P: 'static> Simulator<P> {
             if self.events_processed >= self.max_events {
                 return self.summary(StopReason::EventBudgetExhausted);
             }
-            let Some(head) = self.queue.peek() else {
+            let Some((head_at, _)) = self.queue.min_key() else {
                 return self.summary(StopReason::Quiescent);
             };
-            if head.at > deadline {
+            if head_at > deadline {
                 return self.summary(StopReason::DeadlineReached);
             }
-            let entry = self.queue.pop().expect("peeked entry must pop");
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
+            let (at, _seq, ev) = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
             self.events_processed += 1;
-            match entry.ev {
+            match ev {
                 Ev::Deliver { to, packet } => self.dispatch_packet(to, packet),
                 Ev::Timer { node, token, id } => {
                     // A timer fires only while still pending; removing the
@@ -324,9 +349,50 @@ impl<P: 'static> Simulator<P> {
                     self.dispatch_timer(node, token);
                 }
                 Ev::Transmit { from, packet } => self.transmit(from, packet),
+                Ev::LinkHead { link } => self.deliver_link_head(link, deadline),
             }
         }
         self.summary(StopReason::Halted)
+    }
+
+    /// Drains the due packet-train of link `link`: called when the link's
+    /// [`Ev::LinkHead`] entry pops (the popped key is the head packet's
+    /// own `(arrival, seq)`). Each following packet is delivered in-line
+    /// only while its key is strictly below the queue minimum — i.e.
+    /// exactly while per-packet scheduling would have popped it next — so
+    /// the global dispatch order, the event count, and the sequence-number
+    /// stream are all identical to the unbatched engine.
+    fn deliver_link_head(&mut self, link: u32, deadline: SimTime) {
+        loop {
+            let state = &mut self.link_states[link as usize];
+            let (at, _seq, packet) = state
+                .inflight
+                .pop_front()
+                .expect("LinkHead implies an in-flight head");
+            let to = NodeId(state.to);
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.dispatch_packet(to, packet);
+            let Some(&(next_at, next_seq, _)) = self.link_states[link as usize].inflight.front()
+            else {
+                return;
+            };
+            let due_now = !self.halted
+                && self.events_processed < self.max_events
+                && next_at <= deadline
+                && self
+                    .queue
+                    .min_key()
+                    .is_none_or(|min| (next_at, next_seq) < min);
+            if due_now {
+                self.events_processed += 1;
+            } else {
+                // Suspend the batch: re-key the single LinkHead entry at the
+                // next packet's own (arrival, seq) — no new seq consumed.
+                self.queue.push(next_at, next_seq, Ev::LinkHead { link });
+                return;
+            }
+        }
     }
 
     fn summary(&self, stop: StopReason) -> RunSummary {
@@ -340,7 +406,7 @@ impl<P: 'static> Simulator<P> {
     fn schedule(&mut self, at: SimTime, ev: Ev<P>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, ev });
+        self.queue.push(at, seq, ev);
     }
 
     fn dispatch_start(&mut self, node: NodeId) {
@@ -429,23 +495,40 @@ impl<P: 'static> Simulator<P> {
             self.packet_seq += 1;
             packet.id = self.packet_seq;
         }
-        let Some(next) = self.next_hop(from.0, packet.dst.0) else {
+        let Some((next, link)) = self.next_hop(from.0, packet.dst.0) else {
             self.stats.unroutable += 1;
             return;
         };
-        let link = self
-            .links
-            .get_mut(&(from.0, next))
-            .expect("next_hop implies link exists");
-        match link.transmit(self.now, packet.wire_bytes, &mut self.rng) {
+        let state = &mut self.link_states[link as usize];
+        match state
+            .link
+            .transmit(self.now, packet.wire_bytes, &mut self.rng)
+        {
             Ok(arrival) => {
-                self.schedule(
-                    arrival,
-                    Ev::Deliver {
-                        to: NodeId(next),
-                        packet,
-                    },
-                );
+                if state.link.config().preserve_order {
+                    // Batched path: the packet joins the link's in-flight
+                    // FIFO under its own (arrival, seq) key; one LinkHead
+                    // scheduler entry — keyed by the head packet — stands
+                    // for the whole FIFO, so a serialized train costs one
+                    // queue round-trip instead of one per packet.
+                    let seq = self.seq;
+                    self.seq += 1;
+                    let was_empty = state.inflight.is_empty();
+                    state.inflight.push_back((arrival, seq, packet));
+                    if was_empty {
+                        self.queue.push(arrival, seq, Ev::LinkHead { link });
+                    }
+                } else {
+                    // A link that may reorder gets per-packet events: FIFO
+                    // batching would impose order the link does not promise.
+                    self.schedule(
+                        arrival,
+                        Ev::Deliver {
+                            to: NodeId(next),
+                            packet,
+                        },
+                    );
+                }
             }
             Err(LinkDrop::RandomLoss) | Err(LinkDrop::QueueOverflow) => {
                 self.stats.link_dropped += 1;
@@ -454,12 +537,23 @@ impl<P: 'static> Simulator<P> {
     }
 
     /// BFS next-hop routing over the maintained adjacency lists, memoized.
-    fn next_hop(&mut self, from: usize, dst: usize) -> Option<usize> {
+    /// Returns the neighbor node and the index of the `from` → neighbor
+    /// link.
+    fn next_hop(&mut self, from: usize, dst: usize) -> Option<(usize, u32)> {
         if from == dst {
             return None;
         }
-        if let Some(hit) = self.route_cache.get(&(from, dst)) {
-            return *hit;
+        let n = self.nodes.len();
+        // (Re)size lazily: a clear() after topology change leaves the table
+        // empty until the next miss.
+        if self.route_cache.len() != n * n {
+            // A node added since the table was built changes the stride, so
+            // stale entries must go, not just be extended over.
+            self.route_cache.clear();
+            self.route_cache.resize(n * n, None);
+        }
+        if let Some(hit) = self.route_cache[from * n + dst] {
+            return hit;
         }
         // BFS from `from` over the incrementally-maintained (and sorted,
         // for determinism) adjacency, recording each node's parent in a
@@ -485,9 +579,13 @@ impl<P: 'static> Simulator<P> {
             while parent[cur] != Some(from) {
                 cur = parent[cur].expect("parent chain reaches from");
             }
-            cur
+            let link = *self
+                .links
+                .get(&(from, cur))
+                .expect("adjacency implies link exists");
+            (cur, link)
         });
-        self.route_cache.insert((from, dst), hop);
+        self.route_cache[from * n + dst] = Some(hop);
         hop
     }
 }
@@ -696,7 +794,7 @@ mod tests {
         // No path a→c yet: transmitting toward c is unroutable.
         // Now connect b→c and verify a→c routes through b.
         sim.add_link(b, c, LinkConfig::with_delay(SimDuration::from_millis(5)));
-        let hop = sim.next_hop(a.0, c.0);
+        let hop = sim.next_hop(a.0, c.0).map(|(node, _link)| node);
         assert_eq!(hop, Some(b.0));
     }
 

@@ -51,19 +51,22 @@ impl SimTime {
         SimTime(nanos)
     }
 
-    /// Creates an instant `micros` microseconds after run start.
+    /// Creates an instant `micros` microseconds after run start
+    /// (saturating at [`SimTime::MAX`]).
     pub const fn from_micros(micros: u64) -> Self {
-        SimTime(micros * 1_000)
+        SimTime(micros.saturating_mul(1_000))
     }
 
-    /// Creates an instant `millis` milliseconds after run start.
+    /// Creates an instant `millis` milliseconds after run start
+    /// (saturating at [`SimTime::MAX`]).
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
+        SimTime(millis.saturating_mul(1_000_000))
     }
 
-    /// Creates an instant `secs` seconds after run start.
+    /// Creates an instant `secs` seconds after run start (saturating at
+    /// [`SimTime::MAX`]).
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
+        SimTime(secs.saturating_mul(1_000_000_000))
     }
 
     /// Nanoseconds since run start.
@@ -119,19 +122,22 @@ impl SimDuration {
         SimDuration(nanos)
     }
 
-    /// Creates a span of `micros` microseconds.
+    /// Creates a span of `micros` microseconds (saturating at
+    /// [`SimDuration::MAX`]).
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
+        SimDuration(micros.saturating_mul(1_000))
     }
 
-    /// Creates a span of `millis` milliseconds.
+    /// Creates a span of `millis` milliseconds (saturating at
+    /// [`SimDuration::MAX`]).
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
+        SimDuration(millis.saturating_mul(1_000_000))
     }
 
-    /// Creates a span of `secs` seconds.
+    /// Creates a span of `secs` seconds (saturating at
+    /// [`SimDuration::MAX`]).
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
+        SimDuration(secs.saturating_mul(1_000_000_000))
     }
 
     /// Creates a span from a float count of seconds (saturating at zero for
@@ -323,6 +329,24 @@ mod tests {
         assert_eq!(
             SimDuration::from_millis(1) - SimDuration::from_millis(2),
             SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn constructors_saturate() {
+        // The doc promise is "saturating arithmetic, so a pathological
+        // configuration can never wrap time backwards" — that must include
+        // the unit-conversion constructors, not just the operators.
+        assert_eq!(SimTime::from_micros(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_millis(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimDuration::from_micros(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
+        // Just past the overflow boundary, still saturates.
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / 1_000_000_000 + 1),
+            SimTime::MAX
         );
     }
 

@@ -9,6 +9,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use h2priv_netsim::internals::{CalendarQueue, MinHeap4};
 use h2priv_netsim::{
     mbps, Context, DurationDist, GatewayNode, Link, LinkConfig, MbContext, Middlebox, Node, NodeId,
     Packet, Passthrough, SimDuration, SimRng, SimTime, Simulator, Verdict,
@@ -71,6 +72,71 @@ proptest! {
         prop_assert_eq!(stats.delivered_bytes, sizes.iter().map(|&s| s as u64).sum::<u64>());
         prop_assert_eq!(stats.lost, 0);
         prop_assert_eq!(stats.overflowed, 0);
+    }
+}
+
+/// One step of a randomized scheduler workload: push an event some delta
+/// into the future (possibly a cancelled-timer tombstone — the engine pops
+/// and skips those, never removes them early), or pop the minimum.
+#[derive(Debug, Clone, Copy)]
+enum SchedOp {
+    Push { delta_ns: u64, cancelled: bool },
+    Pop,
+}
+
+fn sched_op() -> impl Strategy<Value = SchedOp> {
+    prop_oneof![
+        // Near-future bulk: the µs-scale serialization/ACK mix.
+        4 => (0u64..100_000, any::<bool>())
+            .prop_map(|(delta_ns, cancelled)| SchedOp::Push { delta_ns, cancelled }),
+        // Far tail: RTO- to stall-scale deadlines that cross the bucket
+        // window and route through the overflow heap.
+        1 => (1_000_000u64..10_000_000_000, any::<bool>())
+            .prop_map(|(delta_ns, cancelled)| SchedOp::Push { delta_ns, cancelled }),
+        2 => Just(SchedOp::Pop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The calendar queue pops the **exact** `(at, seq)` order of the
+    /// reference min-heap it replaced, for arbitrary interleavings of
+    /// near/far inserts, cancel-tombstone inserts and pops — the heavier,
+    /// randomized twin of `tests/scheduler_differential.rs`.
+    #[test]
+    fn calendar_queue_matches_heap(ops in proptest::collection::vec(sched_op(), 1..1_500)) {
+        let mut wheel = CalendarQueue::new();
+        let mut heap: MinHeap4<(SimTime, u64, bool)> = MinHeap4::new();
+        let mut now = SimTime::ZERO;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                SchedOp::Push { delta_ns, cancelled } => {
+                    // Deltas are relative to the last popped instant, the
+                    // only push discipline the engine (and the queue's
+                    // window invariant) requires.
+                    let at = now + SimDuration::from_nanos(delta_ns);
+                    wheel.push(at, seq, cancelled);
+                    heap.push((at, seq, cancelled));
+                    seq += 1;
+                }
+                SchedOp::Pop => {
+                    let got = wheel.pop();
+                    let want = heap.pop();
+                    prop_assert_eq!(got, want);
+                    if let Some((at, _, _)) = got {
+                        now = at;
+                    }
+                }
+            }
+        }
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (got, want) => prop_assert_eq!(got, want),
+            }
+        }
     }
 }
 

@@ -1,0 +1,146 @@
+//! Differential tests: the calendar queue must pop the **exact** `(at,
+//! seq)` order of the 4-ary min-heap it replaced, under workloads shaped
+//! like the simulator's (bimodal near/far deadlines, interleaved pops,
+//! cancel-style tombstones) and at pathological times near `u64::MAX`.
+//!
+//! These run in the default test suite; `proptests.rs` carries a heavier
+//! feature-gated sweep of the same property.
+
+use h2priv_netsim::internals::{CalendarQueue, MinHeap4};
+use h2priv_netsim::{SimDuration, SimTime};
+
+/// Deterministic xorshift64* so the workload is reproducible without any
+/// external RNG crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Drives `ops` interleaved push/pop rounds through both queues, asserting
+/// every pop matches, then drains both and asserts the tails match.
+fn differential_run(seed: u64, ops: usize, pop_one_in: u64) {
+    let mut rng = Rng(seed);
+    let mut wheel = CalendarQueue::new();
+    let mut heap: MinHeap4<(SimTime, u64, u64)> = MinHeap4::new();
+    let mut now = SimTime::ZERO;
+    let mut seq = 0u64;
+    for _ in 0..ops {
+        let r = rng.next();
+        if !r.is_multiple_of(pop_one_in) {
+            // Bimodal deltas mirroring the engine: mostly µs-scale
+            // serialization/ACK events, a thin tail of RTO/stall deadlines.
+            let delta = match r % 16 {
+                0..=11 => rng.next() % 50_000,                   // ≤ 50 µs
+                12 | 13 => 1_000_000 + rng.next() % 400_000_000, // ms-scale
+                _ => 1_000_000_000 + rng.next() % 9_000_000_000, // s-scale
+            };
+            let at = now + SimDuration::from_nanos(delta);
+            wheel.push(at, seq, seq);
+            heap.push((at, seq, seq));
+            seq += 1;
+        } else if let Some(got) = wheel.pop() {
+            let want = heap.pop().expect("heap tracks wheel");
+            assert_eq!(got, want, "pop order diverged at seed {seed}");
+            now = got.0;
+        }
+    }
+    loop {
+        match (wheel.pop(), heap.pop()) {
+            (None, None) => break,
+            (w, h) => assert_eq!(w, h, "drain order diverged at seed {seed}"),
+        }
+    }
+}
+
+#[test]
+fn wheel_pops_exact_heap_order_bimodal_mix() {
+    for seed in [1, 0xDEAD_BEEF, 0x1234_5678_9ABC_DEF0] {
+        differential_run(seed, 20_000, 4);
+    }
+}
+
+#[test]
+fn wheel_pops_exact_heap_order_pop_heavy() {
+    // Pop-dominated regime: the queue stays small and the window re-anchors
+    // often, exercising rebase + promotion continuously.
+    differential_run(7, 20_000, 2);
+}
+
+#[test]
+fn wheel_matches_heap_with_cancel_style_tombstones() {
+    // The engine never removes cancelled timers from the queue; it pops and
+    // skips them. Model that: every key carries a "cancelled" bit decided at
+    // push time, both queues must surface the tombstones identically.
+    let mut rng = Rng(42);
+    let mut wheel = CalendarQueue::new();
+    let mut heap: MinHeap4<(SimTime, u64, bool)> = MinHeap4::new();
+    let mut now = SimTime::ZERO;
+    let mut fired = Vec::new();
+    for seq in 0..10_000u64 {
+        let delta = rng.next() % 300_000_000; // up to 300 ms: RTO-rearm churn
+        let at = now + SimDuration::from_nanos(delta);
+        let cancelled = rng.next().is_multiple_of(3);
+        wheel.push(at, seq, cancelled);
+        heap.push((at, seq, cancelled));
+        if seq % 2 == 0 {
+            let (at, s, c) = wheel.pop().expect("queue non-empty");
+            assert_eq!(heap.pop(), Some((at, s, c)));
+            now = at;
+            if !c {
+                fired.push(s);
+            }
+        }
+    }
+    while let Some((at, s, c)) = wheel.pop() {
+        assert_eq!(heap.pop(), Some((at, s, c)));
+        if !c {
+            fired.push(s);
+        }
+    }
+    assert!(heap.pop().is_none());
+    assert!(fired.len() > 5_000, "most timers fire");
+}
+
+#[test]
+fn rollover_near_u64_max_matches_heap() {
+    // Bucket index arithmetic must not overflow at the end of time. Pile
+    // keys into the last ~70 ms before u64::MAX ns (several window widths),
+    // plus exact-u64::MAX keys, and require exact heap order throughout.
+    let mut rng = Rng(9);
+    let mut wheel = CalendarQueue::new();
+    let mut heap: MinHeap4<(SimTime, u64, u64)> = MinHeap4::new();
+    for seq in 0..2_000u64 {
+        let back = rng.next() % 70_000_000;
+        let at = SimTime::from_nanos(u64::MAX - back);
+        wheel.push(at, seq, seq);
+        heap.push((at, seq, seq));
+    }
+    for seq in 2_000..2_010u64 {
+        wheel.push(SimTime::MAX, seq, seq);
+        heap.push((SimTime::MAX, seq, seq));
+    }
+    loop {
+        match (wheel.pop(), heap.pop()) {
+            (None, None) => break,
+            (w, h) => assert_eq!(w, h, "rollover order diverged"),
+        }
+    }
+}
+
+#[test]
+fn saturating_push_at_exact_max_still_pops() {
+    // SimTime::MAX is the engine's "infinite deadline" sentinel; keys there
+    // must queue and pop like any other.
+    let mut wheel = CalendarQueue::new();
+    wheel.push(SimTime::from_nanos(1), 0, 'a');
+    wheel.push(SimTime::MAX, 1, 'z');
+    assert_eq!(wheel.pop().map(|(_, _, v)| v), Some('a'));
+    assert_eq!(wheel.pop(), Some((SimTime::MAX, 1, 'z')));
+    assert!(wheel.pop().is_none());
+}

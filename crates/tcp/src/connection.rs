@@ -198,6 +198,13 @@ pub struct TcpConnection {
 
     /// A RST should be emitted.
     rst_pending: bool,
+    /// Cleared when a full [`poll_transmit`](Self::poll_transmit) pass
+    /// returned `None` and no state has changed since: the next poll can
+    /// answer `None` without re-walking the send machinery. Every mutator
+    /// that could make a segment sendable (`write`, `close`, `abort`,
+    /// `on_segment`, `on_tick`) sets it again. Purely an idle-path
+    /// short-circuit — segment content and ordering are unchanged.
+    output_pending: bool,
     /// SYN (or SYN-ACK) is in flight, awaiting its ACK or timeout.
     syn_in_flight: bool,
 
@@ -250,6 +257,7 @@ impl TcpConnection {
             pending_acks: std::collections::VecDeque::new(),
             delayed_ack_deadline: None,
             rst_pending: false,
+            output_pending: true,
             syn_in_flight: false,
             stats: TcpStats::default(),
             config,
@@ -379,6 +387,7 @@ impl TcpConnection {
     /// hold a [`SharedBytes`] should use
     /// [`write_shared`](Self::write_shared) and skip the copy.
     pub fn write(&mut self, data: &[u8]) -> usize {
+        self.output_pending = true;
         if self.fin_offset.is_some() || self.state == TcpState::Aborted {
             return 0;
         }
@@ -391,6 +400,7 @@ impl TcpConnection {
     /// it: segmentation (and any retransmission) will hand out sub-slices
     /// of this very buffer. Returns the number of bytes accepted.
     pub fn write_shared(&mut self, data: SharedBytes) -> usize {
+        self.output_pending = true;
         if self.fin_offset.is_some() || self.state == TcpState::Aborted {
             return 0;
         }
@@ -413,6 +423,7 @@ impl TcpConnection {
     /// Begins a graceful close: a FIN is sent once all queued data has been
     /// transmitted. Further writes are rejected.
     pub fn close(&mut self) {
+        self.output_pending = true;
         if self.fin_offset.is_none() {
             self.fin_offset = Some(self.send_buf.total());
         }
@@ -421,6 +432,7 @@ impl TcpConnection {
     /// Aborts immediately; the next [`poll_transmit`](Self::poll_transmit)
     /// emits a RST.
     pub fn abort(&mut self) {
+        self.output_pending = true;
         if self.state != TcpState::Aborted {
             self.state = TcpState::Aborted;
             self.abort_reason = Some(AbortReason::LocalAbort);
@@ -481,6 +493,9 @@ impl TcpConnection {
     /// Produces the next segment this endpoint wants to transmit, or `None`
     /// when idle. Call in a loop until `None`.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<TcpSegment> {
+        if !self.output_pending {
+            return None;
+        }
         // RST has absolute priority.
         if self.rst_pending {
             self.rst_pending = false;
@@ -491,13 +506,15 @@ impl TcpConnection {
                 SharedBytes::new(),
             ));
         }
-        match self.state {
+        let seg = match self.state {
             TcpState::Closed | TcpState::Aborted => None,
             TcpState::Done => self.poll_pure_ack(),
             TcpState::SynSent => self.poll_syn(now),
             TcpState::SynRcvd => self.poll_syn_ack(now),
             _ => self.poll_established(now),
-        }
+        };
+        self.output_pending = seg.is_some();
+        seg
     }
 
     /// Emits one queued pure ACK, if any.
@@ -642,6 +659,7 @@ impl TcpConnection {
     /// timeout reaction runs (go-back-N, window collapse, backoff); a due
     /// delayed ACK is flushed.
     pub fn on_tick(&mut self, now: SimTime) {
+        self.output_pending = true;
         self.flush_delayed_ack(now);
         let Some(deadline) = self.rto_deadline else {
             return;
@@ -717,6 +735,7 @@ impl TcpConnection {
 
     /// Processes one received segment.
     pub fn on_segment(&mut self, seg: TcpSegment, now: SimTime) {
+        self.output_pending = true;
         if self.state == TcpState::Aborted || self.state == TcpState::Done {
             return;
         }

@@ -18,7 +18,7 @@ use h2priv_http2::{
 };
 use h2priv_netsim::{Context, Node, NodeId, Packet, SimTime, TimerId};
 use h2priv_tcp::{AbortReason, TcpConfig, TcpConnection, TcpSegment, TcpStats};
-use h2priv_tls::{Role, TlsSession};
+use h2priv_tls::{Role, TlsSession, MAX_PLAINTEXT, RECORD_PREFIX};
 use h2priv_web::{Browser, BrowserCmd, ObjectId, SiteServer};
 
 const TOKEN_TCP: u64 = 0;
@@ -169,7 +169,11 @@ impl Host {
         let core = Rc::new(RefCell::new(HostCore {
             tcp: TcpConnection::client(tcp),
             tls: TlsSession::new(Role::Client, session_key),
-            h2: H2Connection::new_client(h2),
+            h2: {
+                let mut h2 = H2Connection::new_client(h2);
+                h2.set_send_headroom(RECORD_PREFIX);
+                h2
+            },
             app: App::Client(browser),
             truth,
             stream_objects: FxHashMap::default(),
@@ -205,7 +209,11 @@ impl Host {
         let core = Rc::new(RefCell::new(HostCore {
             tcp: TcpConnection::server(tcp),
             tls: TlsSession::new(Role::Server, session_key),
-            h2: H2Connection::new_server(h2),
+            h2: {
+                let mut h2 = H2Connection::new_server(h2);
+                h2.set_send_headroom(RECORD_PREFIX);
+                h2
+            },
             app: App::Server(server),
             truth,
             stream_objects: FxHashMap::default(),
@@ -291,24 +299,19 @@ impl HostCore {
         if !self.dead && self.tcp.is_aborted() {
             self.on_transport_death(now);
         }
-        // Run the layer pumps to quiescence. The cap is a safety valve
-        // against a livelocked layering bug; real pumps settle in a few
-        // rounds.
-        let mut rounds = 0;
-        loop {
-            let mut progressed = false;
-            progressed |= self.pump_inbound(now);
-            progressed |= self.pump_app(now);
-            progressed |= self.pump_outbound(now);
-            if !progressed {
-                break;
-            }
-            rounds += 1;
-            debug_assert!(rounds < 10_000, "host pump livelock");
-            if rounds >= 10_000 {
-                break;
-            }
-        }
+        // One ordered pass settles the stack. Inbound bytes only arrive
+        // between pumps (a packet or timer precedes every call), so inbound
+        // progresses at most once; the app stage reacts to what inbound
+        // just delivered (and to `now`); the outbound stage then drains
+        // everything the first two queued, looping internally until the
+        // send buffer fills or the mux runs dry. Neither later stage can
+        // create same-instant inbound or app work — the browser issues
+        // every due command in one `poll_cmds` call and the server drains
+        // every due response — so cycling to quiescence (as an earlier
+        // revision did) only ever bought no-progress passes.
+        self.pump_inbound(now);
+        self.pump_app(now);
+        self.pump_outbound(now);
         // Flush TCP output.
         let self_id = ctx.node_id();
         while let Some(seg) = self.tcp.poll_transmit(now) {
@@ -441,7 +444,7 @@ impl HostCore {
         let mut progressed = false;
         match &mut self.app {
             App::Client(browser) => {
-                let authority = self.authority.clone();
+                let authority = &self.authority;
                 for cmd in browser.poll_cmds(now) {
                     progressed = true;
                     match cmd {
@@ -504,11 +507,26 @@ impl HostCore {
             };
             progressed = true;
             if let Some(oracle) = self.oracle.as_mut() {
-                oracle.h2.on_sent(&out.bytes, now);
+                oracle.h2.on_sent(out.frame_bytes(), now);
             }
-            let sealed = match self.tls.seal_app_data(&out.bytes) {
-                Ok(s) => s,
-                Err(_) => break,
+            // Fast path: the frame was encoded with record-prefix headroom,
+            // so the TLS layer seals it where it lies — no payload copy.
+            // Fall back to the copying path for prefix-less chunks (the
+            // client preface, split header blocks) and oversized frames.
+            let meta = out.meta;
+            let sealed = if out.headroom == RECORD_PREFIX
+                && out.bytes.len() - out.headroom <= MAX_PLAINTEXT
+            {
+                let mut buf = out.bytes;
+                match self.tls.seal_app_data_in_place(&mut buf) {
+                    Ok(()) => h2priv_bytes::SharedBytes::from_vec(buf),
+                    Err(_) => break,
+                }
+            } else {
+                match self.tls.seal_app_data(out.frame_bytes()) {
+                    Ok(s) => s,
+                    Err(_) => break,
+                }
             };
             let start = self.tcp.total_written();
             self.tcp.write_shared(sealed);
@@ -519,7 +537,7 @@ impl HostCore {
                     end_stream,
                     frame_type,
                     ..
-                } = out.meta
+                } = meta
                 {
                     use h2priv_http2::FrameType;
                     if matches!(frame_type, FrameType::Data | FrameType::Headers) {

@@ -152,6 +152,9 @@ pub struct RunResult {
     pub client_abort: Option<AbortReason>,
     /// Simulator events the trial processed (throughput accounting).
     pub events: u64,
+    /// Event-scheduler behaviour counters (tier split, promotions, peak
+    /// occupancy) for the trial.
+    pub sched: h2priv_netsim::SchedStats,
     /// Conformance violations the oracle detected (empty when the oracle
     /// was disabled; capped at the sink's storage limit).
     pub violations: Vec<Violation>,
@@ -271,6 +274,12 @@ pub fn build_scenario(
 pub fn run_scenario(mut scenario: Scenario) -> RunResult {
     let deadline = h2priv_netsim::SimTime::ZERO + scenario.deadline;
     let summary = scenario.sim.run_until(deadline);
+    let sched = scenario.sim.sched_stats();
+    // The run is over, so nothing will write to the capture again: move
+    // the trace and ground truth out of their shared cells instead of
+    // deep-cloning them per trial.
+    let trace = std::mem::replace(&mut *scenario.trace.borrow_mut(), WireTrace::new());
+    let truth = std::mem::replace(&mut *scenario.truth.borrow_mut(), GroundTruth::new());
     let client = scenario.client.borrow();
     let server = scenario.server.borrow();
     let (violations, violations_total) = match &scenario.violations {
@@ -283,13 +292,14 @@ pub fn run_scenario(mut scenario: Scenario) -> RunResult {
     RunResult {
         stop: summary.stop,
         outcomes: client.browser().outcomes(),
-        truth: scenario.truth.borrow().clone(),
-        trace: scenario.trace.borrow().clone(),
+        truth,
+        trace,
         client_tcp: client.tcp_stats(),
         server_tcp: server.tcp_stats(),
         broken: client.dead || server.dead,
         client_abort: client.abort_reason(),
         events: summary.events,
+        sched,
         violations,
         violations_total,
     }

@@ -4,16 +4,18 @@
 //! but the simulation must still guarantee that nothing downstream can cheat
 //! by peeking into "ciphertext". We therefore scramble each fragment with a
 //! keystream derived from a session key and the record sequence number
-//! (a counter-based splitmix64 generator emitting eight keystream bytes per
-//! block — **not** cryptographically secure, purely an anti-cheating seal),
-//! and append [`AEAD_OVERHEAD`] filler bytes so that ciphertext lengths
-//! match what a TLS 1.2 AES-GCM eavesdropper would see.
+//! (four splitmix64-hashed generator words per record, each advanced by a
+//! Weyl increment and whitened per block — **not** cryptographically
+//! secure, purely an anti-cheating seal), and append [`AEAD_OVERHEAD`]
+//! filler bytes so that ciphertext lengths match what a TLS 1.2 AES-GCM
+//! eavesdropper would see.
 //!
 //! Seal and open sit on the simulator's per-record hot path, so both the
 //! keystream and the tag consume input in 8-byte blocks, and neither has a
-//! serial dependency from one block to the next: the keystream hashes a
-//! per-record counter and the tag folds into four rotating lanes, so the
-//! CPU can keep several blocks in flight.
+//! serial dependency from one block to the next: the expensive hash runs
+//! once per record lane (the per-block step is an add and a shift-xor),
+//! and the tag folds into four independent lanes, so the CPU can keep
+//! several blocks in flight.
 //!
 //! Tampered or reordered records fail to open, which models AEAD integrity:
 //! the simulated endpoints abort on corruption just as real TLS stacks do.
@@ -91,16 +93,30 @@ impl Tag16 {
     }
 }
 
-/// Eight keystream bytes for block `i` of the record seeded by `seed` —
-/// splitmix64 over a per-record counter. Counter-based (rather than a
-/// chained xorshift) so consecutive blocks have no serial dependency and
-/// the compiler is free to compute several blocks in flight.
+/// Hashes one of the record's four keystream *generator words* from the
+/// per-record seed — splitmix64, run exactly four times per record. The
+/// expensive hash happens once per lane; within the record each lane then
+/// advances by a cheap Weyl increment per 32-byte quad (see
+/// [`transform`]), so the per-byte keystream cost is an add and a
+/// shift-xor instead of three multiplies.
 #[inline]
-fn keystream_block(seed: u64, i: u64) -> u64 {
-    let mut z = seed.wrapping_add(i.wrapping_mul(PHI));
+fn generator_word(seed: u64, lane: u64) -> u64 {
+    let mut z = seed.wrapping_add(lane.wrapping_mul(PHI));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^ (z >> 31)
+}
+
+/// Per-quad Weyl step for the generator words: odd, so the walk visits
+/// every 64-bit state, and carries ripple into the high bits quad after
+/// quad.
+const WEYL: u64 = PHI.wrapping_mul(4) | 1;
+
+/// Output whitening of a generator word into eight keystream bytes — one
+/// shift-xor so neighbouring Weyl states do not differ by a constant.
+#[inline]
+fn whiten(word: u64) -> u64 {
+    word ^ (word >> 31)
 }
 
 /// One fused pass over `data`: XORs the keystream in place (8 bytes per
@@ -112,43 +128,53 @@ fn keystream_block(seed: u64, i: u64) -> u64 {
 /// traversals, and both the keystream and the tag lanes are free of
 /// cross-block serial dependencies.
 fn transform(seed: u64, tag: &mut Tag16, data: &mut [u8], sealing: bool) {
-    let mut i = 0u64;
-    // Main loop: four blocks per iteration. Blocks `i..i+4` land on tag
-    // lanes `0..4` in order (quads always start at a multiple of four), so
-    // the four keystream hashes and the four lane multiplies are visibly
+    // Four generator words, splitmix-hashed once per record. Block `i`
+    // draws its keystream from lane `i % 4`, whose word has advanced by
+    // `WEYL * (i / 4)`.
+    let mut w = [
+        generator_word(seed, 0),
+        generator_word(seed, 1),
+        generator_word(seed, 2),
+        generator_word(seed, 3),
+    ];
+    // Main loop: four blocks per iteration. Blocks land on tag lanes
+    // `0..4` in order (quads always start at a multiple of four), so the
+    // four keystream whitenings and the four lane multiplies are visibly
     // independent and the CPU pipelines them instead of waiting on a
-    // one-block-at-a-time chain. Semantics are identical to the scalar
-    // loop below — this is purely an instruction-level-parallelism shape.
+    // one-block-at-a-time chain.
     let mut quads = data.chunks_exact_mut(32);
     for quad in &mut quads {
         let mut xored = [0u64; 4];
         for (j, x) in xored.iter_mut().enumerate() {
             let word = &quad[j * 8..j * 8 + 8];
             let block = u64::from_le_bytes(word.try_into().expect("8-byte word"));
-            *x = block ^ keystream_block(seed, i + j as u64);
+            *x = block ^ whiten(w[j]);
+            w[j] = w[j].wrapping_add(WEYL);
             tag.fold(j, if sealing { block } else { *x });
         }
         for (j, x) in xored.iter().enumerate() {
             quad[j * 8..j * 8 + 8].copy_from_slice(&x.to_le_bytes());
         }
-        i += 4;
     }
+    // Tail: fewer than four blocks remain, continuing on lanes `0..`
+    // of the final (partial) quad row.
+    let mut lane = 0usize;
     let mut chunks = quads.into_remainder().chunks_exact_mut(8);
     for chunk in &mut chunks {
         let block = u64::from_le_bytes((&*chunk).try_into().expect("8-byte chunk"));
-        let xored = block ^ keystream_block(seed, i);
-        tag.fold((i & 3) as usize, if sealing { block } else { xored });
+        let xored = block ^ whiten(w[lane]);
+        tag.fold(lane, if sealing { block } else { xored });
         chunk.copy_from_slice(&xored.to_le_bytes());
-        i += 1;
+        lane += 1;
     }
     let rest = chunks.into_remainder();
     if !rest.is_empty() {
-        let ks = keystream_block(seed, i);
+        let ks = whiten(w[lane]);
         let mut block = [0u8; 8];
         block[..rest.len()].copy_from_slice(rest);
         let plain = u64::from_le_bytes(block);
         let xored = plain ^ (ks & !(u64::MAX << (8 * rest.len())));
-        tag.fold((i & 3) as usize, if sealing { plain } else { xored });
+        tag.fold(lane, if sealing { plain } else { xored });
         rest.copy_from_slice(&xored.to_le_bytes()[..rest.len()]);
     }
 }
@@ -195,6 +221,25 @@ impl RecordCipher {
         // Tag: 16 meaningful bits + 14 filler bytes to reach AEAD_OVERHEAD.
         out.extend_from_slice(&tag.finish().to_be_bytes());
         out.resize(start + plaintext.len() + AEAD_OVERHEAD, 0xA5);
+    }
+
+    /// Seals one fragment *in place*: the plaintext already sits at
+    /// `buf[body_start..]` with (at least) 8 reserved bytes immediately
+    /// before it for the explicit nonce. Writes the nonce, transforms the
+    /// payload where it lies, and appends the tag + filler — byte-for-byte
+    /// identical output to [`RecordCipher::seal_into`], minus the plaintext
+    /// copy.
+    pub fn seal_in_place(&mut self, buf: &mut Vec<u8>, body_start: usize) {
+        debug_assert!(body_start >= 8);
+        let seq = self.seq;
+        self.seq += 1;
+        let plaintext_len = buf.len() - body_start;
+        buf[body_start - 8..body_start].copy_from_slice(&seq.to_be_bytes());
+        let seed = self.key ^ seq.wrapping_mul(PHI) | 1;
+        let mut tag = Tag16::new(self.key, seq, plaintext_len);
+        transform(seed, &mut tag, &mut buf[body_start..], true);
+        buf.extend_from_slice(&tag.finish().to_be_bytes());
+        buf.resize(body_start - 8 + plaintext_len + AEAD_OVERHEAD, 0xA5);
     }
 
     /// Opens one fragment, consuming the next sequence number.

@@ -12,7 +12,9 @@
 //! `content_type == 23` filter on top of it.
 
 use crate::cipher::RecordCipher;
-use crate::record::{ContentType, RecordHeader, AEAD_OVERHEAD, HEADER_LEN, MAX_PLAINTEXT};
+use crate::record::{
+    ContentType, RecordHeader, AEAD_OVERHEAD, HEADER_LEN, MAX_PLAINTEXT, RECORD_PREFIX,
+};
 
 /// Seals application messages into record wire bytes.
 #[derive(Debug, Clone)]
@@ -48,6 +50,23 @@ impl RecordWriter {
             self.cipher.seal_into(chunk, &mut out);
         }
         out
+    }
+
+    /// Seals one message *in place*: the plaintext already sits at
+    /// `buf[RECORD_PREFIX..]` (at most [`MAX_PLAINTEXT`] bytes), with the
+    /// leading [`RECORD_PREFIX`] bytes reserved for the record header and
+    /// explicit nonce. Produces wire bytes identical to
+    /// [`RecordWriter::seal_message`] without copying the plaintext.
+    pub fn seal_message_in_place(&mut self, content_type: ContentType, buf: &mut Vec<u8>) {
+        debug_assert!(buf.len() >= RECORD_PREFIX);
+        let plaintext_len = buf.len() - RECORD_PREFIX;
+        debug_assert!(plaintext_len <= MAX_PLAINTEXT);
+        let header = RecordHeader {
+            content_type,
+            fragment_len: (plaintext_len + AEAD_OVERHEAD) as u16,
+        };
+        buf[..HEADER_LEN].copy_from_slice(&header.encode());
+        self.cipher.seal_in_place(buf, RECORD_PREFIX);
     }
 
     /// Records sealed so far.
@@ -188,6 +207,94 @@ impl RecordReader {
             self.buf.clear();
             self.pos = 0;
         }
+        Ok(Some(header.content_type))
+    }
+
+    /// Attempts to read the next complete record from the internal buffer
+    /// plus `input`, consuming from `input` and appending plaintext to
+    /// `out`. The streaming variant of
+    /// [`next_record_into`](Self::next_record_into): complete records that
+    /// lie entirely within `input` are parsed *borrowed* — never copied
+    /// into the internal buffer — and only a trailing partial record is
+    /// stashed for the next feed. Returns `Ok(None)` when more bytes are
+    /// needed (at which point `input` is fully consumed).
+    ///
+    /// # Errors
+    ///
+    /// As for [`next_message`](Self::next_message).
+    pub fn next_record_borrowed(
+        &mut self,
+        input: &mut &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<Option<ContentType>, ReadRecordError> {
+        if self.poisoned {
+            return Err(ReadRecordError::DecryptFailed);
+        }
+        // Finish any record whose prefix was stashed by an earlier feed,
+        // topping the buffer up with only the bytes that record needs.
+        if self.buffered_len() > 0 {
+            if self.buffered_len() < HEADER_LEN {
+                let take = (HEADER_LEN - self.buffered_len()).min(input.len());
+                self.buf.extend_from_slice(&input[..take]);
+                *input = &input[take..];
+            }
+            if self.buffered_len() < HEADER_LEN {
+                self.compact();
+                return Ok(None);
+            }
+            let header = match RecordHeader::decode(&self.buf[self.pos..]) {
+                Some(h) => h,
+                None => {
+                    self.poisoned = true;
+                    return Err(ReadRecordError::BadHeader);
+                }
+            };
+            let take = header
+                .wire_len()
+                .saturating_sub(self.buffered_len())
+                .min(input.len());
+            self.buf.extend_from_slice(&input[..take]);
+            *input = &input[take..];
+            if self.buffered_len() < header.wire_len() {
+                self.compact();
+                return Ok(None);
+            }
+            let fragment = &self.buf[self.pos + HEADER_LEN..self.pos + header.wire_len()];
+            if !self.cipher.open_into(fragment, out) {
+                self.poisoned = true;
+                return Err(ReadRecordError::DecryptFailed);
+            }
+            self.pos += header.wire_len();
+            if self.pos == self.buf.len() {
+                self.buf.clear();
+                self.pos = 0;
+            }
+            return Ok(Some(header.content_type));
+        }
+        // Buffer empty: parse straight from the borrowed input.
+        if input.len() < HEADER_LEN {
+            self.buf.extend_from_slice(input);
+            *input = &[];
+            return Ok(None);
+        }
+        let header = match RecordHeader::decode(input) {
+            Some(h) => h,
+            None => {
+                self.poisoned = true;
+                return Err(ReadRecordError::BadHeader);
+            }
+        };
+        if input.len() < header.wire_len() {
+            self.buf.extend_from_slice(input);
+            *input = &[];
+            return Ok(None);
+        }
+        let fragment = &input[HEADER_LEN..header.wire_len()];
+        if !self.cipher.open_into(fragment, out) {
+            self.poisoned = true;
+            return Err(ReadRecordError::DecryptFailed);
+        }
+        *input = &input[header.wire_len()..];
         Ok(Some(header.content_type))
     }
 

@@ -31,6 +31,7 @@ pub use codec::{
     ReadRecordError, RecordReader, RecordScanner, RecordWriter, ScannedRecord, TlsMessage,
 };
 pub use record::{
-    ContentType, RecordHeader, AEAD_OVERHEAD, HEADER_LEN, MAX_CIPHERTEXT, MAX_PLAINTEXT, VERSION,
+    ContentType, RecordHeader, AEAD_OVERHEAD, HEADER_LEN, MAX_CIPHERTEXT, MAX_PLAINTEXT,
+    RECORD_PREFIX, VERSION,
 };
 pub use session::{Role, SessionError, SessionOutput, TlsSession};

@@ -190,11 +190,11 @@ impl TlsSession {
         bytes: &[u8],
         app: &mut Vec<u8>,
     ) -> Result<SessionOutput, SessionError> {
-        self.reader.push(bytes);
+        let mut input = bytes;
         let mut out = SessionOutput::default();
         loop {
             let before = app.len();
-            let Some(content_type) = self.reader.next_record_into(app)? else {
+            let Some(content_type) = self.reader.next_record_borrowed(&mut input, app)? else {
                 break;
             };
             match content_type {
@@ -288,6 +288,27 @@ impl TlsSession {
             self.writer
                 .seal_message(ContentType::ApplicationData, payload),
         ))
+    }
+
+    /// Seals application bytes *in place*: `buf[RECORD_PREFIX..]` holds the
+    /// payload (at most [`MAX_PLAINTEXT`](crate::MAX_PLAINTEXT) bytes) and
+    /// the leading [`RECORD_PREFIX`](crate::RECORD_PREFIX) bytes are
+    /// reserved for the record header and nonce. On success `buf` holds the
+    /// complete wire record — byte-identical to what
+    /// [`TlsSession::seal_app_data`] would return, without copying the
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SessionError::EarlyAppData`] before establishment
+    /// (leaving `buf` untouched).
+    pub fn seal_app_data_in_place(&mut self, buf: &mut Vec<u8>) -> Result<(), SessionError> {
+        if self.state != HandshakeState::Established {
+            return Err(SessionError::EarlyAppData);
+        }
+        self.writer
+            .seal_message_in_place(ContentType::ApplicationData, buf);
+        Ok(())
     }
 
     /// Total records sealed by this endpoint (handshake + data).

@@ -122,6 +122,11 @@ impl SiteServer {
 
     /// Pops every response whose worker is due at `now`.
     pub fn due_responses(&mut self, now: SimTime) -> Vec<Response> {
+        // The pump probes this on every round; skip the drain/rebuild/sort
+        // machinery outright when no worker is due yet.
+        if !self.workers.iter().any(|w| w.due <= now) {
+            return Vec::new();
+        }
         let mut due = Vec::new();
         let mut remaining = Vec::new();
         for w in self.workers.drain(..) {

@@ -11,6 +11,12 @@ cargo fmt --all -- --check
 
 sh scripts/bench_check.sh
 
+# Scheduler microbench smoke run (`make bench-sched` in full): proves the
+# calendar queue and its reference-heap twin still build and run at the
+# fig5-like event mix. Regression *thresholds* live in bench-check above,
+# which gates whole-trial events/sec against BENCH_repro.json.
+cargo bench -q -p h2priv-bench --bench sched -- fig5_mix
+
 # Cross-layer conformance oracle over a quick full-exhibit run
 # (equivalent to `make check-conformance`): exits nonzero on any TCP/TLS/
 # HTTP/2 invariant violation.
