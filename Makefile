@@ -1,6 +1,6 @@
 # Convenience targets; each is a thin wrapper over cargo.
 
-.PHONY: build test lint bench bench-check bench-sched check-conformance repro repro-quick
+.PHONY: build test lint bench bench-check bench-sched bench-fleet check-conformance repro repro-quick
 
 build:
 	cargo build --release --workspace
@@ -19,6 +19,11 @@ bench-check:
 
 bench-sched:
 	cargo bench -p h2priv-bench --bench sched
+
+# The population-scale exhibit at fleet size: 10k client-server pairs
+# sharded over 8 engines. Byte-identical at any --threads.
+bench-fleet:
+	cargo run --release -p h2priv-bench --bin repro -- fleet --population 10000 --shards 8
 
 check-conformance:
 	cargo run --release -p h2priv-bench --bin repro -- --quick --check

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--json] [--check] [--threads N] [--trials N]
-//!       [--bench-json[=PATH]] [table1] [fig5] [ivd] [table2] [fig1]
-//!       [ablations]
+//!       [--population N] [--shards N] [--bench-json[=PATH]]
+//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations] [fleet]
 //! ```
 //!
 //! With no exhibit names, everything runs. `--quick` uses 25 trials per
@@ -15,6 +15,12 @@
 //! `BENCH_repro.json` (or the given path) so the perf trajectory is
 //! tracked across changes.
 //!
+//! The `fleet` exhibit simulates `--population N` client–server pairs
+//! (default 1000, `--quick` 128) split over `--shards N` independent
+//! engines (default 8). Shards fan out over the same worker pool; the
+//! shard count — not the thread count — fixes the partition, so fleet
+//! output is also byte-identical at any `--threads`.
+//!
 //! `--check` attaches the cross-layer conformance oracle
 //! (`h2priv-conformance`) to every trial: TCP, TLS and HTTP/2 invariants
 //! are validated on every segment, record and frame, a summary goes to
@@ -24,7 +30,7 @@
 use std::time::Instant;
 
 use h2priv_bench::json::{object, Json, ToJson};
-use h2priv_bench::{ablations, common, fig1, fig5, ivd, runner, table1, table2};
+use h2priv_bench::{ablations, common, fig1, fig5, fleet, ivd, runner, table1, table2};
 
 /// Per-exhibit wall-clock record emitted by `--bench-json`.
 struct ExhibitTiming {
@@ -35,8 +41,13 @@ struct ExhibitTiming {
     events: u64,
     /// Event-scheduler behaviour over the exhibit's trials (tier split,
     /// promotions, peak bucket/overflow occupancy), so baselines are
-    /// self-describing about which scheduler produced them.
+    /// self-describing about which scheduler produced them. For the fleet
+    /// exhibit the peaks are summed across concurrently-resident shards
+    /// (`SchedStats::merge_concurrent`), not maxed.
     sched: h2priv_netsim::SchedStats,
+    /// Per-shard event counts (fleet exhibit only; empty otherwise) —
+    /// the shard occupancy balance.
+    shard_events: Vec<u64>,
 }
 
 impl ExhibitTiming {
@@ -64,6 +75,7 @@ impl ToJson for ExhibitTiming {
             ("sched_rebases", self.sched.rebases.to_json()),
             ("sched_peak_near", self.sched.peak_near.to_json()),
             ("sched_peak_overflow", self.sched.peak_overflow.to_json()),
+            ("shard_events", self.shard_events.to_json()),
         ])
     }
 }
@@ -102,12 +114,15 @@ fn main() {
     } else {
         common::TRIALS
     });
+    let population =
+        parse_flag_value(&args, "--population").unwrap_or(if quick { 128 } else { 1_000 }) as u32;
+    let shards = parse_flag_value(&args, "--shards").unwrap_or(8).max(1) as u32;
     let wanted: Vec<&str> = {
         // Skip flags and their detached values.
         let mut names = Vec::new();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
-            if a == "--threads" || a == "--trials" {
+            if a == "--threads" || a == "--trials" || a == "--population" || a == "--shards" {
                 it.next();
             } else if !a.starts_with("--") {
                 names.push(a.as_str());
@@ -133,6 +148,7 @@ fn main() {
             wall_ms,
             events,
             sched: runner::sched_take(),
+            shard_events: Vec::new(),
         };
         eprintln!(
             "[timing] {exhibit}: {wall_ms:.0} ms, {events} events, {:.0} events/sec, {threads} thread(s)",
@@ -204,6 +220,29 @@ fn main() {
                 println!("{}", ablations::render(&rows));
             }
         });
+    }
+    if want("fleet") {
+        let mut report = None;
+        timed("fleet", population as u64, &mut || {
+            let r = fleet::run(population, shards);
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&r));
+            } else {
+                println!("{}", fleet::render(&r));
+            }
+            report = Some(r);
+        });
+        if let (Some(r), Some(t)) = (report, timings.last_mut()) {
+            // Shard occupancy over both populations (baseline + attacked),
+            // element-wise: the balance the hash partition achieved.
+            t.shard_events = r
+                .baseline
+                .shard_events
+                .iter()
+                .zip(&r.attacked.shard_events)
+                .map(|(a, b)| a + b)
+                .collect();
+        }
     }
 
     if let Some(path) = bench_json {

@@ -1,0 +1,281 @@
+//! Fleet exhibit — the population-scale contention experiment.
+//!
+//! Simulates N independent client–server pairs sharing the gateway
+//! (`h2priv_testkit::fleet`), sharded deterministically so shards can run
+//! on separate workers with byte-identical output at any `--threads`.
+//! Two populations run back to back:
+//!
+//! * **baseline** — nobody interferes; the victim (pair 0) loads its
+//!   survey page amid the bystander herd, multiplexed as usual;
+//! * **attacked** — the full §V serialization attack (jitter, trigger on
+//!   the 6th GET, disruption window, post-reset 80 ms serialization) is
+//!   applied *only to the victim's flow* at the shared gateway. The
+//!   paper's point at fleet scale: the adversary needs no per-flow
+//!   infrastructure beyond the one middlebox chain, and the thousand
+//!   bystander flows neither mask the victim nor break the attack.
+//!
+//! The exhibit reports per-run aggregate throughput (events/sec across
+//! all shards) and the victim's §II-A attack criterion in both runs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use h2priv_core::experiment::{analyze_capture, AdversarySnapshot};
+use h2priv_core::{Adversary, AttackConfig};
+use h2priv_testkit::fleet::{
+    merge_shards, run_fleet_shard, victim_shard, FleetConfig, FleetConformance, FleetResult,
+};
+use h2priv_web::isidewith;
+
+use crate::common::calibrated_map;
+use crate::json::{object, Json, ToJson};
+use crate::runner;
+
+/// One population run's summary (baseline or attacked).
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// "baseline" or "attacked".
+    pub label: &'static str,
+    /// Simulator events across all shards.
+    pub events: u64,
+    /// Per-shard event counts, shard order (occupancy balance).
+    pub shard_events: Vec<u64>,
+    /// Wall-clock for the whole population, milliseconds.
+    pub wall_ms: f64,
+    /// Pairs whose page load completed.
+    pub completed: u32,
+    /// Pairs whose connection died.
+    pub broken: u32,
+    /// Object requests issued / completed across the population.
+    pub requests: u64,
+    /// Requests that completed.
+    pub requests_complete: u64,
+    /// Latest simulated shard end time, milliseconds.
+    pub end_time_ms: u64,
+    /// The victim's HTML was recovered per the §II-A criterion (degree of
+    /// multiplexing 0 **and** identified from the encrypted trace).
+    pub victim_success: bool,
+    /// The victim HTML's minimum degree of multiplexing.
+    pub victim_degree: Option<f64>,
+    /// The victim's connection broke.
+    pub victim_broken: bool,
+}
+
+impl FleetRun {
+    /// Aggregate simulator throughput of the run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+impl ToJson for FleetRun {
+    fn to_json(&self) -> Json {
+        object([
+            ("label", self.label.to_json()),
+            ("events", self.events.to_json()),
+            ("shard_events", self.shard_events.to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("events_per_sec", self.events_per_sec().to_json()),
+            ("completed", (self.completed as u64).to_json()),
+            ("broken", (self.broken as u64).to_json()),
+            ("requests", self.requests.to_json()),
+            ("requests_complete", self.requests_complete.to_json()),
+            ("end_time_ms", self.end_time_ms.to_json()),
+            ("victim_success", self.victim_success.to_json()),
+            (
+                "victim_degree",
+                self.victim_degree
+                    .map(|d| d.to_json())
+                    .unwrap_or(Json::Null),
+            ),
+            ("victim_broken", self.victim_broken.to_json()),
+        ])
+    }
+}
+
+/// The whole exhibit: baseline and attacked populations.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Pairs per population.
+    pub population: u32,
+    /// Shards per population.
+    pub shards: u32,
+    /// The undisturbed population.
+    pub baseline: FleetRun,
+    /// The population with the victim throttled at the gateway.
+    pub attacked: FleetRun,
+}
+
+impl ToJson for FleetReport {
+    fn to_json(&self) -> Json {
+        object([
+            ("population", (self.population as u64).to_json()),
+            ("shards", (self.shards as u64).to_json()),
+            ("baseline", self.baseline.to_json()),
+            ("attacked", self.attacked.to_json()),
+        ])
+    }
+}
+
+fn fleet_config(population: u32, shards: u32) -> FleetConfig {
+    FleetConfig {
+        seed: 0xF1EE7,
+        population,
+        shards,
+        conformance: if runner::conformance_enabled() {
+            FleetConformance::for_population(population)
+        } else {
+            FleetConformance::Off
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn run_population(
+    label: &'static str,
+    config: &FleetConfig,
+    attack: Option<&AttackConfig>,
+    map: &h2priv_core::SizeMap,
+) -> (FleetRun, FleetResult) {
+    let vs = victim_shard(config);
+    let t0 = Instant::now();
+    // Shards fan out over the worker pool exactly like seeded trials: the
+    // shard id is the "seed", results come back in shard order, and each
+    // worker builds the victim's adversary locally (`Rc` is not Send; only
+    // the plain-data snapshot leaves the worker).
+    let results = runner::run_seeded(config.shards as u64, |shard| {
+        let shard = shard as u32;
+        let adversary = (shard == vs)
+            .then(|| attack.map(|a| Rc::new(RefCell::new(Adversary::new(a.clone())))))
+            .flatten();
+        let result = run_fleet_shard(config, shard, adversary.clone().map(|a| Box::new(a) as _));
+        let snapshot = adversary.map(|a| {
+            let a = a.borrow();
+            AdversarySnapshot {
+                phase_log: a.phase_log().to_vec(),
+                gets_seen: a.gets_seen(),
+                drop_window_end: a.drop_window_end(),
+                serialize_start: a.serialize_start(),
+                gate_released_at: a.gate_released_at(),
+                controller: a.controller_stats(),
+            }
+        });
+        (result, snapshot)
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let snapshot = results.iter().find_map(|(_, s)| s.clone());
+    let results = results.into_iter().map(|(r, _)| r).collect();
+    let merged = merge_shards(config.population, config.shards, results);
+
+    runner::record_events(merged.events);
+    runner::record_sched(&merged.sched);
+    runner::record_violations(
+        merged.violations_total,
+        merged.violations.iter().map(|v| v.to_string()),
+    );
+
+    let victim = merged.victim.as_ref().expect("victim shard always runs");
+    let iw = isidewith::build(&victim.golden_order);
+    // The full attack analyzes the post-reset serialized window, exactly
+    // like the single-pair table2 pipeline.
+    let analysis_start = attack.and_then(|a| snapshot.as_ref().and_then(|s| s.analysis_start(a)));
+    let analysis = analyze_capture(
+        &victim.trace,
+        &victim.truth,
+        &iw,
+        victim.broken,
+        map,
+        &[iw.html],
+        analysis_start,
+    );
+
+    let run = FleetRun {
+        label,
+        events: merged.events,
+        shard_events: merged.shard_events.clone(),
+        wall_ms,
+        completed: merged.completed,
+        broken: merged.broken,
+        requests: merged.requests,
+        requests_complete: merged.requests_complete,
+        end_time_ms: merged.end_time_max.as_millis(),
+        victim_success: analysis.objects[0].success,
+        victim_degree: analysis.objects[0].degree,
+        victim_broken: analysis.broken,
+    };
+    (run, merged)
+}
+
+/// Runs the exhibit: one baseline population and one attacked population.
+pub fn run(population: u32, shards: u32) -> FleetReport {
+    let config = fleet_config(population, shards);
+    let map = calibrated_map();
+    let (baseline, _) = run_population("baseline", &config, None, &map);
+    let attack = AttackConfig::paper_attack();
+    let (attacked, _) = run_population("attacked", &config, Some(&attack), &map);
+    FleetReport {
+        population,
+        shards,
+        baseline,
+        attacked,
+    }
+}
+
+/// Renders the exhibit in the repro layout.
+pub fn render(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FLEET: {} pairs over {} shards, victim = pair 0\n",
+        report.population, report.shards
+    ));
+    out.push_str(
+        "| run      | completed | broken | requests done | victim degree | victim recovered |\n",
+    );
+    out.push_str(
+        "|----------|----------:|-------:|--------------:|--------------:|-----------------:|\n",
+    );
+    for run in [&report.baseline, &report.attacked] {
+        out.push_str(&format!(
+            "| {:<8} | {:>9} | {:>6} | {:>7}/{:<5} | {:>13} | {:>16} |\n",
+            run.label,
+            run.completed,
+            run.broken,
+            run.requests_complete,
+            run.requests,
+            run.victim_degree
+                .map(|d| format!("{d:.2}"))
+                .unwrap_or_else(|| "-".to_owned()),
+            if run.victim_success { "yes" } else { "no" },
+        ));
+    }
+    out.push_str(
+        "(recovery per the paper's criterion: degree of multiplexing 0 and size-identified;\n \
+         the gateway throttles only the victim's flow — bystanders are untouched)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fleet_report_renders() {
+        let report = run(12, 2);
+        assert_eq!(report.population, 12);
+        let s = render(&report);
+        assert!(s.contains("baseline"));
+        assert!(s.contains("attacked"));
+        assert_eq!(report.baseline.shard_events.len(), 2);
+        assert!(report.baseline.events > 0);
+        // Whatever the victim verdicts, the runs must account for every pair.
+        assert_eq!(
+            report.baseline.completed + report.baseline.broken,
+            report.population
+        );
+    }
+}

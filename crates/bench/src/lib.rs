@@ -9,7 +9,9 @@
 //! * [`fig5`] — the §IV-C bandwidth sweep;
 //! * [`ivd`] — the §IV-D targeted-drop / forced-reset experiment;
 //! * [`table2`] — the full §V attack's prediction accuracy;
-//! * [`ablations`] — design-choice ablations and the §VII defense sketch.
+//! * [`ablations`] — design-choice ablations and the §VII defense sketch;
+//! * [`fleet`] — the population-scale contention run (N pairs sharing the
+//!   gateway, victim throttled among bystanders).
 //!
 //! The `repro` binary prints them in the paper's layout; `EXPERIMENTS.md`
 //! records paper-vs-measured values. Criterion microbenches of the
@@ -21,6 +23,7 @@ pub mod ablations;
 pub mod common;
 pub mod fig1;
 pub mod fig5;
+pub mod fleet;
 pub mod harness;
 pub mod ivd;
 pub mod json;

@@ -1,0 +1,41 @@
+//! Fleet exhibit determinism: the population is partitioned by the
+//! *shard count*, not the worker count, and shard results merge in seed
+//! order — so the report must be identical at any `--threads`.
+
+use h2priv_bench::{fleet, runner};
+
+#[test]
+fn fleet_report_is_identical_across_thread_counts() {
+    const POPULATION: u32 = 24;
+    const SHARDS: u32 = 4;
+
+    runner::set_threads(1);
+    let serial = fleet::run(POPULATION, SHARDS);
+    runner::set_threads(4);
+    let threaded = fleet::run(POPULATION, SHARDS);
+
+    // The rendered exhibit is what `repro` prints: byte-identical.
+    assert_eq!(fleet::render(&serial), fleet::render(&threaded));
+
+    // And the underlying counters (everything but wall-clock) agree.
+    for (a, b) in [
+        (&serial.baseline, &threaded.baseline),
+        (&serial.attacked, &threaded.attacked),
+    ] {
+        assert_eq!(a.events, b.events, "{} events diverged", a.label);
+        assert_eq!(
+            a.shard_events, b.shard_events,
+            "{} shard occupancy diverged",
+            a.label
+        );
+        assert_eq!(
+            a.end_time_ms, b.end_time_ms,
+            "{} sim end time diverged",
+            a.label
+        );
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.requests_complete, b.requests_complete);
+        assert_eq!(a.victim_success, b.victim_success);
+        assert_eq!(a.victim_degree, b.victim_degree);
+    }
+}

@@ -144,6 +144,19 @@ impl SharedBytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Recovers the backing `Vec` if this view is the last reference to
+    /// it, returning `self` unchanged otherwise. The recovered `Vec` is
+    /// the *whole* backing buffer regardless of the view's window — the
+    /// caller is expected to `clear()` and reuse its capacity (buffer
+    /// recycling), not to read from it.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, SharedBytes> {
+        let SharedBytes { buf, off, len } = self;
+        match Arc::try_unwrap(buf) {
+            Ok(vec) => Ok(vec),
+            Err(buf) => Err(SharedBytes { buf, off, len }),
+        }
+    }
 }
 
 impl Default for SharedBytes {

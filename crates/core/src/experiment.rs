@@ -10,7 +10,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use h2priv_analysis::{app_data_records, extract_records, segment_bursts};
+use h2priv_analysis::{app_data_records, extract_records, segment_bursts, GroundTruth, WireTrace};
 use h2priv_netsim::{Dir, SimDuration, SimRng, SimTime};
 use h2priv_testkit::{build_scenario, run_scenario, RunResult, ScenarioConfig};
 use h2priv_web::isidewith::{self, Isidewith};
@@ -195,7 +195,32 @@ pub fn analyze_trial(
     objects_of_interest: &[ObjectId],
     analysis_start: Option<SimTime>,
 ) -> TrialAnalysis {
-    let records = extract_records(&trial.result.trace);
+    analyze_capture(
+        &trial.result.trace,
+        &trial.result.truth,
+        &trial.iw,
+        trial.result.broken,
+        map,
+        objects_of_interest,
+        analysis_start,
+    )
+}
+
+/// Scores one captured connection against the golden reference, without
+/// requiring a full [`AttackTrial`] — the fleet scenario's victim capture
+/// (a wire trace plus seal-time ground truth pulled out of a population
+/// run) routes through here, as does [`analyze_trial`].
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_capture(
+    trace: &WireTrace,
+    truth: &GroundTruth,
+    iw: &Isidewith,
+    broken: bool,
+    map: &SizeMap,
+    objects_of_interest: &[ObjectId],
+    analysis_start: Option<SimTime>,
+) -> TrialAnalysis {
+    let records = extract_records(trace);
     let mut data = app_data_records(&records, Dir::RightToLeft);
     if let Some(start) = analysis_start {
         data.retain(|r| r.time >= start);
@@ -206,7 +231,7 @@ pub fn analyze_trial(
     let objects = objects_of_interest
         .iter()
         .map(|&object| {
-            let degree = trial.result.truth.min_degree_for(object);
+            let degree = truth.min_degree_for(object);
             let identified = idents.iter().any(|i| i.object == object);
             let success = identified && degree == Some(0.0);
             ObjectReport {
@@ -219,15 +244,15 @@ pub fn analyze_trial(
         .collect();
 
     // Image order prediction.
-    let image_objects: Vec<ObjectId> = trial.iw.images.to_vec();
+    let image_objects: Vec<ObjectId> = iw.images.to_vec();
     let order = predicted_order(&idents, &image_objects);
     let predicted_parties: Vec<usize> = order
         .iter()
-        .filter_map(|o| trial.iw.images.iter().position(|i| i == o))
+        .filter_map(|o| iw.images.iter().position(|i| i == o))
         .collect();
     let rank_correct: Vec<bool> = (0..8)
         .map(|rank| {
-            predicted_parties.get(rank).copied() == trial.iw.golden_order.get(rank).copied()
+            predicted_parties.get(rank).copied() == iw.golden_order.get(rank).copied()
                 && rank < predicted_parties.len()
         })
         .collect();
@@ -238,7 +263,7 @@ pub fn analyze_trial(
         predicted_parties,
         rank_correct,
         full_sequence_correct,
-        broken: trial.result.broken,
+        broken,
     }
 }
 

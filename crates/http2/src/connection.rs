@@ -317,6 +317,10 @@ pub struct H2Connection {
     output_idle: bool,
     /// Private xorshift state for [`SendPolicy::RandomOrder`].
     rand_state: u64,
+    /// Frame buffers handed back by [`H2Connection::recycle_outgoing`],
+    /// reused by [`emit`](Self::emit) so a pump loop that drains its
+    /// [`Outgoing`]s promptly sends without per-frame allocation.
+    spare_bufs: Vec<Vec<u8>>,
 
     stats: H2Stats,
 }
@@ -371,6 +375,7 @@ impl H2Connection {
             rr_cursor: 0,
             output_idle: false,
             rand_state,
+            spare_bufs: Vec::new(),
             stats: H2Stats::default(),
             config,
         }
@@ -382,6 +387,19 @@ impl H2Connection {
     /// are unchanged; only [`Outgoing::headroom`] moves.
     pub fn set_send_headroom(&mut self, headroom: usize) {
         self.send_headroom = headroom;
+    }
+
+    /// Returns an [`Outgoing`]'s frame buffer for reuse once the caller is
+    /// finished with it (sealed elsewhere, or copied onto the wire). The
+    /// next [`poll_send`](Self::poll_send) emits into a recycled buffer
+    /// instead of allocating; a small pool is kept so batched pump loops
+    /// that drain several frames before recycling still hit it.
+    pub fn recycle_outgoing(&mut self, mut buf: Vec<u8>) {
+        const MAX_SPARE_BUFS: usize = 8;
+        if self.spare_bufs.len() < MAX_SPARE_BUFS && buf.capacity() > 0 {
+            buf.clear();
+            self.spare_bufs.push(buf);
+        }
     }
 
     // ---- inspectors -------------------------------------------------------
@@ -860,7 +878,10 @@ impl H2Connection {
             }
         }
         let headroom = self.send_headroom;
-        let mut bytes = Vec::with_capacity(headroom + crate::frame::FRAME_HEADER_LEN + 64);
+        let mut bytes = self
+            .spare_bufs
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(headroom + crate::frame::FRAME_HEADER_LEN + 64));
         bytes.resize(headroom, 0);
         encode_frame_into(&mut bytes, &frame);
         let meta = OutgoingMeta::Frame {

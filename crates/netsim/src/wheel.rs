@@ -161,7 +161,10 @@ impl SchedStats {
     pub const SCHEDULER: &'static str = "wheel";
 
     /// Accumulates another run's stats into `self`: counters add, peaks
-    /// take the maximum.
+    /// take the maximum. Use this when the runs are *alternative
+    /// executions* of the same workload (sequential trials on one
+    /// scheduler): the merged peak answers "how full did a queue ever
+    /// get".
     pub fn merge(&mut self, other: &SchedStats) {
         self.near_inserts += other.near_inserts;
         self.far_inserts += other.far_inserts;
@@ -169,6 +172,24 @@ impl SchedStats {
         self.rebases += other.rebases;
         self.peak_near = self.peak_near.max(other.peak_near);
         self.peak_overflow = self.peak_overflow.max(other.peak_overflow);
+    }
+
+    /// Accumulates stats from a *concurrently resident* scheduler into
+    /// `self`: counters add, and peaks add too (saturating). Use this when
+    /// the runs are shards of one partitioned workload that exist at the
+    /// same instant — the fleet exhibit's per-shard wheels — where the
+    /// meaningful peak is the population-wide resident total, not the
+    /// fullest single shard. Without this, fleet bench JSON would report a
+    /// `sched_peak_*` an order of magnitude below the single-pair
+    /// exhibits' per-event-count equivalent and the numbers would not be
+    /// comparable.
+    pub fn merge_concurrent(&mut self, other: &SchedStats) {
+        self.near_inserts += other.near_inserts;
+        self.far_inserts += other.far_inserts;
+        self.promotions += other.promotions;
+        self.rebases += other.rebases;
+        self.peak_near = self.peak_near.saturating_add(other.peak_near);
+        self.peak_overflow = self.peak_overflow.saturating_add(other.peak_overflow);
     }
 }
 
@@ -461,6 +482,36 @@ mod tests {
         let stats = q.stats();
         assert_eq!(stats.promotions, 2);
         assert_eq!(stats.rebases, 2);
+    }
+
+    #[test]
+    fn merge_peaks_max_but_concurrent_peaks_sum() {
+        let shard = |peak_near, peak_overflow| SchedStats {
+            near_inserts: 10,
+            far_inserts: 2,
+            promotions: 1,
+            rebases: 1,
+            peak_near,
+            peak_overflow,
+        };
+        let mut sequential = SchedStats::default();
+        sequential.merge(&shard(100, 5));
+        sequential.merge(&shard(40, 8));
+        assert_eq!(sequential.near_inserts, 20);
+        assert_eq!(sequential.peak_near, 100);
+        assert_eq!(sequential.peak_overflow, 8);
+
+        let mut concurrent = SchedStats::default();
+        concurrent.merge_concurrent(&shard(100, 5));
+        concurrent.merge_concurrent(&shard(40, 8));
+        assert_eq!(concurrent.near_inserts, 20);
+        assert_eq!(concurrent.peak_near, 140);
+        assert_eq!(concurrent.peak_overflow, 13);
+
+        // Saturates rather than wrapping.
+        concurrent.merge_concurrent(&shard(u64::MAX, u64::MAX));
+        assert_eq!(concurrent.peak_near, u64::MAX);
+        assert_eq!(concurrent.peak_overflow, u64::MAX);
     }
 
     #[test]

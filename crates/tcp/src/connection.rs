@@ -415,6 +415,20 @@ impl TcpConnection {
         self.reassembler.read()
     }
 
+    /// Drains bytes received in order into `out` (appending), reusing the
+    /// caller's buffer. See [`Reassembler::read_into`].
+    pub fn read_into(&mut self, out: &mut Vec<u8>) {
+        self.reassembler.read_into(out);
+    }
+
+    /// Takes the send buffer's recycled chunk backing buffer, if one was
+    /// recovered when an acknowledgment released it (empty, capacity
+    /// intact). Senders that queue one coalesced buffer per pump pass get
+    /// their previous buffer back here and reuse it for the next pass.
+    pub fn take_send_spare(&mut self) -> Option<Vec<u8>> {
+        self.send_buf.take_spare()
+    }
+
     /// Bytes received in order and not yet drained by [`read`](Self::read).
     pub fn available(&self) -> usize {
         self.reassembler.ready_len()

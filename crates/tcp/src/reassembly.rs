@@ -157,6 +157,16 @@ impl Reassembler {
         self.next_offset += out.len() as u64;
         out
     }
+
+    /// Drains all in-order bytes into `out` (appending), reusing the
+    /// caller's buffer instead of surrendering the internal one. The
+    /// batched host path calls this with one shared scratch buffer per
+    /// shard, so draining N hosts costs zero steady-state allocations.
+    pub fn read_into(&mut self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ready);
+        self.next_offset += self.ready.len() as u64;
+        self.ready.clear();
+    }
 }
 
 #[cfg(test)]

@@ -28,6 +28,11 @@ pub(crate) struct SendRope {
     base: u64,
     /// Stream length: every byte ever pushed lives at `[0, total)`.
     total: u64,
+    /// One fully-acknowledged chunk's backing buffer, recovered for reuse.
+    /// Senders that queue one coalesced buffer per pump pass (the batched
+    /// host path) get their previous buffer back once it is acked, so the
+    /// steady-state write path recycles instead of allocating.
+    spare: Option<Vec<u8>>,
 }
 
 impl SendRope {
@@ -118,8 +123,22 @@ impl SendRope {
                 break;
             }
             self.base = front_end;
-            self.chunks.pop_front();
+            let chunk = self.chunks.pop_front().expect("front exists");
+            // Reclaim the backing buffer when nothing else (in-flight
+            // segment payloads, wire taps) still references it.
+            if self.spare.is_none() {
+                if let Ok(mut vec) = chunk.try_into_vec() {
+                    vec.clear();
+                    self.spare = Some(vec);
+                }
+            }
         }
+    }
+
+    /// Takes the recycled buffer recovered from the most recently released
+    /// chunk, if any. The buffer is empty with its capacity intact.
+    pub(crate) fn take_spare(&mut self) -> Option<Vec<u8>> {
+        self.spare.take()
     }
 }
 
@@ -209,5 +228,27 @@ mod tests {
     #[should_panic(expected = "outside retained range")]
     fn slice_past_total_panics() {
         rope_of(&[b"abc"]).slice(1, 4);
+    }
+
+    #[test]
+    fn released_unique_chunk_is_recycled() {
+        let mut rope = SendRope::new();
+        rope.push(SharedBytes::from_vec(vec![7u8; 64]));
+        assert!(rope.take_spare().is_none());
+        rope.release_until(64);
+        let spare = rope.take_spare().expect("unique chunk recovered");
+        assert!(spare.is_empty());
+        assert!(spare.capacity() >= 64);
+        assert!(rope.take_spare().is_none(), "spare is taken once");
+    }
+
+    #[test]
+    fn shared_chunk_is_not_recycled() {
+        let mut rope = SendRope::new();
+        let chunk = SharedBytes::from_vec(vec![7u8; 64]);
+        let _tap = chunk.clone();
+        rope.push(chunk);
+        rope.release_until(64);
+        assert!(rope.take_spare().is_none(), "still referenced elsewhere");
     }
 }

@@ -1,0 +1,926 @@
+//! Fleet-scale population scenario: N client–server pairs per run.
+//!
+//! The single-pair scenario ([`crate::run_trial`]) models one volunteer
+//! loading one page through the lab gateway. This module scales that to a
+//! *population*: `N` independent client–server pairs (thousands to
+//! hundreds of thousands) sharing a bottleneck gateway link, partitioned
+//! into shards by a deterministic hash of the pair id. Each shard is its
+//! own [`Simulator`] — sharding is what lets a driver run shards on
+//! separate OS threads — and shard construction depends only on
+//! `(seed, shard)`, so results are byte-identical however many threads
+//! execute them. Merging is seed-ordered: [`merge_shards`] sorts by shard
+//! id before folding stats.
+//!
+//! Within a shard, hosts do not get one netsim node each. A [`HostArena`]
+//! holds every [`HostCore`] of one side (all clients, or all servers) in a
+//! slab behind a *single* node, routes packets to cores by the pair id
+//! carried in [`FleetSegment`], and batches the pump: packet deliveries
+//! only mark a core dirty, and one zero-delay timer per burst drains every
+//! dirty core with the arena's one shared [`PumpScratch`] — the ISSUE's
+//! amortized host path. Protocol deadlines (TCP RTO, browser stalls,
+//! server workers) go through one binary heap with lazy deletion and a
+//! single armed netsim timer, instead of two timers per host.
+//!
+//! The paper's attack drops into this unchanged: pair 0 is the *victim*,
+//! and the [`FleetGateway`] runs an ordinary [`Middlebox`] chain
+//! (adversary, wire tap, conformance tap) over the victim's packets only,
+//! with per-pair shaping state replicating [`GatewayNode`]'s egress
+//! serializer. Bystander pairs contend on the shared links but are not
+//! captured — recording per-byte ground truth for 100k pairs would dwarf
+//! the simulation, so only the victim carries a [`GroundTruth`].
+//!
+//! [`GatewayNode`]: h2priv_netsim::GatewayNode
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use h2priv_analysis::{GroundTruth, WireTrace};
+use h2priv_bytes::FxHashMap;
+use h2priv_conformance::{ConformanceTap, Violation, ViolationSink};
+use h2priv_netsim::{
+    Context, Dir, GatewayStats, LinkConfig, MbContext, Middlebox, Node, NodeId, Packet, SchedStats,
+    SimDuration, SimRng, SimTime, Simulator, StopReason, TimerId, Verdict,
+};
+use h2priv_tcp::{Seq, TcpSegment};
+use h2priv_web::{isidewith, Browser, RequestOutcome, SiteServer};
+
+use crate::host::{App, HostCore, HostOracle, PumpScratch};
+use crate::scenario::ScenarioConfig;
+use crate::tap::WireTap;
+
+/// The pair carrying the paper's attack instrumentation.
+pub const VICTIM_PAIR: u32 = 0;
+
+/// One TCP segment of one population pair. The pair id is the connection
+/// identity: arenas demux on it, the gateway selects per-pair middlebox
+/// chains on it.
+#[derive(Debug, Clone)]
+pub struct FleetSegment {
+    /// Which client–server pair this segment belongs to.
+    pub pair: u32,
+    /// The segment itself.
+    pub seg: TcpSegment,
+}
+
+/// How much of the fleet the conformance oracle watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConformance {
+    /// No checking (benchmark mode).
+    Off,
+    /// The victim plus every 97th pair get endpoint checkers and a wire
+    /// tap — constant-fraction coverage that stays affordable at 100k
+    /// pairs.
+    Spot,
+    /// Every pair is checked. Meant for small populations.
+    Full,
+}
+
+impl FleetConformance {
+    /// The mode the acceptance criteria ask for at a given population:
+    /// full checking up to 100 pairs, spot checks beyond.
+    pub fn for_population(population: u32) -> FleetConformance {
+        if population <= 100 {
+            FleetConformance::Full
+        } else {
+            FleetConformance::Spot
+        }
+    }
+
+    fn checks(self, pair: u32) -> bool {
+        match self {
+            FleetConformance::Off => false,
+            FleetConformance::Spot => pair == VICTIM_PAIR || pair.is_multiple_of(97),
+            FleetConformance::Full => true,
+        }
+    }
+}
+
+/// Everything configurable about one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Run seed; drives every per-pair RNG and the per-shard engines.
+    pub seed: u64,
+    /// Number of client–server pairs.
+    pub population: u32,
+    /// Number of shards (independent simulators). Fixed by configuration,
+    /// *not* by the executing thread count — that is what keeps output
+    /// byte-identical at any `--threads`.
+    pub shards: u32,
+    /// Conformance coverage.
+    pub conformance: FleetConformance,
+    /// Client start times are staggered uniformly over this window, so a
+    /// population does not fire 100k simultaneous handshakes.
+    pub start_spread: SimDuration,
+    /// Hard cap on simulated time per shard.
+    pub deadline: SimDuration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0,
+            population: 1_000,
+            shards: 8,
+            conformance: FleetConformance::Off,
+            start_spread: SimDuration::from_secs(5),
+            deadline: crate::calib::TRIAL_DEADLINE,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(salt))
+}
+
+/// Deterministic pair → shard assignment (independent of thread count).
+pub fn shard_of_pair(pair: u32, shards: u32) -> u32 {
+    (splitmix64(pair as u64) % shards.max(1) as u64) as u32
+}
+
+/// The shard holding the victim pair.
+pub fn victim_shard(config: &FleetConfig) -> u32 {
+    shard_of_pair(VICTIM_PAIR, config.shards)
+}
+
+/// The victim's survey outcome — the permutation the adversary tries to
+/// recover. Deterministic in the seed so the driver can rebuild the same
+/// [`isidewith`] site for scoring.
+pub fn victim_golden_order(seed: u64) -> Vec<usize> {
+    SimRng::seed_from(mix(seed, 0x601D)).permutation(8)
+}
+
+fn bystander_golden_order(seed: u64) -> Vec<usize> {
+    SimRng::seed_from(mix(seed, 0xB5D7)).permutation(8)
+}
+
+// ---------------------------------------------------------------------------
+// Host arena
+// ---------------------------------------------------------------------------
+
+const TOKEN_BATCH: u64 = 0;
+const TOKEN_DUE: u64 = 1;
+
+struct Slot {
+    pair: u32,
+    core: HostCore,
+    /// When this (client) core opens its connection.
+    start_at: SimTime,
+    started: bool,
+    /// Page load finished (client: browser done and send buffer drained,
+    /// or the connection died).
+    finished: bool,
+    finished_at: SimTime,
+}
+
+/// A slab of [`HostCore`]s of one side (all clients or all servers) behind
+/// a single netsim node.
+pub struct HostArena {
+    is_client: bool,
+    /// The opposite arena's node id (packet destination).
+    peer: NodeId,
+    slots: Vec<Slot>,
+    by_pair: FxHashMap<u32, u32>,
+    /// Slots touched since the last batch pump, in touch order.
+    dirty: Vec<u32>,
+    is_dirty: Vec<bool>,
+    /// Pending per-core deadlines, lazily deleted: a popped entry whose
+    /// core has since moved its deadline is just a cheap no-op pump.
+    due: BinaryHeap<Reverse<(SimTime, u32)>>,
+    due_timer: Option<(TimerId, SimTime)>,
+    batch_armed: bool,
+    /// The shared scratch: one decrypt/seal workspace for every core in
+    /// the shard's arena, instead of per-host buffers.
+    scratch: PumpScratch,
+    finished_count: usize,
+}
+
+impl std::fmt::Debug for HostArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostArena")
+            .field("is_client", &self.is_client)
+            .field("slots", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HostArena {
+    fn new(is_client: bool, peer: NodeId) -> Self {
+        HostArena {
+            is_client,
+            peer,
+            slots: Vec::new(),
+            by_pair: FxHashMap::default(),
+            dirty: Vec::new(),
+            is_dirty: Vec::new(),
+            due: BinaryHeap::new(),
+            due_timer: None,
+            batch_armed: false,
+            scratch: PumpScratch::default(),
+            finished_count: 0,
+        }
+    }
+
+    fn add(&mut self, pair: u32, core: HostCore, start_at: SimTime) {
+        let idx = self.slots.len() as u32;
+        self.by_pair.insert(pair, idx);
+        self.is_dirty.push(false);
+        self.slots.push(Slot {
+            pair,
+            core,
+            start_at,
+            started: false,
+            finished: false,
+            finished_at: SimTime::ZERO,
+        });
+    }
+
+    fn mark_dirty(&mut self, idx: u32) {
+        if !self.is_dirty[idx as usize] {
+            self.is_dirty[idx as usize] = true;
+            self.dirty.push(idx);
+        }
+    }
+
+    fn arm_batch(&mut self, ctx: &mut Context<'_, FleetSegment>) {
+        if !self.batch_armed {
+            self.batch_armed = true;
+            ctx.set_timer(SimDuration::ZERO, TOKEN_BATCH);
+        }
+    }
+
+    /// Drains every dirty core: stage passes with the shared scratch, then
+    /// the TCP flush routed to the peer arena, then deadline bookkeeping.
+    fn pump_dirty(&mut self, ctx: &mut Context<'_, FleetSegment>) {
+        let now = ctx.now();
+        let self_id = ctx.node_id();
+        let peer = self.peer;
+        for i in 0..self.dirty.len() {
+            let idx = self.dirty[i];
+            self.is_dirty[idx as usize] = false;
+            let slot = &mut self.slots[idx as usize];
+            slot.core.pump_stages(now, &mut self.scratch);
+            let pair = slot.pair;
+            slot.core.flush_transmit(now, |seg| {
+                let wire_bytes = seg.wire_bytes();
+                ctx.send(Packet::new(
+                    self_id,
+                    peer,
+                    wire_bytes,
+                    FleetSegment { pair, seg },
+                ));
+            });
+            if !slot.finished {
+                let done = slot.core.dead
+                    || (self.is_client
+                        && matches!(&slot.core.app, App::Client(b) if b.is_done())
+                        && slot.core.tcp.send_drained());
+                if done {
+                    slot.finished = true;
+                    slot.finished_at = now;
+                    self.finished_count += 1;
+                }
+            }
+            if !slot.core.dead {
+                let next = match (slot.core.tcp.poll_timeout(), slot.core.app_wakeup()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if let Some(at) = next {
+                    self.due.push(Reverse((at, idx)));
+                }
+            }
+        }
+        self.dirty.clear();
+        // The whole fleet is done when every client finished; the clients'
+        // arena halts the shard (mirroring the single-pair host's
+        // halt-when-done), which also releases idle-connection timers.
+        if self.is_client && !self.slots.is_empty() && self.finished_count == self.slots.len() {
+            ctx.halt();
+        }
+        self.rearm_due(ctx);
+    }
+
+    fn rearm_due(&mut self, ctx: &mut Context<'_, FleetSegment>) {
+        let target = self.due.peek().map(|Reverse((at, _))| *at);
+        match (target, self.due_timer) {
+            (Some(at), Some((_, armed))) if at == armed => {}
+            (Some(at), prev) => {
+                if let Some((id, _)) = prev {
+                    ctx.cancel_timer(id);
+                }
+                let id = ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_DUE);
+                self.due_timer = Some((id, at));
+            }
+            (None, Some((id, _))) => {
+                ctx.cancel_timer(id);
+                self.due_timer = None;
+            }
+            (None, None) => {}
+        }
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, FleetSegment>) {
+        if self.is_client {
+            for (idx, slot) in self.slots.iter().enumerate() {
+                self.due.push(Reverse((slot.start_at, idx as u32)));
+            }
+        }
+        self.rearm_due(ctx);
+    }
+
+    fn on_packet(&mut self, packet: Packet<FleetSegment>, ctx: &mut Context<'_, FleetSegment>) {
+        let Some(&idx) = self.by_pair.get(&packet.payload.pair) else {
+            return;
+        };
+        self.slots[idx as usize]
+            .core
+            .tcp
+            .on_segment(packet.payload.seg, ctx.now());
+        self.mark_dirty(idx);
+        self.arm_batch(ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, FleetSegment>) {
+        let now = ctx.now();
+        if token == TOKEN_BATCH {
+            self.batch_armed = false;
+        } else {
+            self.due_timer = None;
+            while let Some(&Reverse((at, idx))) = self.due.peek() {
+                if at > now {
+                    break;
+                }
+                self.due.pop();
+                let slot = &mut self.slots[idx as usize];
+                if !slot.started && slot.start_at <= now {
+                    slot.started = true;
+                    slot.core.begin();
+                }
+                // The RTO check the single-pair host runs on its TCP timer;
+                // a no-op when no deadline actually expired (lazy entries).
+                slot.core.tcp.on_tick(now);
+                self.mark_dirty(idx);
+            }
+        }
+        self.pump_dirty(ctx);
+    }
+}
+
+/// Thin node shell so the driver keeps an `Rc` handle for post-run
+/// extraction while the simulator owns the node slot.
+struct ArenaNode(Rc<RefCell<HostArena>>);
+
+impl Node<FleetSegment> for ArenaNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, FleetSegment>) {
+        self.0.borrow_mut().on_start(ctx);
+    }
+
+    fn on_packet(&mut self, packet: Packet<FleetSegment>, ctx: &mut Context<'_, FleetSegment>) {
+        self.0.borrow_mut().on_packet(packet, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, FleetSegment>) {
+        self.0.borrow_mut().on_timer(token, ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gateway
+// ---------------------------------------------------------------------------
+
+struct PairChain {
+    chain: Vec<Box<dyn Middlebox<TcpSegment>>>,
+    shaping: h2priv_netsim::ShapingState,
+    busy: [SimTime; 2],
+}
+
+/// The shared gateway: bridges the two arenas, forwards every pair's
+/// traffic, and runs a per-pair middlebox chain (adversary, taps) for the
+/// instrumented pairs with [`GatewayNode`]-equivalent hold/shape/drop
+/// semantics.
+///
+/// [`GatewayNode`]: h2priv_netsim::GatewayNode
+pub struct FleetGateway {
+    left: NodeId,
+    chains: FxHashMap<u32, PairChain>,
+    stats: GatewayStats,
+}
+
+impl std::fmt::Debug for FleetGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetGateway")
+            .field("chains", &self.chains.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FleetGateway {
+    fn new(left: NodeId) -> Self {
+        FleetGateway {
+            left,
+            chains: FxHashMap::default(),
+            stats: GatewayStats::default(),
+        }
+    }
+
+    fn add_chain(&mut self, pair: u32, chain: Vec<Box<dyn Middlebox<TcpSegment>>>) {
+        self.chains.insert(
+            pair,
+            PairChain {
+                chain,
+                shaping: h2priv_netsim::ShapingState::default(),
+                busy: [SimTime::ZERO; 2],
+            },
+        );
+    }
+}
+
+impl Node<FleetSegment> for FleetGateway {
+    fn on_packet(&mut self, packet: Packet<FleetSegment>, ctx: &mut Context<'_, FleetSegment>) {
+        let dir = if packet.src == self.left {
+            Dir::LeftToRight
+        } else {
+            Dir::RightToLeft
+        };
+        let mut hold = SimDuration::ZERO;
+        let mut shaping = SimDuration::ZERO;
+        if let Some(pc) = self.chains.get_mut(&packet.payload.pair) {
+            // Middleboxes are written against Packet<TcpSegment>; give them
+            // a view of this packet (the segment's payload is shared bytes,
+            // so the clone is a refcount bump, not a copy).
+            let view = Packet {
+                src: packet.src,
+                dst: packet.dst,
+                wire_bytes: packet.wire_bytes,
+                id: packet.id,
+                payload: packet.payload.seg.clone(),
+            };
+            let now = ctx.now();
+            let mut dropped = false;
+            {
+                let mut mb_ctx = MbContext {
+                    now,
+                    dir,
+                    rng: ctx.rng(),
+                    shaping: &mut pc.shaping,
+                };
+                for mb in &mut pc.chain {
+                    match mb.process(&view, &mut mb_ctx) {
+                        Verdict::Forward => {}
+                        Verdict::Hold(d) => hold += d,
+                        Verdict::Drop => {
+                            dropped = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if dropped {
+                self.stats.dropped[dir.index()] += 1;
+                return;
+            }
+            if !hold.is_zero() {
+                self.stats.held[dir.index()] += 1;
+            }
+            // Same rule as GatewayNode: held packets are already paced by
+            // their hold and bypass the per-pair egress serializer.
+            if hold.is_zero() {
+                if let Some(rate) = pc.shaping.rate(dir) {
+                    let cfg = LinkConfig::default().bandwidth(rate);
+                    let start = now.max(pc.busy[dir.index()]);
+                    let departure = start + cfg.serialization_time(packet.wire_bytes);
+                    pc.busy[dir.index()] = departure;
+                    shaping = departure - now;
+                }
+            }
+        }
+        self.stats.forwarded[dir.index()] += 1;
+        ctx.send_after(hold + shaping, packet);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard driver
+// ---------------------------------------------------------------------------
+
+/// The victim pair's attack-relevant capture, present in exactly one
+/// shard's result.
+#[derive(Debug, Clone)]
+pub struct VictimCapture {
+    /// The preference order the site was built for (what the adversary
+    /// tries to recover).
+    pub golden_order: Vec<usize>,
+    /// The gateway tap's capture of the victim's traffic.
+    pub trace: WireTrace,
+    /// Seal-time ground truth from the victim's server.
+    pub truth: GroundTruth,
+    /// Per-request browser outcomes.
+    pub outcomes: Vec<RequestOutcome>,
+    /// The victim's connection died.
+    pub broken: bool,
+}
+
+/// One shard's merged outcome.
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Which shard this is.
+    pub shard: u32,
+    /// Pairs simulated in this shard.
+    pub pairs: u32,
+    /// Why the shard's run stopped.
+    pub stop: StopReason,
+    /// Events the shard's engine processed.
+    pub events: u64,
+    /// Simulated end time of the shard.
+    pub end_time: SimTime,
+    /// The shard engine's scheduler counters.
+    pub sched: SchedStats,
+    /// Pairs whose page load completed (browser done, connection alive).
+    pub completed: u32,
+    /// Pairs whose connection died on either side.
+    pub broken: u32,
+    /// Total page-object requests issued across the shard's clients.
+    pub requests: u64,
+    /// Requests that completed.
+    pub requests_complete: u64,
+    /// Victim capture, when the victim pair lives in this shard.
+    pub victim: Option<VictimCapture>,
+    /// Stored conformance violations (empty when checking is off).
+    pub violations: Vec<Violation>,
+    /// Total violations reported, including past the storage cap.
+    pub violations_total: u64,
+}
+
+/// Seed-ordered merge of all shards.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Pairs simulated.
+    pub population: u32,
+    /// Shards merged.
+    pub shards: u32,
+    /// Total events across shards.
+    pub events: u64,
+    /// Per-shard event counts, shard order (occupancy reporting).
+    pub shard_events: Vec<u64>,
+    /// Scheduler counters summed as concurrently-resident shards
+    /// ([`SchedStats::merge_concurrent`]: peaks add, they don't max).
+    pub sched: SchedStats,
+    /// Summed simulated end times (saturating — the overflow guard for
+    /// very large fleets).
+    pub sim_time_total: SimTime,
+    /// Latest shard end time.
+    pub end_time_max: SimTime,
+    /// Pairs whose page load completed.
+    pub completed: u32,
+    /// Pairs whose connection died.
+    pub broken: u32,
+    /// Requests issued across the population.
+    pub requests: u64,
+    /// Requests completed.
+    pub requests_complete: u64,
+    /// The victim capture (exactly one shard produces it).
+    pub victim: Option<VictimCapture>,
+    /// Stored violations across shards.
+    pub violations: Vec<Violation>,
+    /// Total violations across shards.
+    pub violations_total: u64,
+}
+
+/// Runs one shard of the fleet. `adversary` (if any) is installed on the
+/// victim pair's gateway chain; pass it only to [`victim_shard`]'s call.
+///
+/// Deterministic in `(config, shard)` — a shard neither knows nor cares
+/// which thread runs it.
+pub fn run_fleet_shard(
+    config: &FleetConfig,
+    shard: u32,
+    mut adversary: Option<Box<dyn Middlebox<TcpSegment>>>,
+) -> ShardResult {
+    let shards = config.shards.max(1);
+    let pairs: Vec<u32> = (0..config.population)
+        .filter(|&p| shard_of_pair(p, shards) == shard)
+        .collect();
+    let scen = ScenarioConfig::default();
+
+    let mut sim: Simulator<FleetSegment> = Simulator::new(mix(config.seed, 0xE6E1 ^ shard as u64));
+    let client_arena_id = sim.reserve_node_id();
+    let gateway_id = sim.reserve_node_id();
+    let server_arena_id = sim.reserve_node_id();
+
+    let victim_here = pairs.contains(&VICTIM_PAIR);
+    let victim_golden = victim_golden_order(config.seed);
+    let victim_site = victim_here.then(|| isidewith::build(&victim_golden));
+    let bystander_site = isidewith::build(&bystander_golden_order(config.seed));
+
+    let trace = Rc::new(RefCell::new(WireTrace::new()));
+    let truth = Rc::new(RefCell::new(GroundTruth::new()));
+    let sink = (config.conformance != FleetConformance::Off).then(ViolationSink::new);
+
+    let mut clients = HostArena::new(true, server_arena_id);
+    let mut servers = HostArena::new(false, client_arena_id);
+    let mut gateway = FleetGateway::new(client_arena_id);
+
+    let spread_us = config.start_spread.as_micros();
+    for &pair in &pairs {
+        let mut pair_rng = SimRng::seed_from(mix(config.seed, 0xFA11 ^ pair as u64));
+        let is_victim = pair == VICTIM_PAIR;
+        let iside = if is_victim {
+            victim_site
+                .as_ref()
+                .expect("victim site built for its shard")
+        } else {
+            &bystander_site
+        };
+        let browser = Browser::new(
+            &iside.site,
+            iside.plan.clone(),
+            scen.browser.clone(),
+            pair_rng.fork(),
+        );
+        let session_key = 0x5EC0_0D5E ^ mix(config.seed, pair as u64);
+        let mut client_core = HostCore::new_client(
+            server_arena_id,
+            browser,
+            scen.tcp.clone(),
+            scen.client_h2.clone(),
+            session_key,
+            "www.isidewith.com".into(),
+            None,
+            scen.socket_buffer,
+        );
+        // Fleet completion is tracked per slot; no single client may halt
+        // the whole shard.
+        client_core.halt_when_done = false;
+
+        let server_app = SiteServer::new(iside.site.clone(), scen.server.clone(), pair_rng.fork());
+        let mut server_tcp = scen.tcp.clone();
+        server_tcp.iss = Seq(700_000);
+        let mut server_core = HostCore::new_server(
+            client_arena_id,
+            server_app,
+            server_tcp,
+            scen.server_h2.clone(),
+            session_key,
+            is_victim.then(|| truth.clone()),
+            scen.socket_buffer,
+        );
+
+        let mut chain: Vec<Box<dyn Middlebox<TcpSegment>>> = Vec::new();
+        if is_victim {
+            if let Some(adv) = adversary.take() {
+                chain.push(adv);
+            }
+            chain.push(Box::new(WireTap::new(trace.clone())));
+        }
+        if let Some(sink) = &sink {
+            if config.conformance.checks(pair) {
+                client_core.set_oracle(HostOracle::new("client", true, sink.clone()));
+                server_core.set_oracle(HostOracle::new("server", false, sink.clone()));
+                chain.push(Box::new(ConformanceTap::new(sink.clone())));
+            }
+        }
+        if !chain.is_empty() {
+            gateway.add_chain(pair, chain);
+        }
+
+        let start_at = SimTime::ZERO
+            + SimDuration::from_micros(if spread_us == 0 {
+                0
+            } else {
+                pair_rng.gen_range_u64(0..spread_us)
+            });
+        clients.add(pair, client_core, start_at);
+        servers.add(pair, server_core, SimTime::ZERO);
+    }
+
+    // Shared links: capacity scales with the pairs sharing them, so the
+    // per-pair share matches the single-pair calibration on average while
+    // FIFO serialization still couples the flows (the contention the
+    // population exists to model).
+    let n = pairs.len().max(1) as u64;
+    let access = LinkConfig::with_delay(crate::calib::CLIENT_GW_DELAY)
+        .bandwidth(crate::calib::LINK_BANDWIDTH * n);
+    let wan = LinkConfig::with_delay(crate::calib::GW_SERVER_DELAY)
+        .bandwidth(crate::calib::WAN_BANDWIDTH * n)
+        .queue_limit(crate::calib::WAN_QUEUE_BYTES * n)
+        .loss(crate::calib::WAN_LOSS)
+        .jitter(crate::calib::natural_jitter());
+
+    let clients = Rc::new(RefCell::new(clients));
+    let servers = Rc::new(RefCell::new(servers));
+    sim.install_node(client_arena_id, Box::new(ArenaNode(clients.clone())));
+    sim.install_node(gateway_id, Box::new(gateway));
+    sim.install_node(server_arena_id, Box::new(ArenaNode(servers.clone())));
+    sim.add_link(client_arena_id, gateway_id, access);
+    sim.add_link(gateway_id, server_arena_id, wan);
+    // Scale the livelock safety valve with the population: one page load
+    // is ~60k events, so this only trips on a genuinely stuck protocol.
+    sim.set_event_budget((pairs.len() as u64) * 2_000_000 + 10_000_000);
+
+    let summary = sim.run_until(SimTime::ZERO + config.deadline);
+    let sched = sim.sched_stats();
+
+    let clients = clients.borrow();
+    let servers = servers.borrow();
+    let mut completed = 0u32;
+    let mut broken = 0u32;
+    let mut requests = 0u64;
+    let mut requests_complete = 0u64;
+    let mut victim = None;
+    for slot in &clients.slots {
+        let server_dead = servers
+            .by_pair
+            .get(&slot.pair)
+            .map(|&i| servers.slots[i as usize].core.dead)
+            .unwrap_or(false);
+        let dead = slot.core.dead || server_dead;
+        if dead {
+            broken += 1;
+        } else if slot.finished {
+            completed += 1;
+        }
+        let outcomes = slot.core.browser().outcomes();
+        requests += outcomes.len() as u64;
+        requests_complete += outcomes.iter().filter(|o| o.completed_at.is_some()).count() as u64;
+        if slot.pair == VICTIM_PAIR {
+            victim = Some(VictimCapture {
+                golden_order: victim_golden.clone(),
+                trace: std::mem::replace(&mut *trace.borrow_mut(), WireTrace::new()),
+                truth: std::mem::replace(&mut *truth.borrow_mut(), GroundTruth::new()),
+                outcomes,
+                broken: dead,
+            });
+        }
+    }
+    let (violations, violations_total) = match &sink {
+        Some(sink) => (sink.take(), sink.total()),
+        None => (Vec::new(), 0),
+    };
+    ShardResult {
+        shard,
+        pairs: pairs.len() as u32,
+        stop: summary.stop,
+        events: summary.events,
+        end_time: summary.end_time,
+        sched,
+        completed,
+        broken,
+        requests,
+        requests_complete,
+        victim,
+        violations,
+        violations_total,
+    }
+}
+
+/// Merges shard results in shard order (seed order), independent of the
+/// order the shards actually finished in — the other half of the
+/// any-thread-count determinism guarantee.
+pub fn merge_shards(population: u32, shards: u32, mut results: Vec<ShardResult>) -> FleetResult {
+    results.sort_by_key(|s| s.shard);
+    let mut out = FleetResult {
+        population,
+        shards,
+        events: 0,
+        shard_events: Vec::with_capacity(results.len()),
+        sched: SchedStats::default(),
+        sim_time_total: SimTime::ZERO,
+        end_time_max: SimTime::ZERO,
+        completed: 0,
+        broken: 0,
+        requests: 0,
+        requests_complete: 0,
+        victim: None,
+        violations: Vec::new(),
+        violations_total: 0,
+    };
+    for s in results {
+        out.events += s.events;
+        out.shard_events.push(s.events);
+        out.sched.merge_concurrent(&s.sched);
+        out.sim_time_total = out.sim_time_total.saturating_merge(s.end_time);
+        out.end_time_max = out.end_time_max.max(s.end_time);
+        out.completed += s.completed;
+        out.broken += s.broken;
+        out.requests += s.requests;
+        out.requests_complete += s.requests_complete;
+        if s.victim.is_some() {
+            out.victim = s.victim;
+        }
+        out.violations.extend(s.violations);
+        out.violations_total += s.violations_total;
+    }
+    out
+}
+
+/// Convenience: runs every shard sequentially on the calling thread.
+/// `make_adversary` is called once with the victim shard's id.
+pub fn run_fleet(
+    config: &FleetConfig,
+    make_adversary: impl FnOnce() -> Option<Box<dyn Middlebox<TcpSegment>>>,
+) -> FleetResult {
+    let shards = config.shards.max(1);
+    let vs = victim_shard(config);
+    let mut make_adversary = Some(make_adversary);
+    let mut results = Vec::with_capacity(shards as usize);
+    for shard in 0..shards {
+        let adversary = if shard == vs {
+            make_adversary.take().and_then(|f| f())
+        } else {
+            None
+        };
+        results.push(run_fleet_shard(config, shard, adversary));
+    }
+    merge_shards(config.population, shards, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            seed: 11,
+            population: 8,
+            shards: 2,
+            conformance: FleetConformance::Full,
+            start_spread: SimDuration::from_millis(200),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_fleet_completes_clean() {
+        let result = run_fleet(&small_config(), || None);
+        assert_eq!(result.completed + result.broken, 8);
+        assert_eq!(result.broken, 0, "no connection should die unperturbed");
+        assert_eq!(result.violations_total, 0, "{:?}", result.violations);
+        let victim = result.victim.expect("victim capture present");
+        assert!(!victim.trace.packets.is_empty());
+        assert!(!victim.outcomes.is_empty());
+        assert!(victim.outcomes.iter().all(|o| o.completed_at.is_some()));
+        assert!(!victim.broken);
+        assert!(result.requests_complete == result.requests && result.requests >= 8 * 9);
+    }
+
+    #[test]
+    fn shard_runs_are_deterministic() {
+        let config = small_config();
+        let a = run_fleet_shard(&config, 0, None);
+        let b = run_fleet_shard(&config, 0, None);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.sched, b.sched);
+        assert_eq!(
+            (a.completed, a.broken, a.requests, a.requests_complete),
+            (b.completed, b.broken, b.requests, b.requests_complete)
+        );
+    }
+
+    #[test]
+    fn merge_order_is_shard_order_not_finish_order() {
+        let config = small_config();
+        let fwd = merge_shards(
+            config.population,
+            config.shards,
+            (0..config.shards)
+                .map(|s| run_fleet_shard(&config, s, None))
+                .collect(),
+        );
+        let rev = merge_shards(
+            config.population,
+            config.shards,
+            (0..config.shards)
+                .rev()
+                .map(|s| run_fleet_shard(&config, s, None))
+                .collect(),
+        );
+        assert_eq!(fwd.events, rev.events);
+        assert_eq!(fwd.shard_events, rev.shard_events);
+        assert_eq!(fwd.sched, rev.sched);
+        assert_eq!(fwd.sim_time_total, rev.sim_time_total);
+        assert_eq!(fwd.completed, rev.completed);
+    }
+
+    #[test]
+    fn pairs_spread_over_shards() {
+        let shards = 8;
+        let mut counts = vec![0u32; shards as usize];
+        for pair in 0..10_000 {
+            counts[shard_of_pair(pair, shards) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((1_000..1_600).contains(&c), "lopsided shard: {counts:?}");
+        }
+    }
+}

@@ -6,23 +6,50 @@
 //! every packet and timer event. The server host additionally annotates,
 //! at TLS-seal time, which TCP byte ranges carry which response's frames —
 //! the [`GroundTruth`] used to score the attack.
+//!
+//! The pump itself lives on [`HostCore`] and is split into two stages —
+//! [`HostCore::pump_stages`] (inbound → app → outbound) and
+//! [`HostCore::flush_transmit`] (drain TCP segments) — so the fleet
+//! scenario's [`HostArena`](crate::fleet) can batch-pump thousands of
+//! cores with one shared [`PumpScratch`] per shard while the single-pair
+//! [`Host`] node keeps its own.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use h2priv_analysis::GroundTruth;
-use h2priv_bytes::FxHashMap;
+use h2priv_bytes::{FxHashMap, SharedBytes};
 use h2priv_conformance::{H2LedgerChecker, TcpEndpointChecker, ViolationSink};
 use h2priv_http2::{
     ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId,
 };
 use h2priv_netsim::{Context, Node, NodeId, Packet, SimTime, TimerId};
 use h2priv_tcp::{AbortReason, TcpConfig, TcpConnection, TcpSegment, TcpStats};
-use h2priv_tls::{Role, TlsSession, MAX_PLAINTEXT, RECORD_PREFIX};
+use h2priv_tls::{Role, TlsSession};
 use h2priv_web::{Browser, BrowserCmd, ObjectId, SiteServer};
 
 const TOKEN_TCP: u64 = 0;
 const TOKEN_APP: u64 = 1;
+
+/// Reusable scratch buffers threaded through one pump pass.
+///
+/// One instance serves arbitrarily many [`HostCore`]s: the single-pair
+/// [`Host`] owns one, and the fleet arena owns one *per shard*, shared
+/// across every host in the shard. Draining N hosts therefore costs zero
+/// steady-state allocations instead of N per-host buffers.
+#[derive(Debug, Default)]
+pub(crate) struct PumpScratch {
+    /// Ciphertext drained from TCP reassembly (inbound).
+    wire: Vec<u8>,
+    /// Decrypted application plaintext handed to HTTP/2 (inbound).
+    app: Vec<u8>,
+    /// Coalesced-run buffer parked here between passes that queue nothing,
+    /// so an idle pump does not leak the recycled capacity it claimed.
+    run: Vec<u8>,
+    /// Frame metadata plus run-relative sealed byte ranges (outbound); the
+    /// ground-truth annotation replays these after the single bulk write.
+    spans: Vec<(OutgoingMeta, usize, usize)>,
+}
 
 /// Endpoint-side conformance checkers attached to one host: an HTTP/2
 /// flow-control/HPACK ledger fed the exact bytes this endpoint sends and
@@ -69,7 +96,10 @@ pub struct HostCore {
     /// The application.
     pub app: App,
     /// Ground truth collected at seal time (server writes; client ignores).
-    truth: Rc<RefCell<GroundTruth>>,
+    /// `None` for fleet bystander pairs, which are load, not measurement
+    /// targets — recording per-byte truth for 100k pairs would dwarf the
+    /// simulation itself.
+    truth: Option<Rc<RefCell<GroundTruth>>>,
     /// stream → object being served (server side).
     stream_objects: FxHashMap<StreamId, ObjectId>,
     /// True once the TLS handshake completed.
@@ -78,12 +108,8 @@ pub struct HostCore {
     peer: NodeId,
     /// Set when the connection failed at any layer.
     pub dead: bool,
-    /// Reusable scratch for decrypted application plaintext: the inbound
-    /// pump decrypts into this buffer and hands it to HTTP/2 in one piece,
-    /// so steady-state receive allocates nothing per record.
-    app_scratch: Vec<u8>,
     /// Halt the whole simulation when this host is finished (client).
-    halt_when_done: bool,
+    pub(crate) halt_when_done: bool,
     authority: String,
     /// Modeled kernel socket send-buffer size: the HTTP/2 mux is pulled
     /// only while TCP's unacknowledged backlog is below this. This
@@ -95,6 +121,62 @@ pub struct HostCore {
 }
 
 impl HostCore {
+    /// Builds a client core (browser + client-side stack).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_client(
+        peer: NodeId,
+        browser: Browser,
+        tcp: TcpConfig,
+        h2: H2Config,
+        session_key: u64,
+        authority: String,
+        truth: Option<Rc<RefCell<GroundTruth>>>,
+        socket_buffer: usize,
+    ) -> HostCore {
+        HostCore {
+            tcp: TcpConnection::client(tcp),
+            tls: TlsSession::new(Role::Client, session_key),
+            h2: H2Connection::new_client(h2),
+            app: App::Client(browser),
+            truth,
+            stream_objects: FxHashMap::default(),
+            tls_established: false,
+            peer,
+            dead: false,
+            halt_when_done: true,
+            authority,
+            socket_buffer,
+            oracle: None,
+        }
+    }
+
+    /// Builds a server core (site server + server-side stack).
+    pub(crate) fn new_server(
+        peer: NodeId,
+        server: SiteServer,
+        tcp: TcpConfig,
+        h2: H2Config,
+        session_key: u64,
+        truth: Option<Rc<RefCell<GroundTruth>>>,
+        socket_buffer: usize,
+    ) -> HostCore {
+        HostCore {
+            tcp: TcpConnection::server(tcp),
+            tls: TlsSession::new(Role::Server, session_key),
+            h2: H2Connection::new_server(h2),
+            app: App::Server(server),
+            truth,
+            stream_objects: FxHashMap::default(),
+            tls_established: false,
+            peer,
+            dead: false,
+            halt_when_done: false,
+            authority: String::new(),
+            socket_buffer,
+            oracle: None,
+        }
+    }
+
     /// Client/server TCP statistics.
     pub fn tcp_stats(&self) -> TcpStats {
         *self.tcp.stats()
@@ -138,11 +220,30 @@ impl HostCore {
     pub fn set_oracle(&mut self, oracle: HostOracle) {
         self.oracle = Some(oracle);
     }
+
+    /// Queues the TLS first flight on a client core. Call once before the
+    /// first pump; a no-op on servers.
+    pub(crate) fn begin(&mut self) {
+        if self.is_client() {
+            if let Some(flight) = self.tls.initial_flight() {
+                self.tcp.write(&flight);
+            }
+        }
+    }
+
+    /// The application's next scheduled wakeup, if any.
+    pub(crate) fn app_wakeup(&self) -> Option<SimTime> {
+        match &self.app {
+            App::Client(b) => b.next_wakeup(),
+            App::Server(s) => s.next_wakeup(),
+        }
+    }
 }
 
 /// The netsim node wrapping a [`HostCore`].
 pub struct Host {
     core: Rc<RefCell<HostCore>>,
+    scratch: PumpScratch,
     tcp_timer: Option<TimerId>,
     app_timer: Option<TimerId>,
 }
@@ -166,29 +267,20 @@ impl Host {
         truth: Rc<RefCell<GroundTruth>>,
         socket_buffer: usize,
     ) -> (Self, Rc<RefCell<HostCore>>) {
-        let core = Rc::new(RefCell::new(HostCore {
-            tcp: TcpConnection::client(tcp),
-            tls: TlsSession::new(Role::Client, session_key),
-            h2: {
-                let mut h2 = H2Connection::new_client(h2);
-                h2.set_send_headroom(RECORD_PREFIX);
-                h2
-            },
-            app: App::Client(browser),
-            truth,
-            stream_objects: FxHashMap::default(),
-            tls_established: false,
+        let core = Rc::new(RefCell::new(HostCore::new_client(
             peer,
-            dead: false,
-            app_scratch: Vec::new(),
-            halt_when_done: true,
-            authority: authority.into(),
+            browser,
+            tcp,
+            h2,
+            session_key,
+            authority.into(),
+            Some(truth),
             socket_buffer,
-            oracle: None,
-        }));
+        )));
         (
             Host {
                 core: core.clone(),
+                scratch: PumpScratch::default(),
                 tcp_timer: None,
                 app_timer: None,
             },
@@ -206,29 +298,19 @@ impl Host {
         truth: Rc<RefCell<GroundTruth>>,
         socket_buffer: usize,
     ) -> (Self, Rc<RefCell<HostCore>>) {
-        let core = Rc::new(RefCell::new(HostCore {
-            tcp: TcpConnection::server(tcp),
-            tls: TlsSession::new(Role::Server, session_key),
-            h2: {
-                let mut h2 = H2Connection::new_server(h2);
-                h2.set_send_headroom(RECORD_PREFIX);
-                h2
-            },
-            app: App::Server(server),
-            truth,
-            stream_objects: FxHashMap::default(),
-            tls_established: false,
+        let core = Rc::new(RefCell::new(HostCore::new_server(
             peer,
-            dead: false,
-            app_scratch: Vec::new(),
-            halt_when_done: false,
-            authority: String::new(),
+            server,
+            tcp,
+            h2,
+            session_key,
+            Some(truth),
             socket_buffer,
-            oracle: None,
-        }));
+        )));
         (
             Host {
                 core: core.clone(),
+                scratch: PumpScratch::default(),
                 tcp_timer: None,
                 app_timer: None,
             },
@@ -239,7 +321,7 @@ impl Host {
     fn pump(&mut self, ctx: &mut Context<'_, TcpSegment>) {
         let core = self.core.clone();
         let mut core = core.borrow_mut();
-        core.pump(ctx);
+        core.pump(ctx, &mut self.scratch);
         // Re-arm timers from the post-pump state.
         if let Some(id) = self.tcp_timer.take() {
             ctx.cancel_timer(id);
@@ -253,11 +335,7 @@ impl Host {
         if let Some(at) = core.tcp.poll_timeout() {
             self.tcp_timer = Some(ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_TCP));
         }
-        let app_at = match &core.app {
-            App::Client(b) => b.next_wakeup(),
-            App::Server(s) => s.next_wakeup(),
-        };
-        if let Some(at) = app_at {
+        if let Some(at) = core.app_wakeup() {
             self.app_timer = Some(ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_APP));
         }
     }
@@ -265,14 +343,7 @@ impl Host {
 
 impl Node<TcpSegment> for Host {
     fn on_start(&mut self, ctx: &mut Context<'_, TcpSegment>) {
-        {
-            let mut core = self.core.borrow_mut();
-            if core.is_client() {
-                if let Some(flight) = core.tls.initial_flight() {
-                    core.tcp.write(&flight);
-                }
-            }
-        }
+        self.core.borrow_mut().begin();
         self.pump(ctx);
     }
 
@@ -294,36 +365,15 @@ impl Node<TcpSegment> for Host {
 }
 
 impl HostCore {
-    fn pump(&mut self, ctx: &mut Context<'_, TcpSegment>) {
+    fn pump(&mut self, ctx: &mut Context<'_, TcpSegment>, scratch: &mut PumpScratch) {
         let now = ctx.now();
-        if !self.dead && self.tcp.is_aborted() {
-            self.on_transport_death(now);
-        }
-        // One ordered pass settles the stack. Inbound bytes only arrive
-        // between pumps (a packet or timer precedes every call), so inbound
-        // progresses at most once; the app stage reacts to what inbound
-        // just delivered (and to `now`); the outbound stage then drains
-        // everything the first two queued, looping internally until the
-        // send buffer fills or the mux runs dry. Neither later stage can
-        // create same-instant inbound or app work — the browser issues
-        // every due command in one `poll_cmds` call and the server drains
-        // every due response — so cycling to quiescence (as an earlier
-        // revision did) only ever bought no-progress passes.
-        self.pump_inbound(now);
-        self.pump_app(now);
-        self.pump_outbound(now);
-        // Flush TCP output.
+        self.pump_stages(now, scratch);
         let self_id = ctx.node_id();
-        while let Some(seg) = self.tcp.poll_transmit(now) {
-            if let Some(oracle) = self.oracle.as_mut() {
-                oracle.tcp.on_transmit(&self.tcp, &seg, now);
-            }
+        let peer = self.peer;
+        self.flush_transmit(now, |seg| {
             let wire_bytes = seg.wire_bytes();
-            ctx.send(Packet::new(self_id, self.peer, wire_bytes, seg));
-        }
-        if self.tcp.is_aborted() && !self.dead {
-            self.on_transport_death(now);
-        }
+            ctx.send(Packet::new(self_id, peer, wire_bytes, seg));
+        });
         if self.halt_when_done {
             let done = match &self.app {
                 App::Client(b) => b.is_done(),
@@ -338,6 +388,44 @@ impl HostCore {
         }
     }
 
+    /// One ordered pass settling the stack: inbound → app → outbound.
+    ///
+    /// Inbound bytes only arrive between pumps (a packet or timer precedes
+    /// every call), so inbound progresses at most once; the app stage
+    /// reacts to what inbound just delivered (and to `now`); the outbound
+    /// stage then drains everything the first two queued, looping
+    /// internally until the send buffer fills or the mux runs dry. Neither
+    /// later stage can create same-instant inbound or app work — the
+    /// browser issues every due command in one `poll_cmds` call and the
+    /// server drains every due response — so cycling to quiescence (as an
+    /// earlier revision did) only ever bought no-progress passes.
+    ///
+    /// [`flush_transmit`](Self::flush_transmit) completes the pump by
+    /// draining TCP's segment queue; it is separate so the fleet arena can
+    /// batch the stage passes and route the segments itself.
+    pub(crate) fn pump_stages(&mut self, now: SimTime, scratch: &mut PumpScratch) {
+        if !self.dead && self.tcp.is_aborted() {
+            self.on_transport_death(now);
+        }
+        self.pump_inbound(now, scratch);
+        self.pump_app(now);
+        self.pump_outbound(now, scratch);
+    }
+
+    /// Drains every transmittable TCP segment through `emit`, running the
+    /// endpoint conformance checker on each.
+    pub(crate) fn flush_transmit(&mut self, now: SimTime, mut emit: impl FnMut(TcpSegment)) {
+        while let Some(seg) = self.tcp.poll_transmit(now) {
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.tcp.on_transmit(&self.tcp, &seg, now);
+            }
+            emit(seg);
+        }
+        if self.tcp.is_aborted() && !self.dead {
+            self.on_transport_death(now);
+        }
+    }
+
     fn on_transport_death(&mut self, now: SimTime) {
         self.dead = true;
         match &mut self.app {
@@ -347,17 +435,18 @@ impl HostCore {
     }
 
     /// TCP → TLS → HTTP/2 → events.
-    fn pump_inbound(&mut self, now: SimTime) -> bool {
+    fn pump_inbound(&mut self, now: SimTime, scratch: &mut PumpScratch) -> bool {
         if self.dead {
             return false;
         }
-        let bytes = self.tcp.read();
-        if bytes.is_empty() {
+        let PumpScratch { wire, app, .. } = scratch;
+        wire.clear();
+        self.tcp.read_into(wire);
+        if wire.is_empty() {
             return false;
         }
-        let mut app = std::mem::take(&mut self.app_scratch);
         app.clear();
-        let output = match self.tls.receive_into(&bytes, &mut app) {
+        let output = match self.tls.receive_into(wire, app) {
             Ok(o) => o,
             Err(_) => {
                 self.fail_connection(now);
@@ -375,15 +464,13 @@ impl HostCore {
         }
         if !app.is_empty() {
             if let Some(oracle) = self.oracle.as_mut() {
-                oracle.h2.on_received(&app, now);
+                oracle.h2.on_received(app, now);
             }
-            if self.h2.recv(&app).is_err() {
-                self.app_scratch = app;
+            if self.h2.recv(app).is_err() {
                 self.fail_connection(now);
                 return true;
             }
         }
-        self.app_scratch = app;
         self.dispatch_h2_events(now);
         true
     }
@@ -491,17 +578,33 @@ impl HostCore {
     }
 
     /// HTTP/2 → TLS → TCP, with ground-truth annotation on the server.
-    fn pump_outbound(&mut self, now: SimTime) -> bool {
+    ///
+    /// Batched: every frame the send-buffer budget admits is sealed into
+    /// one coalesced run (a single keystream pass per frame, appended to
+    /// one buffer), then handed to TCP as a single shared chunk. TCP
+    /// segmentation slices by absolute stream offset, so coalescing is
+    /// invisible on the wire; what changes is the cost model — one
+    /// buffer + one `Arc` per pump pass instead of one per record, with
+    /// the run buffer recycled from the rope's fully-acked chunks and the
+    /// frame buffers returned to the HTTP/2 encoder pool.
+    fn pump_outbound(&mut self, now: SimTime, scratch: &mut PumpScratch) -> bool {
         if self.dead || !self.tls_established {
             return false;
         }
-        let is_server = !self.is_client();
         let mut progressed = false;
         // Kernel-style autotuned send buffer: roughly twice the congestion
         // window, capped by the configured maximum. Backpressure onto the
         // HTTP/2 mux is what makes concurrent responses interleave.
         let limit = self.socket_buffer.min(2 * self.tcp.cwnd());
-        while self.tcp.buffered() < limit {
+        // Prefer a recycled buffer: last pass's run once fully acked, or
+        // the one parked in scratch by a pass that sealed nothing.
+        let mut run = std::mem::take(&mut scratch.run);
+        if run.capacity() == 0 {
+            run = self.tcp.take_send_spare().unwrap_or(run);
+        }
+        run.clear();
+        scratch.spans.clear();
+        while self.tcp.buffered() + run.len() < limit {
             let Some(out) = self.h2.poll_send() else {
                 break;
             };
@@ -509,43 +612,48 @@ impl HostCore {
             if let Some(oracle) = self.oracle.as_mut() {
                 oracle.h2.on_sent(out.frame_bytes(), now);
             }
-            // Fast path: the frame was encoded with record-prefix headroom,
-            // so the TLS layer seals it where it lies — no payload copy.
-            // Fall back to the copying path for prefix-less chunks (the
-            // client preface, split header blocks) and oversized frames.
             let meta = out.meta;
-            let sealed = if out.headroom == RECORD_PREFIX
-                && out.bytes.len() - out.headroom <= MAX_PLAINTEXT
+            let start = run.len();
+            if self
+                .tls
+                .seal_app_data_into(out.frame_bytes(), &mut run)
+                .is_err()
             {
-                let mut buf = out.bytes;
-                match self.tls.seal_app_data_in_place(&mut buf) {
-                    Ok(()) => h2priv_bytes::SharedBytes::from_vec(buf),
-                    Err(_) => break,
-                }
-            } else {
-                match self.tls.seal_app_data(out.frame_bytes()) {
-                    Ok(s) => s,
-                    Err(_) => break,
-                }
-            };
-            let start = self.tcp.total_written();
-            self.tcp.write_shared(sealed);
-            let end = self.tcp.total_written();
-            if is_server {
-                if let OutgoingMeta::Frame {
-                    stream_id,
-                    end_stream,
-                    frame_type,
-                    ..
-                } = meta
-                {
-                    use h2priv_http2::FrameType;
-                    if matches!(frame_type, FrameType::Data | FrameType::Headers) {
-                        if let Some(&object) = self.stream_objects.get(&stream_id) {
-                            let mut truth = self.truth.borrow_mut();
-                            truth.add_range(start, end, object, stream_id);
-                            if end_stream {
-                                truth.mark_complete(stream_id);
+                run.truncate(start);
+                break;
+            }
+            scratch.spans.push((meta, start, run.len()));
+            self.h2.recycle_outgoing(out.bytes);
+        }
+        if run.is_empty() {
+            scratch.run = run;
+            return progressed;
+        }
+        let base = self.tcp.total_written();
+        self.tcp.write_shared(SharedBytes::from_vec(run));
+        if !self.is_client() {
+            if let Some(truth) = self.truth.as_ref() {
+                let mut truth = truth.borrow_mut();
+                for &(meta, start, end) in &scratch.spans {
+                    if let OutgoingMeta::Frame {
+                        stream_id,
+                        end_stream,
+                        frame_type,
+                        ..
+                    } = meta
+                    {
+                        use h2priv_http2::FrameType;
+                        if matches!(frame_type, FrameType::Data | FrameType::Headers) {
+                            if let Some(&object) = self.stream_objects.get(&stream_id) {
+                                truth.add_range(
+                                    base + start as u64,
+                                    base + end as u64,
+                                    object,
+                                    stream_id,
+                                );
+                                if end_stream {
+                                    truth.mark_complete(stream_id);
+                                }
                             }
                         }
                     }

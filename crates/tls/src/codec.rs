@@ -35,11 +35,28 @@ impl RecordWriter {
     pub fn seal_message(&mut self, content_type: ContentType, plaintext: &[u8]) -> Vec<u8> {
         let records = plaintext.len().div_ceil(MAX_PLAINTEXT).max(1);
         let mut out = Vec::with_capacity(plaintext.len() + records * (HEADER_LEN + AEAD_OVERHEAD));
-        let mut chunks: Vec<&[u8]> = plaintext.chunks(MAX_PLAINTEXT).collect();
-        if chunks.is_empty() {
-            chunks.push(&[]);
-        }
-        for chunk in chunks {
+        self.seal_message_into(content_type, plaintext, &mut out);
+        out
+    }
+
+    /// Seals one message, appending its wire bytes to `out` — the sink
+    /// variant of [`seal_message`](Self::seal_message), producing
+    /// byte-identical output. Callers sealing a *run* of queued messages
+    /// (the batched host pump) call this repeatedly against one reused
+    /// buffer, so the whole run is a single keystream pass with no
+    /// per-message wire allocation.
+    pub fn seal_message_into(
+        &mut self,
+        content_type: ContentType,
+        plaintext: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        // An empty message still seals one (empty) record; otherwise the
+        // chunks are iterated directly — materializing them would cost an
+        // allocation per message on the pump's hottest path.
+        let mut chunks = plaintext.chunks(MAX_PLAINTEXT);
+        let mut chunk = chunks.next().unwrap_or(&[]);
+        loop {
             let header = RecordHeader {
                 content_type,
                 fragment_len: (chunk.len() + AEAD_OVERHEAD) as u16,
@@ -47,9 +64,12 @@ impl RecordWriter {
             out.extend_from_slice(&header.encode());
             // Seal straight into the wire buffer: no per-record fragment
             // allocation or copy.
-            self.cipher.seal_into(chunk, &mut out);
+            self.cipher.seal_into(chunk, out);
+            match chunks.next() {
+                Some(next) => chunk = next,
+                None => break,
+            }
         }
-        out
     }
 
     /// Seals one message *in place*: the plaintext already sits at

@@ -290,6 +290,30 @@ impl TlsSession {
         ))
     }
 
+    /// Seals application bytes, appending the wire record(s) to `out` —
+    /// the sink variant of [`seal_app_data`](Self::seal_app_data),
+    /// producing byte-identical wire output. The batched host pump seals a
+    /// whole run of queued messages into one reused buffer with this, so
+    /// sealing N records costs a single keystream pass over the coalesced
+    /// run and zero steady-state allocations.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SessionError::EarlyAppData`] before establishment
+    /// (leaving `out` untouched).
+    pub fn seal_app_data_into(
+        &mut self,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), SessionError> {
+        if self.state != HandshakeState::Established {
+            return Err(SessionError::EarlyAppData);
+        }
+        self.writer
+            .seal_message_into(ContentType::ApplicationData, payload, out);
+        Ok(())
+    }
+
     /// Seals application bytes *in place*: `buf[RECORD_PREFIX..]` holds the
     /// payload (at most [`MAX_PLAINTEXT`](crate::MAX_PLAINTEXT) bytes) and
     /// the leading [`RECORD_PREFIX`](crate::RECORD_PREFIX) bytes are

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Perf regression gate: re-times the fast exhibits (fig1, table2) with
-# fresh `repro --bench-json` runs and fails when events/sec drops more
-# than 20% below the checked-in BENCH_repro.json baseline. Built to
+# Perf regression gate: re-times the fast exhibits (fig1, table2) and
+# the population-scale fleet exhibit with fresh `repro --bench-json`
+# runs and fails when events/sec drops more than 20% below the
+# checked-in BENCH_repro.json baseline. Built to
 # tolerate CI noise without missing real regressions: shared CI hosts
 # oscillate in speed on minute timescales, and fig1 is a ~1 ms exhibit
 # whose single-run rate is mostly scheduler jitter — so the gate makes up
@@ -20,7 +21,9 @@ trap 'rm -f "$fresh" "$seen"' EXIT INT TERM
 
 attempts=3
 for attempt in $(seq 1 "$attempts"); do
-    ./target/release/repro fig1 table2 --trials 25 --bench-json="$fresh" >/dev/null
+    # fleet runs at the baseline's default population (1000) so its
+    # events/sec is comparable against the checked-in entry.
+    ./target/release/repro fig1 table2 fleet --trials 25 --bench-json="$fresh" >/dev/null
     cat "$fresh" >>"$seen"
 
     if awk '
