@@ -1,6 +1,6 @@
 # Convenience targets; each is a thin wrapper over cargo.
 
-.PHONY: build test lint bench bench-check bench-sched bench-fleet check-conformance repro repro-quick
+.PHONY: build test lint bench bench-check bench-sched bench-fleet bench-fleet-mem check-conformance repro repro-quick
 
 build:
 	cargo build --release --workspace
@@ -24,6 +24,13 @@ bench-sched:
 # sharded over 8 engines. Byte-identical at any --threads.
 bench-fleet:
 	cargo run --release -p h2priv-bench --bin repro -- fleet --population 10000 --shards 8
+
+# Memory telemetry at fleet size: the counting allocator reports
+# peak_alloc_bytes and bytes per co-resident pair on stderr ([timing]
+# lines) and in the JSON. bench-check gates the fleet entry's
+# bytes_per_pair against BENCH_repro.json (>20% growth fails).
+bench-fleet-mem:
+	cargo run --release -p h2priv-bench --bin repro -- fleet --population 10000 --shards 8 --bench-json=/dev/stdout
 
 check-conformance:
 	cargo run --release -p h2priv-bench --bin repro -- --quick --check

@@ -31,6 +31,13 @@ use std::time::Instant;
 
 use h2priv_bench::json::{object, Json, ToJson};
 use h2priv_bench::{ablations, common, fig1, fig5, fleet, ivd, runner, table1, table2};
+use h2priv_bytes::count_alloc;
+
+/// The byte-gauging allocator: two relaxed atomics per allocator call buy
+/// the `peak_alloc_bytes` / `bytes_per_pair` memory telemetry reported in
+/// `--bench-json` and gated by `scripts/bench_check.sh`.
+#[global_allocator]
+static ALLOC: count_alloc::CountingAlloc = count_alloc::CountingAlloc;
 
 /// Per-exhibit wall-clock record emitted by `--bench-json`.
 struct ExhibitTiming {
@@ -48,6 +55,14 @@ struct ExhibitTiming {
     /// Per-shard event counts (fleet exhibit only; empty otherwise) —
     /// the shard occupancy balance.
     shard_events: Vec<u64>,
+    /// High-water mark of live heap bytes while the exhibit ran (how far
+    /// the process-wide gauge rose above its level at exhibit entry).
+    peak_alloc_bytes: u64,
+    /// Fleet exhibit only: `peak_alloc_bytes` divided by the number of
+    /// pairs co-resident at once (population scaled by how many shards the
+    /// worker pool keeps in flight together) — the per-pair working set
+    /// the memory-regression gate pins. Zero for non-fleet exhibits.
+    bytes_per_pair: u64,
 }
 
 impl ExhibitTiming {
@@ -76,6 +91,8 @@ impl ToJson for ExhibitTiming {
             ("sched_peak_near", self.sched.peak_near.to_json()),
             ("sched_peak_overflow", self.sched.peak_overflow.to_json()),
             ("shard_events", self.shard_events.to_json()),
+            ("peak_alloc_bytes", self.peak_alloc_bytes.to_json()),
+            ("bytes_per_pair", self.bytes_per_pair.to_json()),
         ])
     }
 }
@@ -138,7 +155,7 @@ fn main() {
         let events_before = runner::events_snapshot();
         runner::sched_take(); // reset so the exhibit reports only its own
         let t0 = Instant::now();
-        body();
+        let ((), peak_alloc_bytes) = count_alloc::measure_peak_bytes(body);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         let events = runner::events_snapshot() - events_before;
         let timing = ExhibitTiming {
@@ -149,10 +166,13 @@ fn main() {
             events,
             sched: runner::sched_take(),
             shard_events: Vec::new(),
+            peak_alloc_bytes,
+            bytes_per_pair: 0,
         };
         eprintln!(
-            "[timing] {exhibit}: {wall_ms:.0} ms, {events} events, {:.0} events/sec, {threads} thread(s)",
-            timing.events_per_sec()
+            "[timing] {exhibit}: {wall_ms:.0} ms, {events} events, {:.0} events/sec, {threads} thread(s), peak {:.1} MiB",
+            timing.events_per_sec(),
+            peak_alloc_bytes as f64 / (1024.0 * 1024.0)
         );
         timings.push(timing);
     };
@@ -242,6 +262,19 @@ fn main() {
                 .zip(&r.attacked.shard_events)
                 .map(|(a, b)| a + b)
                 .collect();
+            // Per-pair working set: the peak divided by how many pairs were
+            // co-resident when it was reached. Shards run `min(threads,
+            // shards)` at a time and hold `population / shards` pairs each.
+            let co_resident =
+                (population as u64 * threads.min(shards as usize) as u64 / shards as u64).max(1);
+            t.bytes_per_pair = t.peak_alloc_bytes / co_resident;
+            eprintln!(
+                "[timing] fleet memory: peak_alloc_bytes {} ({:.1} MiB), {} bytes/pair over {} co-resident pair(s)",
+                t.peak_alloc_bytes,
+                t.peak_alloc_bytes as f64 / (1024.0 * 1024.0),
+                t.bytes_per_pair,
+                co_resident
+            );
         }
     }
 

@@ -4,6 +4,39 @@
 
 use h2priv_bench::{fleet, runner};
 
+/// The shard count partitions the population (`splitmix64(pair) % shards`)
+/// and seeds each shard's RNG from the pair id, not the shard id — so a
+/// pair's page load plays out identically no matter which shard hosts it.
+/// The rendered outcome rows must therefore be byte-identical at any
+/// `--shards`; only the header line, which names the shard count itself,
+/// may differ.
+#[test]
+fn fleet_outcomes_are_identical_across_shard_counts() {
+    const POPULATION: u32 = 24;
+
+    runner::set_threads(1);
+    let body_of = |shards: u32| {
+        let rendered = fleet::render(&fleet::run(POPULATION, shards));
+        let (header, body) = rendered
+            .split_once('\n')
+            .expect("render emits a header line");
+        assert_eq!(
+            header,
+            format!("FLEET: {POPULATION} pairs over {shards} shards, victim = pair 0")
+        );
+        body.to_owned()
+    };
+
+    let reference = body_of(1);
+    for shards in [2, 4, 8] {
+        assert_eq!(
+            body_of(shards),
+            reference,
+            "fleet outcomes diverged between 1 and {shards} shards"
+        );
+    }
+}
+
 #[test]
 fn fleet_report_is_identical_across_thread_counts() {
     const POPULATION: u32 = 24;

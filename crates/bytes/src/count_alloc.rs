@@ -1,12 +1,22 @@
-//! A thread-local allocation-counting `GlobalAlloc`, for regression tests
-//! that assert a hot path is allocation-free.
+//! A counting `GlobalAlloc`: thread-local allocation counts for
+//! regression tests, plus process-wide byte gauges for memory telemetry.
 //!
-//! A test binary installs [`CountingAlloc`] as its `#[global_allocator]`
-//! and wraps the code under scrutiny in [`measure`]; the returned count is
-//! the number of heap allocations (`alloc`, `alloc_zeroed` and growing
-//! `realloc` calls) performed by the *current thread* while the closure
-//! ran. Counting is off by default, so the rest of the test binary —
-//! harness, setup, assertions — runs at full speed and unobserved.
+//! Two independent layers share the one allocator:
+//!
+//! * **Per-thread counts** — a test binary installs [`CountingAlloc`] as
+//!   its `#[global_allocator]` and wraps the code under scrutiny in
+//!   [`measure`]; the returned count is the number of heap allocations
+//!   (`alloc`, `alloc_zeroed` and growing `realloc` calls) performed by
+//!   the *current thread* while the closure ran. Counting is off by
+//!   default, so the rest of the test binary — harness, setup,
+//!   assertions — runs at full speed and unobserved.
+//! * **Process-wide byte gauges** — always on (two relaxed atomics per
+//!   allocator call), tracking live heap bytes and their high-water mark.
+//!   The `repro` binary installs the allocator and reports
+//!   [`bytes_live`]/[`bytes_peak`] as `peak_alloc_bytes` /
+//!   `bytes_per_pair` in `--bench-json`, the fleet memory-regression
+//!   gate's inputs. Binaries that do not install the allocator simply
+//!   read zeros.
 //!
 //! This module needs `unsafe` (the `GlobalAlloc` contract), which is why
 //! it lives outside the `forbid(unsafe_code)` shared-slice module and
@@ -14,14 +24,21 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 thread_local! {
     static ENABLED: Cell<bool> = const { Cell::new(false) };
     static COUNT: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Counts this thread's allocations while enabled, delegating the actual
-/// memory management to [`System`].
+/// Live heap bytes across the whole process (allocated minus freed).
+static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`BYTES_LIVE`] since the last [`reset_bytes_peak`].
+static BYTES_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Counts this thread's allocations while enabled — and every thread's
+/// live/peak heap bytes, always — delegating the actual memory management
+/// to [`System`].
 pub struct CountingAlloc;
 
 fn bump() {
@@ -32,26 +49,43 @@ fn bump() {
     }
 }
 
+fn add_bytes(n: usize) {
+    let live = BYTES_LIVE.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+    BYTES_PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn sub_bytes(n: usize) {
+    BYTES_LIVE.fetch_sub(n as u64, Ordering::Relaxed);
+}
+
 // SAFETY: all calls delegate directly to `System`; the counting side
-// channel touches only const-initialized thread-local `Cell`s, which
-// neither allocate nor unwind.
+// channel touches only const-initialized thread-local `Cell`s and
+// relaxed atomics, which neither allocate nor unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump();
+        add_bytes(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump();
+        add_bytes(layout.size());
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump();
+        if new_size >= layout.size() {
+            add_bytes(new_size - layout.size());
+        } else {
+            sub_bytes(layout.size() - new_size);
+        }
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        sub_bytes(layout.size());
         System.dealloc(ptr, layout)
     }
 }
@@ -66,6 +100,37 @@ pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64) {
     ENABLED.with(|e| e.set(was_enabled));
     let after = COUNT.with(Cell::get);
     (result, after - before)
+}
+
+/// Live heap bytes right now (0 unless [`CountingAlloc`] is the binary's
+/// global allocator).
+pub fn bytes_live() -> u64 {
+    BYTES_LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes since process start or the last
+/// [`reset_bytes_peak`] (0 unless [`CountingAlloc`] is installed).
+pub fn bytes_peak() -> u64 {
+    BYTES_PEAK.load(Ordering::Relaxed)
+}
+
+/// Re-arms the peak gauge at the current live level, so the next
+/// [`bytes_peak`] reads the high-water mark of the region being measured
+/// rather than of the whole process lifetime.
+pub fn reset_bytes_peak() {
+    BYTES_PEAK.store(BYTES_LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Runs `f` and returns `(result, peak_delta)`: how far the process-wide
+/// live-byte gauge rose above its level at entry while `f` ran. With a
+/// single measuring thread this is the closure's working-set high-water
+/// mark; concurrent allocating threads add theirs in.
+pub fn measure_peak_bytes<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = bytes_live();
+    reset_bytes_peak();
+    let result = f();
+    let peak = bytes_peak();
+    (result, peak.saturating_sub(before))
 }
 
 #[cfg(test)]
@@ -87,5 +152,14 @@ mod tests {
     fn measure_restores_disabled_state() {
         let _ = measure(|| ());
         assert!(!ENABLED.with(Cell::get));
+    }
+
+    #[test]
+    fn byte_gauges_are_monotone_consistent() {
+        // Without the allocator installed both read 0; with it installed
+        // (other test binaries) peak >= live. Either way this holds:
+        assert!(bytes_peak() >= bytes_live() || bytes_peak() == 0);
+        let ((), delta) = measure_peak_bytes(|| ());
+        assert_eq!(delta, 0);
     }
 }

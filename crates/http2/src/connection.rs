@@ -395,8 +395,30 @@ impl H2Connection {
     /// instead of allocating; a small pool is kept so batched pump loops
     /// that drain several frames before recycling still hit it.
     pub fn recycle_outgoing(&mut self, mut buf: Vec<u8>) {
-        const MAX_SPARE_BUFS: usize = 8;
-        if self.spare_bufs.len() < MAX_SPARE_BUFS && buf.capacity() > 0 {
+        if self.spare_bufs.len() < Self::MAX_SPARE_BUFS && buf.capacity() > 0 {
+            buf.clear();
+            self.spare_bufs.push(buf);
+        }
+    }
+
+    /// Cap on pooled frame buffers: enough to cover a drained pump burst,
+    /// small enough that an idle connection pins almost nothing.
+    const MAX_SPARE_BUFS: usize = 8;
+
+    /// Surrenders every pooled frame buffer to `sink` (for an external
+    /// buffer pool). For connections whose work is done: frees the frame
+    /// pool back to the shard instead of pinning it until teardown.
+    pub fn shed_spare_capacity(&mut self, sink: &mut dyn FnMut(Vec<u8>)) {
+        for buf in self.spare_bufs.drain(..) {
+            sink(buf);
+        }
+    }
+
+    /// Seeds the frame-buffer pool from recycled capacity, up to the pool
+    /// cap. `supply` is polled per slot; return `None` to stop early.
+    pub fn adopt_spare_capacity(&mut self, supply: &mut dyn FnMut() -> Option<Vec<u8>>) {
+        while self.spare_bufs.len() < Self::MAX_SPARE_BUFS {
+            let Some(mut buf) = supply() else { return };
             buf.clear();
             self.spare_bufs.push(buf);
         }

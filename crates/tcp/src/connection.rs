@@ -429,6 +429,40 @@ impl TcpConnection {
         self.send_buf.take_spare()
     }
 
+    /// Seeds the send buffer's recycled-chunk slot with a used buffer (a
+    /// pool warming a fresh connection); kept only if the slot is empty.
+    pub fn give_send_spare(&mut self, buf: Vec<u8>) {
+        self.send_buf.give_spare(buf);
+    }
+
+    /// Surrenders every idle buffer this connection is holding for reuse
+    /// — the send rope's recycled chunk and the reassembler's drained
+    /// `ready` buffer — to `sink`. For connections whose work is done
+    /// (completed page loads in a fleet): the freed capacity goes back to
+    /// a pool instead of sitting on the connection until teardown. Live
+    /// data is never shed; a connection that springs back to life simply
+    /// reallocates.
+    pub fn shed_spare_capacity(&mut self, sink: &mut dyn FnMut(Vec<u8>)) {
+        if let Some(buf) = self.send_buf.take_spare() {
+            sink(buf);
+        }
+        if let Some(buf) = self.reassembler.take_ready_spare() {
+            sink(buf);
+        }
+    }
+
+    /// Warms this connection's buffers from recycled capacity: the send
+    /// rope's spare slot and the reassembler's `ready` buffer. `supply` is
+    /// polled per slot; return `None` to stop early.
+    pub fn adopt_spare_capacity(&mut self, supply: &mut dyn FnMut() -> Option<Vec<u8>>) {
+        if let Some(buf) = supply() {
+            self.send_buf.give_spare(buf);
+        }
+        if let Some(buf) = supply() {
+            self.reassembler.give_ready_spare(buf);
+        }
+    }
+
     /// Bytes received in order and not yet drained by [`read`](Self::read).
     pub fn available(&self) -> usize {
         self.reassembler.ready_len()

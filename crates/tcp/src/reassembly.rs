@@ -167,6 +167,27 @@ impl Reassembler {
         self.next_offset += self.ready.len() as u64;
         self.ready.clear();
     }
+
+    /// Surrenders the drained `ready` buffer's capacity (for a buffer
+    /// pool), if it is empty and holds any. The reassembler reallocates on
+    /// the next in-order insert, so this is for streams that are done.
+    pub fn take_ready_spare(&mut self) -> Option<Vec<u8>> {
+        if self.ready.is_empty() && self.ready.capacity() > 0 {
+            Some(std::mem::take(&mut self.ready))
+        } else {
+            None
+        }
+    }
+
+    /// Seeds the `ready` buffer with recycled capacity (the inverse of
+    /// [`take_ready_spare`](Self::take_ready_spare)); kept only when the
+    /// current buffer is empty with no capacity. `buf` is cleared.
+    pub fn give_ready_spare(&mut self, mut buf: Vec<u8>) {
+        if self.ready.is_empty() && self.ready.capacity() == 0 && buf.capacity() > 0 {
+            buf.clear();
+            self.ready = buf;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,16 @@ impl SendRope {
     pub(crate) fn take_spare(&mut self) -> Option<Vec<u8>> {
         self.spare.take()
     }
+
+    /// Seeds the recycled-buffer slot (a pool handing a fresh connection a
+    /// used buffer instead of letting it allocate). Kept only when the
+    /// slot is empty and `buf` has capacity; `buf` is cleared.
+    pub(crate) fn give_spare(&mut self, mut buf: Vec<u8>) {
+        if self.spare.is_none() && buf.capacity() > 0 {
+            buf.clear();
+            self.spare = Some(buf);
+        }
+    }
 }
 
 #[cfg(test)]

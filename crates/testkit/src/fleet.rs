@@ -37,7 +37,6 @@ use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use h2priv_analysis::{GroundTruth, WireTrace};
-use h2priv_bytes::FxHashMap;
 use h2priv_conformance::{ConformanceTap, Violation, ViolationSink};
 use h2priv_netsim::{
     Context, Dir, GatewayStats, LinkConfig, MbContext, Middlebox, Node, NodeId, Packet, SchedStats,
@@ -46,7 +45,7 @@ use h2priv_netsim::{
 use h2priv_tcp::{Seq, TcpSegment};
 use h2priv_web::{isidewith, Browser, RequestOutcome, SiteServer};
 
-use crate::host::{App, HostCore, HostOracle, PumpScratch};
+use crate::host::{App, BufPool, HostCore, HostOracle, PumpScratch};
 use crate::scenario::ScenarioConfig;
 use crate::tap::WireTap;
 
@@ -169,29 +168,42 @@ fn bystander_golden_order(seed: u64) -> Vec<usize> {
 const TOKEN_BATCH: u64 = 0;
 const TOKEN_DUE: u64 = 1;
 
-struct Slot {
-    pair: u32,
-    core: HostCore,
-    /// When this (client) core opens its connection.
-    start_at: SimTime,
-    started: bool,
-    /// Page load finished (client: browser done and send buffer drained,
-    /// or the connection died).
-    finished: bool,
-    finished_at: SimTime,
-}
+/// Sentinel for "pair not in this shard" in the dense pair-indexed maps.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Per-slot lifecycle bits, one byte per pair (hot: the pump reads and
+/// writes these every batch, so they pack cache-line-dense instead of
+/// riding inside a fat per-pair struct).
+const FLAG_STARTED: u8 = 1 << 0;
+/// Page load finished (client: browser done and send buffer drained, or
+/// the connection died).
+const FLAG_FINISHED: u8 = 1 << 1;
+const FLAG_DIRTY: u8 = 1 << 2;
 
 /// A slab of [`HostCore`]s of one side (all clients or all servers) behind
 /// a single netsim node.
+///
+/// Per-pair state is struct-of-arrays: the hot pump fields (`flags`,
+/// `pairs`, the cores themselves) are parallel vectors indexed by slot,
+/// and pair-id lookup is a dense `Vec` (pair ids are contiguous from 0)
+/// instead of a hash map — the demux on every delivered packet is one
+/// bounds-checked load.
 pub struct HostArena {
     is_client: bool,
     /// The opposite arena's node id (packet destination).
     peer: NodeId,
-    slots: Vec<Slot>,
-    by_pair: FxHashMap<u32, u32>,
+    /// The protocol cores, slot-indexed (SoA with `pairs`/`flags`).
+    cores: Vec<HostCore>,
+    /// Slot → pair id.
+    pairs: Vec<u32>,
+    /// Slot → when this (client) core opens its connection.
+    start_at: Vec<SimTime>,
+    /// Slot → lifecycle bits (`FLAG_*`).
+    flags: Vec<u8>,
+    /// Dense pair id → slot index ([`NO_SLOT`] for other shards' pairs).
+    slot_of_pair: Vec<u32>,
     /// Slots touched since the last batch pump, in touch order.
     dirty: Vec<u32>,
-    is_dirty: Vec<bool>,
     /// Pending per-core deadlines, lazily deleted: a popped entry whose
     /// core has since moved its deadline is just a cheap no-op pump.
     due: BinaryHeap<Reverse<(SimTime, u32)>>,
@@ -200,6 +212,10 @@ pub struct HostArena {
     /// The shared scratch: one decrypt/seal workspace for every core in
     /// the shard's arena, instead of per-host buffers.
     scratch: PumpScratch,
+    /// Free-list of recycled buffers: cores shed their big allocations
+    /// here when their page load completes, and later-starting cores
+    /// adopt them instead of growing the heap.
+    pool: BufPool,
     finished_count: usize,
 }
 
@@ -207,45 +223,43 @@ impl std::fmt::Debug for HostArena {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HostArena")
             .field("is_client", &self.is_client)
-            .field("slots", &self.slots.len())
+            .field("slots", &self.cores.len())
             .finish_non_exhaustive()
     }
 }
 
 impl HostArena {
-    fn new(is_client: bool, peer: NodeId) -> Self {
+    fn new(is_client: bool, peer: NodeId, population: u32) -> Self {
         HostArena {
             is_client,
             peer,
-            slots: Vec::new(),
-            by_pair: FxHashMap::default(),
+            cores: Vec::new(),
+            pairs: Vec::new(),
+            start_at: Vec::new(),
+            flags: Vec::new(),
+            slot_of_pair: vec![NO_SLOT; population as usize],
             dirty: Vec::new(),
-            is_dirty: Vec::new(),
             due: BinaryHeap::new(),
             due_timer: None,
             batch_armed: false,
             scratch: PumpScratch::default(),
+            pool: BufPool::default(),
             finished_count: 0,
         }
     }
 
     fn add(&mut self, pair: u32, core: HostCore, start_at: SimTime) {
-        let idx = self.slots.len() as u32;
-        self.by_pair.insert(pair, idx);
-        self.is_dirty.push(false);
-        self.slots.push(Slot {
-            pair,
-            core,
-            start_at,
-            started: false,
-            finished: false,
-            finished_at: SimTime::ZERO,
-        });
+        let idx = self.cores.len() as u32;
+        self.slot_of_pair[pair as usize] = idx;
+        self.cores.push(core);
+        self.pairs.push(pair);
+        self.start_at.push(start_at);
+        self.flags.push(0);
     }
 
     fn mark_dirty(&mut self, idx: u32) {
-        if !self.is_dirty[idx as usize] {
-            self.is_dirty[idx as usize] = true;
+        if self.flags[idx as usize] & FLAG_DIRTY == 0 {
+            self.flags[idx as usize] |= FLAG_DIRTY;
             self.dirty.push(idx);
         }
     }
@@ -265,11 +279,11 @@ impl HostArena {
         let peer = self.peer;
         for i in 0..self.dirty.len() {
             let idx = self.dirty[i];
-            self.is_dirty[idx as usize] = false;
-            let slot = &mut self.slots[idx as usize];
-            slot.core.pump_stages(now, &mut self.scratch);
-            let pair = slot.pair;
-            slot.core.flush_transmit(now, |seg| {
+            self.flags[idx as usize] &= !FLAG_DIRTY;
+            let core = &mut self.cores[idx as usize];
+            core.pump_stages(now, &mut self.scratch);
+            let pair = self.pairs[idx as usize];
+            core.flush_transmit(now, |seg| {
                 let wire_bytes = seg.wire_bytes();
                 ctx.send(Packet::new(
                     self_id,
@@ -278,19 +292,30 @@ impl HostArena {
                     FleetSegment { pair, seg },
                 ));
             });
-            if !slot.finished {
-                let done = slot.core.dead
+            if self.flags[idx as usize] & FLAG_FINISHED == 0 {
+                let done = core.dead
                     || (self.is_client
-                        && matches!(&slot.core.app, App::Client(b) if b.is_done())
-                        && slot.core.tcp.send_drained());
+                        && matches!(&core.app, App::Client(b) if b.is_done())
+                        && core.tcp.send_drained());
                 if done {
-                    slot.finished = true;
-                    slot.finished_at = now;
+                    self.flags[idx as usize] |= FLAG_FINISHED;
                     self.finished_count += 1;
+                    // The page load is over: return this core's big buffers
+                    // to the shard pool for cores still to start.
+                    core.shed_buffers(&mut self.pool);
+                } else if !self.is_client && core.tcp.send_drained() && core.app_wakeup().is_none()
+                {
+                    // A server never "finishes" — it can't know the client
+                    // is done — but fully quiescent (everything acked, no
+                    // worker pending) it sheds opportunistically: only
+                    // empty capacity moves, so a new request wave merely
+                    // reallocates, and in a one-load-per-pair fleet this
+                    // is what returns the server side's memory.
+                    core.shed_buffers(&mut self.pool);
                 }
             }
-            if !slot.core.dead {
-                let next = match (slot.core.tcp.poll_timeout(), slot.core.app_wakeup()) {
+            if !core.dead {
+                let next = match (core.tcp.poll_timeout(), core.app_wakeup()) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
@@ -303,7 +328,7 @@ impl HostArena {
         // The whole fleet is done when every client finished; the clients'
         // arena halts the shard (mirroring the single-pair host's
         // halt-when-done), which also releases idle-connection timers.
-        if self.is_client && !self.slots.is_empty() && self.finished_count == self.slots.len() {
+        if self.is_client && !self.cores.is_empty() && self.finished_count == self.cores.len() {
             ctx.halt();
         }
         self.rearm_due(ctx);
@@ -330,19 +355,19 @@ impl HostArena {
 
     fn on_start(&mut self, ctx: &mut Context<'_, FleetSegment>) {
         if self.is_client {
-            for (idx, slot) in self.slots.iter().enumerate() {
-                self.due.push(Reverse((slot.start_at, idx as u32)));
+            for (idx, &at) in self.start_at.iter().enumerate() {
+                self.due.push(Reverse((at, idx as u32)));
             }
         }
         self.rearm_due(ctx);
     }
 
     fn on_packet(&mut self, packet: Packet<FleetSegment>, ctx: &mut Context<'_, FleetSegment>) {
-        let Some(&idx) = self.by_pair.get(&packet.payload.pair) else {
-            return;
+        let idx = match self.slot_of_pair.get(packet.payload.pair as usize) {
+            Some(&idx) if idx != NO_SLOT => idx,
+            _ => return,
         };
-        self.slots[idx as usize]
-            .core
+        self.cores[idx as usize]
             .tcp
             .on_segment(packet.payload.seg, ctx.now());
         self.mark_dirty(idx);
@@ -360,14 +385,18 @@ impl HostArena {
                     break;
                 }
                 self.due.pop();
-                let slot = &mut self.slots[idx as usize];
-                if !slot.started && slot.start_at <= now {
-                    slot.started = true;
-                    slot.core.begin();
+                let core = &mut self.cores[idx as usize];
+                if self.flags[idx as usize] & FLAG_STARTED == 0
+                    && self.start_at[idx as usize] <= now
+                {
+                    self.flags[idx as usize] |= FLAG_STARTED;
+                    // Reuse buffers earlier page loads returned to the pool.
+                    core.adopt_buffers(&mut self.pool);
+                    core.begin();
                 }
                 // The RTO check the single-pair host runs on its TCP timer;
                 // a no-op when no deadline actually expired (lazy entries).
-                slot.core.tcp.on_tick(now);
+                core.tcp.on_tick(now);
                 self.mark_dirty(idx);
             }
         }
@@ -408,10 +437,16 @@ struct PairChain {
 /// instrumented pairs with [`GatewayNode`]-equivalent hold/shape/drop
 /// semantics.
 ///
+/// Chain lookup is a dense pair-indexed `Vec` — the uninstrumented common
+/// case (every bystander packet) is a single load hitting [`NO_SLOT`],
+/// not a hash probe.
+///
 /// [`GatewayNode`]: h2priv_netsim::GatewayNode
 pub struct FleetGateway {
     left: NodeId,
-    chains: FxHashMap<u32, PairChain>,
+    /// Dense pair id → index into `chains` ([`NO_SLOT`] = uninstrumented).
+    chain_of_pair: Vec<u32>,
+    chains: Vec<PairChain>,
     stats: GatewayStats,
 }
 
@@ -425,23 +460,22 @@ impl std::fmt::Debug for FleetGateway {
 }
 
 impl FleetGateway {
-    fn new(left: NodeId) -> Self {
+    fn new(left: NodeId, population: u32) -> Self {
         FleetGateway {
             left,
-            chains: FxHashMap::default(),
+            chain_of_pair: vec![NO_SLOT; population as usize],
+            chains: Vec::new(),
             stats: GatewayStats::default(),
         }
     }
 
     fn add_chain(&mut self, pair: u32, chain: Vec<Box<dyn Middlebox<TcpSegment>>>) {
-        self.chains.insert(
-            pair,
-            PairChain {
-                chain,
-                shaping: h2priv_netsim::ShapingState::default(),
-                busy: [SimTime::ZERO; 2],
-            },
-        );
+        self.chain_of_pair[pair as usize] = self.chains.len() as u32;
+        self.chains.push(PairChain {
+            chain,
+            shaping: h2priv_netsim::ShapingState::default(),
+            busy: [SimTime::ZERO; 2],
+        });
     }
 }
 
@@ -454,7 +488,11 @@ impl Node<FleetSegment> for FleetGateway {
         };
         let mut hold = SimDuration::ZERO;
         let mut shaping = SimDuration::ZERO;
-        if let Some(pc) = self.chains.get_mut(&packet.payload.pair) {
+        let chain_idx = match self.chain_of_pair.get(packet.payload.pair as usize) {
+            Some(&i) if i != NO_SLOT => Some(i as usize),
+            _ => None,
+        };
+        if let Some(pc) = chain_idx.map(|i| &mut self.chains[i]) {
             // Middleboxes are written against Packet<TcpSegment>; give them
             // a view of this packet (the segment's payload is shared bytes,
             // so the clone is a refcount bump, not a copy).
@@ -621,25 +659,41 @@ pub fn run_fleet_shard(
     let victim_golden = victim_golden_order(config.seed);
     let victim_site = victim_here.then(|| isidewith::build(&victim_golden));
     let bystander_site = isidewith::build(&bystander_golden_order(config.seed));
+    // One shared server-side site per variant for the whole shard, bodies
+    // generated exactly once: every `SiteServer` holds an `Rc` into it, so
+    // object tables and body buffers don't multiply with the population.
+    let shared_site = |iside: &isidewith::Isidewith| {
+        let mut site = iside.site.clone();
+        site.materialize_bodies();
+        Rc::new(site)
+    };
+    let victim_shared = victim_site.as_ref().map(&shared_site);
+    let bystander_shared = shared_site(&bystander_site);
+    let authority: Rc<str> = Rc::from("www.isidewith.com");
 
     let trace = Rc::new(RefCell::new(WireTrace::new()));
     let truth = Rc::new(RefCell::new(GroundTruth::new()));
     let sink = (config.conformance != FleetConformance::Off).then(ViolationSink::new);
 
-    let mut clients = HostArena::new(true, server_arena_id);
-    let mut servers = HostArena::new(false, client_arena_id);
-    let mut gateway = FleetGateway::new(client_arena_id);
+    let mut clients = HostArena::new(true, server_arena_id, config.population);
+    let mut servers = HostArena::new(false, client_arena_id, config.population);
+    let mut gateway = FleetGateway::new(client_arena_id, config.population);
 
     let spread_us = config.start_spread.as_micros();
     for &pair in &pairs {
         let mut pair_rng = SimRng::seed_from(mix(config.seed, 0xFA11 ^ pair as u64));
         let is_victim = pair == VICTIM_PAIR;
-        let iside = if is_victim {
-            victim_site
-                .as_ref()
-                .expect("victim site built for its shard")
+        let (iside, server_site) = if is_victim {
+            (
+                victim_site
+                    .as_ref()
+                    .expect("victim site built for its shard"),
+                victim_shared
+                    .as_ref()
+                    .expect("victim shared site built for its shard"),
+            )
         } else {
-            &bystander_site
+            (&bystander_site, &bystander_shared)
         };
         let browser = Browser::new(
             &iside.site,
@@ -654,7 +708,7 @@ pub fn run_fleet_shard(
             scen.tcp.clone(),
             scen.client_h2.clone(),
             session_key,
-            "www.isidewith.com".into(),
+            authority.clone(),
             None,
             scen.socket_buffer,
         );
@@ -662,7 +716,7 @@ pub fn run_fleet_shard(
         // the whole shard.
         client_core.halt_when_done = false;
 
-        let server_app = SiteServer::new(iside.site.clone(), scen.server.clone(), pair_rng.fork());
+        let server_app = SiteServer::new(server_site.clone(), scen.server.clone(), pair_rng.fork());
         let mut server_tcp = scen.tcp.clone();
         server_tcp.iss = Seq(700_000);
         let mut server_core = HostCore::new_server(
@@ -737,22 +791,22 @@ pub fn run_fleet_shard(
     let mut requests = 0u64;
     let mut requests_complete = 0u64;
     let mut victim = None;
-    for slot in &clients.slots {
-        let server_dead = servers
-            .by_pair
-            .get(&slot.pair)
-            .map(|&i| servers.slots[i as usize].core.dead)
-            .unwrap_or(false);
-        let dead = slot.core.dead || server_dead;
+    for idx in 0..clients.cores.len() {
+        let pair = clients.pairs[idx];
+        let server_dead = match servers.slot_of_pair[pair as usize] {
+            NO_SLOT => false,
+            i => servers.cores[i as usize].dead,
+        };
+        let dead = clients.cores[idx].dead || server_dead;
         if dead {
             broken += 1;
-        } else if slot.finished {
+        } else if clients.flags[idx] & FLAG_FINISHED != 0 {
             completed += 1;
         }
-        let outcomes = slot.core.browser().outcomes();
+        let outcomes = clients.cores[idx].browser().outcomes();
         requests += outcomes.len() as u64;
         requests_complete += outcomes.iter().filter(|o| o.completed_at.is_some()).count() as u64;
-        if slot.pair == VICTIM_PAIR {
+        if pair == VICTIM_PAIR {
             victim = Some(VictimCapture {
                 golden_order: victim_golden.clone(),
                 trace: std::mem::replace(&mut *trace.borrow_mut(), WireTrace::new()),

@@ -18,7 +18,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use h2priv_analysis::GroundTruth;
-use h2priv_bytes::{FxHashMap, SharedBytes};
+use h2priv_bytes::SharedBytes;
 use h2priv_conformance::{H2LedgerChecker, TcpEndpointChecker, ViolationSink};
 use h2priv_http2::{
     ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId,
@@ -49,6 +49,37 @@ pub(crate) struct PumpScratch {
     /// Frame metadata plus run-relative sealed byte ranges (outbound); the
     /// ground-truth annotation replays these after the single bulk write.
     spans: Vec<(OutgoingMeta, usize, usize)>,
+}
+
+/// A free-list of recycled byte buffers shared by every host of one
+/// arena (one pool per shard side).
+///
+/// Cores shed their idle buffers here when their page load completes
+/// ([`HostCore::shed_buffers`]) and cores about to start adopt them
+/// ([`HostCore::adopt_buffers`]), so a staggered fleet's heap tracks the
+/// *concurrently active* page loads instead of growing with every pair
+/// that ever ran. Bounded: beyond [`BufPool::MAX_BUFS`] buffers are
+/// dropped (actually freed) rather than hoarded.
+#[derive(Debug, Default)]
+pub(crate) struct BufPool {
+    bufs: Vec<Vec<u8>>,
+}
+
+impl BufPool {
+    /// Enough to warm a burst of simultaneously-starting page loads;
+    /// beyond this, shedding really frees.
+    const MAX_BUFS: usize = 64;
+
+    pub(crate) fn put(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() > 0 && self.bufs.len() < Self::MAX_BUFS {
+            buf.clear();
+            self.bufs.push(buf);
+        }
+    }
+
+    pub(crate) fn get(&mut self) -> Option<Vec<u8>> {
+        self.bufs.pop()
+    }
 }
 
 /// Endpoint-side conformance checkers attached to one host: an HTTP/2
@@ -100,8 +131,11 @@ pub struct HostCore {
     /// targets — recording per-byte truth for 100k pairs would dwarf the
     /// simulation itself.
     truth: Option<Rc<RefCell<GroundTruth>>>,
-    /// stream → object being served (server side).
-    stream_objects: FxHashMap<StreamId, ObjectId>,
+    /// stream → object being served (server side). A small ordered list,
+    /// not a map — a page load serves a handful of streams — and filled
+    /// only when `truth` is present (it exists solely to label sealed
+    /// byte ranges), so bystander pairs keep it empty.
+    stream_objects: Vec<(StreamId, ObjectId)>,
     /// True once the TLS handshake completed.
     tls_established: bool,
     /// The peer's node id.
@@ -110,14 +144,19 @@ pub struct HostCore {
     pub dead: bool,
     /// Halt the whole simulation when this host is finished (client).
     pub(crate) halt_when_done: bool,
-    authority: String,
+    /// The `:authority` every request carries; shared (`Rc<str>`) so a
+    /// fleet shard's clients all point at one allocation.
+    authority: Rc<str>,
     /// Modeled kernel socket send-buffer size: the HTTP/2 mux is pulled
     /// only while TCP's unacknowledged backlog is below this. This
     /// backpressure is what keeps several response streams pending in the
     /// mux simultaneously — i.e. what makes multiplexing happen at all.
     socket_buffer: usize,
-    /// Conformance checkers, when the scenario enables the oracle.
-    oracle: Option<HostOracle>,
+    /// Conformance checkers, when the scenario enables the oracle. Boxed:
+    /// the checkers' ledgers are by far the fattest fields a host can
+    /// carry, and fleet bystanders don't carry them — `None` costs a
+    /// pointer, not the full struct.
+    oracle: Option<Box<HostOracle>>,
 }
 
 impl HostCore {
@@ -129,7 +168,7 @@ impl HostCore {
         tcp: TcpConfig,
         h2: H2Config,
         session_key: u64,
-        authority: String,
+        authority: Rc<str>,
         truth: Option<Rc<RefCell<GroundTruth>>>,
         socket_buffer: usize,
     ) -> HostCore {
@@ -139,7 +178,7 @@ impl HostCore {
             h2: H2Connection::new_client(h2),
             app: App::Client(browser),
             truth,
-            stream_objects: FxHashMap::default(),
+            stream_objects: Vec::new(),
             tls_established: false,
             peer,
             dead: false,
@@ -166,12 +205,12 @@ impl HostCore {
             h2: H2Connection::new_server(h2),
             app: App::Server(server),
             truth,
-            stream_objects: FxHashMap::default(),
+            stream_objects: Vec::new(),
             tls_established: false,
             peer,
             dead: false,
             halt_when_done: false,
-            authority: String::new(),
+            authority: Rc::from(""),
             socket_buffer,
             oracle: None,
         }
@@ -218,7 +257,7 @@ impl HostCore {
     /// Attaches conformance checkers; every byte pumped from here on is
     /// validated.
     pub fn set_oracle(&mut self, oracle: HostOracle) {
-        self.oracle = Some(oracle);
+        self.oracle = Some(Box::new(oracle));
     }
 
     /// Queues the TLS first flight on a client core. Call once before the
@@ -237,6 +276,36 @@ impl HostCore {
             App::Client(b) => b.next_wakeup(),
             App::Server(s) => s.next_wakeup(),
         }
+    }
+
+    /// Returns every idle buffer across the stack to `pool` — the TCP send
+    /// rope's recycled chunk and drained reassembly buffer, the TLS record
+    /// reader's stash, and the HTTP/2 frame-buffer pool. Called when this
+    /// core's page load completes; sheds only empty capacity, so a core
+    /// that receives again afterwards just reallocates small.
+    pub(crate) fn shed_buffers(&mut self, pool: &mut BufPool) {
+        let mut sink = |buf: Vec<u8>| pool.put(buf);
+        self.tcp.shed_spare_capacity(&mut sink);
+        self.tls.shed_spare_capacity(&mut sink);
+        self.h2.shed_spare_capacity(&mut sink);
+        self.stream_objects.shrink_to_fit();
+    }
+
+    /// Warms this core's buffers from `pool` before its first pump, so a
+    /// page load starting after others finished reuses their capacity
+    /// instead of growing the heap. The HTTP/2 frame pool takes at most
+    /// two (frames are small; the big wins are the TCP/TLS buffers).
+    pub(crate) fn adopt_buffers(&mut self, pool: &mut BufPool) {
+        self.tcp.adopt_spare_capacity(&mut || pool.get());
+        self.tls.adopt_spare_capacity(&mut || pool.get());
+        let mut h2_budget = 2usize;
+        self.h2.adopt_spare_capacity(&mut || {
+            if h2_budget == 0 {
+                return None;
+            }
+            h2_budget -= 1;
+            pool.get()
+        });
     }
 }
 
@@ -273,7 +342,7 @@ impl Host {
             tcp,
             h2,
             session_key,
-            authority.into(),
+            Rc::from(authority.into()),
             Some(truth),
             socket_buffer,
         )));
@@ -539,7 +608,7 @@ impl HostCore {
                             let headers = vec![
                                 HeaderField::new(":method", "GET"),
                                 HeaderField::new(":scheme", "https"),
-                                HeaderField::new(":authority", authority.clone()),
+                                HeaderField::new(":authority", &**authority),
                                 HeaderField::new(":path", path),
                                 HeaderField::new("user-agent", "h2priv-firefox/74.0"),
                                 HeaderField::new("accept", "*/*"),
@@ -556,10 +625,16 @@ impl HostCore {
                 }
             }
             App::Server(server) => {
+                let record_truth = self.truth.is_some();
                 for response in server.due_responses(now) {
                     progressed = true;
-                    if let Some(object) = response.object {
-                        self.stream_objects.insert(response.stream, object);
+                    // The stream → object ledger exists only to label the
+                    // ground truth's sealed ranges; without a truth sink
+                    // (fleet bystanders) recording it would be dead weight.
+                    if record_truth {
+                        if let Some(object) = response.object {
+                            self.stream_objects.push((response.stream, object));
+                        }
                     }
                     // A reset may have raced the worker: ignore errors.
                     if self
@@ -644,7 +719,13 @@ impl HostCore {
                     {
                         use h2priv_http2::FrameType;
                         if matches!(frame_type, FrameType::Data | FrameType::Headers) {
-                            if let Some(&object) = self.stream_objects.get(&stream_id) {
+                            let served = self
+                                .stream_objects
+                                .iter()
+                                .rev()
+                                .find(|&&(s, _)| s == stream_id)
+                                .map(|&(_, o)| o);
+                            if let Some(object) = served {
                                 truth.add_range(
                                     base + start as u64,
                                     base + end as u64,

@@ -156,6 +156,26 @@ impl RecordReader {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Surrenders the stash buffer's capacity (for a buffer pool) when no
+    /// partial record is pending. Streams that are done free their stash;
+    /// a reader that receives again simply reallocates.
+    pub fn take_buf_spare(&mut self) -> Option<Vec<u8>> {
+        if self.pos == 0 && self.buf.is_empty() && self.buf.capacity() > 0 {
+            Some(std::mem::take(&mut self.buf))
+        } else {
+            None
+        }
+    }
+
+    /// Seeds the stash buffer with recycled capacity; kept only when the
+    /// current buffer is empty with none. `buf` is cleared.
+    pub fn give_buf_spare(&mut self, mut buf: Vec<u8>) {
+        if self.pos == 0 && self.buf.is_empty() && self.buf.capacity() == 0 && buf.capacity() > 0 {
+            buf.clear();
+            self.buf = buf;
+        }
+    }
+
     /// Reclaims the consumed prefix. Called only when parsing pauses, so
     /// the cost is once per burst of records, not once per record.
     fn compact(&mut self) {

@@ -142,6 +142,22 @@ impl TlsSession {
         self.role
     }
 
+    /// Surrenders the record reader's idle stash buffer to `sink` (for a
+    /// buffer pool), if it is empty. See [`RecordReader::take_buf_spare`].
+    pub fn shed_spare_capacity(&mut self, sink: &mut dyn FnMut(Vec<u8>)) {
+        if let Some(buf) = self.reader.take_buf_spare() {
+            sink(buf);
+        }
+    }
+
+    /// Warms the record reader's stash from recycled capacity. See
+    /// [`RecordReader::give_buf_spare`].
+    pub fn adopt_spare_capacity(&mut self, supply: &mut dyn FnMut() -> Option<Vec<u8>>) {
+        if let Some(buf) = supply() {
+            self.reader.give_buf_spare(buf);
+        }
+    }
+
     /// True once the handshake has completed.
     pub fn is_established(&self) -> bool {
         self.state == HandshakeState::Established

@@ -10,6 +10,8 @@
 //! serving another copy — exactly the duplicate-service behaviour the paper
 //! reports under retransmitted requests (§IV-B).
 
+use std::rc::Rc;
+
 use h2priv_bytes::SharedBytes;
 use h2priv_http2::{HeaderField, StreamId};
 use h2priv_netsim::{DurationDist, SimRng, SimTime};
@@ -65,7 +67,10 @@ struct Worker {
 /// The server application state machine.
 #[derive(Debug)]
 pub struct SiteServer {
-    site: Website,
+    /// The site, shared: a fleet shard builds one `Rc<Website>` (bodies
+    /// materialized) and every server of the shard serves from it — one
+    /// copy of the object table and bodies per shard, not per pair.
+    site: Rc<Website>,
     config: SiteServerConfig,
     workers: Vec<Worker>,
     requests_seen: u64,
@@ -73,10 +78,11 @@ pub struct SiteServer {
 }
 
 impl SiteServer {
-    /// Creates a server for `site`.
-    pub fn new(site: Website, config: SiteServerConfig, rng: SimRng) -> Self {
+    /// Creates a server for `site`. Accepts a `Website` by value (it is
+    /// wrapped) or an `Rc<Website>` shared with other servers.
+    pub fn new(site: impl Into<Rc<Website>>, config: SiteServerConfig, rng: SimRng) -> Self {
         SiteServer {
-            site,
+            site: site.into(),
             config,
             workers: Vec::new(),
             requests_seen: 0,
@@ -146,14 +152,19 @@ impl SiteServer {
                     let body = match self.config.pad_bucket {
                         // Padding rewrites the body, so the defense path
                         // materializes its own copy; the undefended path
-                        // serves the memoized shared body as-is.
+                        // serves the shared body as-is — the site's
+                        // materialized copy when present, else the
+                        // per-thread memo.
                         Some(bucket) => {
                             let mut body = obj.body();
                             let padded = body.len().div_ceil(bucket.max(1)) * bucket.max(1);
                             body.resize(padded, 0);
                             SharedBytes::from_vec(body)
                         }
-                        None => obj.shared_body(),
+                        None => self
+                            .site
+                            .shared_body_of(id)
+                            .unwrap_or_else(|| obj.shared_body()),
                     };
                     Response {
                         stream: w.stream,

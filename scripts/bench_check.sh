@@ -2,7 +2,9 @@
 # Perf regression gate: re-times the fast exhibits (fig1, table2) and
 # the population-scale fleet exhibit with fresh `repro --bench-json`
 # runs and fails when events/sec drops more than 20% below the
-# checked-in BENCH_repro.json baseline. Built to
+# checked-in BENCH_repro.json baseline, or when the fleet exhibit's
+# bytes-per-co-resident-pair (the counting-allocator telemetry) grows
+# more than 20% above it. Built to
 # tolerate CI noise without missing real regressions: shared CI hosts
 # oscillate in speed on minute timescales, and fig1 is a ~1 ms exhibit
 # whose single-run rate is mostly scheduler jitter — so the gate makes up
@@ -33,6 +35,11 @@ for attempt in $(seq 1 "$attempts"); do
             if (NR == FNR)            base[name] = $2
             else if ($2 > cur[name])  cur[name]  = $2
         }
+        /"bytes_per_pair"/ {
+            gsub(/,/, "", $2)
+            if (NR == FNR)                                     base_mem[name] = $2
+            else if (!(name in cur_mem) || $2 < cur_mem[name]) cur_mem[name]  = $2
+        }
         END {
             status = 0
             checked = 0
@@ -44,6 +51,20 @@ for attempt in $(seq 1 "$attempts"); do
                        name, cur[name], base[name], (ratio - 1) * 100
                 if (ratio < 0.80) {
                     printf "bench-check: %s regressed more than 20%%\n", name
+                    status = 1
+                }
+            }
+            # Memory gate: bytes per co-resident pair, for exhibits that
+            # report it (fleet). Allocation is near-deterministic, but the
+            # same best-of-attempts tolerance shields allocator drift.
+            for (name in cur_mem) {
+                if (!(name in base_mem) || base_mem[name] == 0) continue
+                checked++
+                ratio = cur_mem[name] / base_mem[name]
+                printf "bench-check: %-8s best %12.0f bytes/pair vs baseline %12.0f (%+.1f%%)\n",
+                       name, cur_mem[name], base_mem[name], (ratio - 1) * 100
+                if (ratio > 1.20) {
+                    printf "bench-check: %s memory regressed more than 20%%\n", name
                     status = 1
                 }
             }
@@ -64,7 +85,7 @@ for attempt in $(seq 1 "$attempts"); do
     fi
 done
 
-echo "bench-check: FAIL: best of $attempts attempts still >20% below baseline"
+echo "bench-check: FAIL: best of $attempts attempts still >20% worse than baseline"
 echo "bench-check: (if this host is simply slower than the one that recorded"
 echo "bench-check: BENCH_repro.json, regenerate it: ./target/release/repro --bench-json)"
 exit 1
