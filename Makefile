@@ -1,6 +1,6 @@
 # Convenience targets; each is a thin wrapper over cargo.
 
-.PHONY: build test lint bench bench-check bench-sched bench-fleet bench-fleet-mem check-conformance repro repro-quick
+.PHONY: build test lint bench bench-check bench-sched bench-defense bench-fleet bench-fleet-mem check-conformance repro repro-quick
 
 build:
 	cargo build --release --workspace
@@ -19,6 +19,12 @@ bench-check:
 
 bench-sched:
 	cargo bench -p h2priv-bench --bench sched
+
+# The countermeasure arena: every defense vs. the adversary grid, with
+# the conformance oracle attached (exit 2 on any violation). Use
+# `--defense <name>` via `make repro` to evaluate a single defense.
+bench-defense:
+	cargo run --release -p h2priv-bench --bin repro -- defend --check
 
 # The population-scale exhibit at fleet size: 10k client-server pairs
 # sharded over 8 engines. Byte-identical at any --threads.

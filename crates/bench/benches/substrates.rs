@@ -41,6 +41,7 @@ fn bench_frame_codec(h: &mut Harness) {
         stream_id: StreamId(7),
         end_stream: false,
         data: vec![0xAB; 2048].into(),
+        pad: None,
     };
     {
         let frame = frame.clone();

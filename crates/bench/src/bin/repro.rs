@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--json] [--check] [--threads N] [--trials N]
-//!       [--population N] [--shards N] [--bench-json[=PATH]]
-//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations] [fleet]
+//!       [--population N] [--shards N] [--defense NAME] [--bench-json[=PATH]]
+//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations] [defend] [fleet]
 //! ```
 //!
 //! With no exhibit names, everything runs. `--quick` uses 25 trials per
@@ -21,6 +21,12 @@
 //! shard count — not the thread count — fixes the partition, so fleet
 //! output is also byte-identical at any `--threads`.
 //!
+//! The `defend` exhibit runs the countermeasure arena: every defense in
+//! `DefenseSpec::arena` against the escalating adversary grid, reporting
+//! attack success and byte/latency overhead per cell. `--defense NAME`
+//! narrows it to `[none, NAME]` (the baseline stays so overheads are
+//! well-defined) and also deploys NAME fleet-wide in the `fleet` exhibit.
+//!
 //! `--check` attaches the cross-layer conformance oracle
 //! (`h2priv-conformance`) to every trial: TCP, TLS and HTTP/2 invariants
 //! are validated on every segment, record and frame, a summary goes to
@@ -30,8 +36,9 @@
 use std::time::Instant;
 
 use h2priv_bench::json::{object, Json, ToJson};
-use h2priv_bench::{ablations, common, fig1, fig5, fleet, ivd, runner, table1, table2};
+use h2priv_bench::{ablations, common, defend, fig1, fig5, fleet, ivd, runner, table1, table2};
 use h2priv_bytes::count_alloc;
+use h2priv_defense::DefenseSpec;
 
 /// The byte-gauging allocator: two relaxed atomics per allocator call buy
 /// the `peak_alloc_bytes` / `bytes_per_pair` memory telemetry reported in
@@ -98,13 +105,17 @@ impl ToJson for ExhibitTiming {
 }
 
 fn parse_flag_value(args: &[String], flag: &str) -> Option<u64> {
+    parse_flag_str(args, flag).and_then(|v| v.parse().ok())
+}
+
+fn parse_flag_str(args: &[String], flag: &str) -> Option<String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == flag {
-            return it.next().and_then(|v| v.parse().ok());
+            return it.next().cloned();
         }
         if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
-            return v.parse().ok();
+            return Some(v.to_owned());
         }
     }
     None
@@ -134,12 +145,28 @@ fn main() {
     let population =
         parse_flag_value(&args, "--population").unwrap_or(if quick { 128 } else { 1_000 }) as u32;
     let shards = parse_flag_value(&args, "--shards").unwrap_or(8).max(1) as u32;
+    let defense = match parse_flag_str(&args, "--defense") {
+        Some(name) => match DefenseSpec::parse(&name) {
+            Some(spec) => Some(spec),
+            None => {
+                let names: Vec<&str> = DefenseSpec::arena().iter().map(|d| d.name()).collect();
+                eprintln!("unknown defense {name:?}; valid: {}", names.join(", "));
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
     let wanted: Vec<&str> = {
         // Skip flags and their detached values.
         let mut names = Vec::new();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
-            if a == "--threads" || a == "--trials" || a == "--population" || a == "--shards" {
+            if a == "--threads"
+                || a == "--trials"
+                || a == "--population"
+                || a == "--shards"
+                || a == "--defense"
+            {
                 it.next();
             } else if !a.starts_with("--") {
                 names.push(a.as_str());
@@ -241,10 +268,33 @@ fn main() {
             }
         });
     }
+    if want("defend") {
+        // The frontier is 4 adversary cells per defense; cap per-cell
+        // trials like the ablation sweep does.
+        let defend_trials = trials.min(25);
+        // A chosen defense still runs next to the undefended baseline so
+        // the overhead columns keep their denominator.
+        let defenses: Vec<DefenseSpec> = match defense {
+            Some(spec) if spec != DefenseSpec::None => vec![DefenseSpec::None, spec],
+            _ => DefenseSpec::arena().to_vec(),
+        };
+        timed(
+            "defend",
+            defend_trials * defenses.len() as u64 * 4,
+            &mut || {
+                let cells = defend::run_subset(defend_trials, &defenses);
+                if json {
+                    println!("{}", h2priv_bench::json::to_string_pretty(&cells));
+                } else {
+                    println!("{}", defend::render(&cells));
+                }
+            },
+        );
+    }
     if want("fleet") {
         let mut report = None;
         timed("fleet", population as u64, &mut || {
-            let r = fleet::run(population, shards);
+            let r = fleet::run(population, shards, defense.unwrap_or(DefenseSpec::None));
             if json {
                 println!("{}", h2priv_bench::json::to_string_pretty(&r));
             } else {

@@ -1,0 +1,294 @@
+//! Defense frontier — the countermeasure arena vs. the adversary grid.
+//!
+//! Evaluates every defense in [`DefenseSpec::arena`] against the paper's
+//! escalating adversary (nothing → jitter → jitter+throttle → the full §V
+//! jitter×throttle×drop attack) and reports, per cell, what the attacker
+//! still recovers and what the defense costs:
+//!
+//! * **seq %** — full victim recovery (all 8 display ranks correct): the
+//!   paper's headline privacy loss;
+//! * **HTML %** — the §V success criterion on the HTML (degree 0 and
+//!   identified);
+//! * **ident %** — emblem images matched by size at all;
+//! * **+bytes %** — response-direction wire overhead vs. the undefended
+//!   run under the same adversary (padding, dummy records, retransmits);
+//! * **+load %** — page-load-time overhead vs. the undefended run under
+//!   the same adversary (pacing holds, serialization of padded bytes).
+//!
+//! Per Kerckhoffs' principle the adversary knows the deployed defense and
+//! calibrates its size map against the *defended* server
+//! ([`calibrate_size_map_with`]); a defense only scores if it survives an
+//! adversary that adapted to it.
+
+use h2priv_core::experiment::{calibrate_size_map_with, objects_of_interest, paper_scenario};
+use h2priv_core::AttackConfig;
+use h2priv_defense::DefenseSpec;
+use h2priv_netsim::{mbps, Dir, SimDuration};
+
+use crate::common::{run_batch, Batch};
+use crate::json::{object, Json, ToJson};
+
+/// One (defense × adversary) cell of the frontier.
+#[derive(Debug, Clone)]
+pub struct DefendCell {
+    /// Defense name (from [`DefenseSpec::name`]).
+    pub defense: &'static str,
+    /// Adversary label.
+    pub attack: &'static str,
+    /// Full victim recovery: all 8 display ranks predicted correctly, %.
+    pub sequence_pct: f64,
+    /// §V HTML success criterion, %.
+    pub html_success_pct: f64,
+    /// Emblem images identified by size matching, %.
+    pub ident_pct: f64,
+    /// Mean response-direction wire bytes per trial.
+    pub wire_bytes_mean: f64,
+    /// Wire-byte overhead vs. the undefended cell under the same
+    /// adversary, %.
+    pub added_bytes_pct: f64,
+    /// Mean page load time, ms.
+    pub load_ms_mean: f64,
+    /// Load-time overhead vs. the undefended cell under the same
+    /// adversary, %.
+    pub added_load_pct: f64,
+    /// Mean dummy records sealed per trial (shaping defenses).
+    pub dummies_mean: f64,
+    /// Trials whose connection broke, %.
+    pub broken_pct: f64,
+}
+
+impl ToJson for DefendCell {
+    fn to_json(&self) -> Json {
+        object([
+            ("defense", self.defense.to_json()),
+            ("attack", self.attack.to_json()),
+            ("sequence_pct", self.sequence_pct.to_json()),
+            ("html_success_pct", self.html_success_pct.to_json()),
+            ("ident_pct", self.ident_pct.to_json()),
+            ("wire_bytes_mean", self.wire_bytes_mean.to_json()),
+            ("added_bytes_pct", self.added_bytes_pct.to_json()),
+            ("load_ms_mean", self.load_ms_mean.to_json()),
+            ("added_load_pct", self.added_load_pct.to_json()),
+            ("dummies_mean", self.dummies_mean.to_json()),
+            ("broken_pct", self.broken_pct.to_json()),
+        ])
+    }
+}
+
+/// The adversary grid: each escalation step of §IV/§V.
+fn attack_grid() -> [(&'static str, Option<AttackConfig>); 4] {
+    [
+        ("no attack", None),
+        (
+            "jitter 80ms",
+            Some(AttackConfig::jitter_only(SimDuration::from_millis(80))),
+        ),
+        (
+            "jitter+throttle",
+            Some(AttackConfig::jitter_and_throttle(
+                SimDuration::from_millis(80),
+                mbps(800),
+            )),
+        ),
+        ("full SV attack", Some(AttackConfig::paper_attack())),
+    ]
+}
+
+fn sequence_pct(batch: &Batch) -> f64 {
+    if batch.trials.is_empty() {
+        return 0.0;
+    }
+    batch
+        .trials
+        .iter()
+        .filter(|(_, a)| a.full_sequence_correct)
+        .count() as f64
+        * 100.0
+        / batch.trials.len() as f64
+}
+
+fn ident_pct(batch: &Batch) -> f64 {
+    let total = batch.trials.len() * 8;
+    if total == 0 {
+        return 0.0;
+    }
+    batch
+        .trials
+        .iter()
+        .map(|(_, a)| (1..9).filter(|&i| a.objects[i].identified).count())
+        .sum::<usize>() as f64
+        * 100.0
+        / total as f64
+}
+
+fn wire_bytes_mean(batch: &Batch) -> f64 {
+    let bytes: Vec<f64> = batch
+        .trials
+        .iter()
+        .map(|(t, _)| t.result.trace.bytes_in_dir(Dir::RightToLeft) as f64)
+        .collect();
+    h2priv_analysis::stats::mean(&bytes)
+}
+
+fn load_ms_mean(batch: &Batch) -> f64 {
+    let loads: Vec<f64> = batch
+        .trials
+        .iter()
+        .filter_map(|(t, _)| {
+            t.result
+                .outcomes
+                .iter()
+                .filter_map(|o| o.completed_at)
+                .max()
+                .map(|t| t.as_nanos() as f64 / 1e6)
+        })
+        .collect();
+    h2priv_analysis::stats::mean(&loads)
+}
+
+fn dummies_mean(batch: &Batch) -> f64 {
+    let counts: Vec<f64> = batch
+        .trials
+        .iter()
+        .map(|(t, _)| t.result.defense_dummies as f64)
+        .collect();
+    h2priv_analysis::stats::mean(&counts)
+}
+
+fn overhead_pct(defended: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        return 0.0;
+    }
+    (defended / baseline - 1.0) * 100.0
+}
+
+/// Runs the full frontier: every arena defense under every adversary cell.
+pub fn run(trials: u64) -> Vec<DefendCell> {
+    run_subset(trials, &DefenseSpec::arena())
+}
+
+/// Runs the frontier for a chosen defense set (`repro defend --defense
+/// <name>` evaluates `[none, <name>]` so overheads keep their baseline).
+pub fn run_subset(trials: u64, defenses: &[DefenseSpec]) -> Vec<DefendCell> {
+    let (iw, _) = paper_scenario(0);
+    let objects = objects_of_interest(&iw);
+    let mut cells = Vec::new();
+    for &defense in defenses {
+        // Kerckhoffs: the adversary calibrates against the defended server.
+        let map = calibrate_size_map_with(&objects, |cfg| cfg.defense = defense);
+        for (attack_name, attack) in attack_grid() {
+            let batch = run_batch(trials, attack.as_ref(), &map, |cfg| {
+                cfg.defense = defense;
+            });
+            cells.push(DefendCell {
+                defense: defense.name(),
+                attack: attack_name,
+                sequence_pct: sequence_pct(&batch),
+                html_success_pct: batch.html_success_pct(),
+                ident_pct: ident_pct(&batch),
+                wire_bytes_mean: wire_bytes_mean(&batch),
+                added_bytes_pct: 0.0,
+                load_ms_mean: load_ms_mean(&batch),
+                added_load_pct: 0.0,
+                dummies_mean: dummies_mean(&batch),
+                broken_pct: batch.broken_pct(),
+            });
+        }
+    }
+    // Overheads are relative to the undefended cell under the same
+    // adversary (the arena lists the baseline first, so it is filled by
+    // the time any defended cell needs it).
+    let baselines: Vec<(String, f64, f64)> = cells
+        .iter()
+        .filter(|c| c.defense == "none")
+        .map(|c| (c.attack.to_owned(), c.wire_bytes_mean, c.load_ms_mean))
+        .collect();
+    for cell in &mut cells {
+        if let Some((_, base_bytes, base_load)) =
+            baselines.iter().find(|(a, _, _)| a == cell.attack)
+        {
+            cell.added_bytes_pct = overhead_pct(cell.wire_bytes_mean, *base_bytes);
+            cell.added_load_pct = overhead_pct(cell.load_ms_mean, *base_load);
+        }
+    }
+    cells
+}
+
+/// Renders the frontier grouped by adversary, one line per defense.
+pub fn render(cells: &[DefendCell]) -> String {
+    let mut out = String::new();
+    out.push_str("DEFENSE FRONTIER: countermeasure arena vs. the serialization attack\n");
+    out.push_str(
+        "(seq % = full victim recovery; overheads vs. undefended under the same adversary)\n",
+    );
+    for (attack_name, _) in attack_grid() {
+        if !cells.iter().any(|c| c.attack == attack_name) {
+            continue;
+        }
+        out.push_str(&format!("-- adversary: {attack_name}\n"));
+        out.push_str(&format!(
+            "   {:<20} {:>6} {:>6} {:>7} {:>8} {:>8} {:>9} {:>7}\n",
+            "defense", "seq%", "HTML%", "ident%", "+bytes%", "+load%", "dummies", "broken%"
+        ));
+        for c in cells.iter().filter(|c| c.attack == attack_name) {
+            out.push_str(&format!(
+                "   {:<20} {:>6.0} {:>6.0} {:>7.1} {:>8.1} {:>8.1} {:>9.1} {:>7.0}\n",
+                c.defense,
+                c.sequence_pct,
+                c.html_success_pct,
+                c.ident_pct,
+                c.added_bytes_pct,
+                c.added_load_pct,
+                c.dummies_mean,
+                c.broken_pct
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_groups_by_adversary() {
+        let cells = vec![
+            DefendCell {
+                defense: "none",
+                attack: "no attack",
+                sequence_pct: 0.0,
+                html_success_pct: 0.0,
+                ident_pct: 100.0,
+                wire_bytes_mean: 1000.0,
+                added_bytes_pct: 0.0,
+                load_ms_mean: 900.0,
+                added_load_pct: 0.0,
+                dummies_mean: 0.0,
+                broken_pct: 0.0,
+            },
+            DefendCell {
+                defense: "constrained-padding",
+                attack: "no attack",
+                sequence_pct: 0.0,
+                html_success_pct: 0.0,
+                ident_pct: 25.0,
+                wire_bytes_mean: 1100.0,
+                added_bytes_pct: 10.0,
+                load_ms_mean: 950.0,
+                added_load_pct: 5.6,
+                dummies_mean: 0.0,
+                broken_pct: 0.0,
+            },
+        ];
+        let s = render(&cells);
+        assert_eq!(s.matches("-- adversary: no attack").count(), 1);
+        assert!(s.contains("constrained-padding"));
+    }
+
+    #[test]
+    fn overhead_pct_guards_zero_baseline() {
+        assert_eq!(overhead_pct(5.0, 0.0), 0.0);
+        assert!((overhead_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
+    }
+}

@@ -23,6 +23,7 @@ use std::time::Instant;
 
 use h2priv_core::experiment::{analyze_capture, AdversarySnapshot};
 use h2priv_core::{Adversary, AttackConfig};
+use h2priv_defense::DefenseSpec;
 use h2priv_testkit::fleet::{
     merge_shards, run_fleet_shard, victim_shard, FleetConfig, FleetConformance, FleetResult,
 };
@@ -104,6 +105,8 @@ pub struct FleetReport {
     pub population: u32,
     /// Shards per population.
     pub shards: u32,
+    /// Countermeasure deployed by the site ("none" = undefended).
+    pub defense: &'static str,
     /// The undisturbed population.
     pub baseline: FleetRun,
     /// The population with the victim throttled at the gateway.
@@ -115,17 +118,19 @@ impl ToJson for FleetReport {
         object([
             ("population", (self.population as u64).to_json()),
             ("shards", (self.shards as u64).to_json()),
+            ("defense", self.defense.to_json()),
             ("baseline", self.baseline.to_json()),
             ("attacked", self.attacked.to_json()),
         ])
     }
 }
 
-fn fleet_config(population: u32, shards: u32) -> FleetConfig {
+fn fleet_config(population: u32, shards: u32, defense: DefenseSpec) -> FleetConfig {
     FleetConfig {
         seed: 0xF1EE7,
         population,
         shards,
+        defense,
         conformance: if runner::conformance_enabled() {
             FleetConformance::for_population(population)
         } else {
@@ -210,16 +215,26 @@ fn run_population(
     (run, merged)
 }
 
-/// Runs the exhibit: one baseline population and one attacked population.
-pub fn run(population: u32, shards: u32) -> FleetReport {
-    let config = fleet_config(population, shards);
-    let map = calibrated_map();
+/// Runs the exhibit: one baseline population and one attacked population,
+/// both under `defense` (fleet-wide padding; victim-side shaping).
+/// Per Kerckhoffs' principle the adversary's size map is calibrated
+/// against the defended server.
+pub fn run(population: u32, shards: u32, defense: DefenseSpec) -> FleetReport {
+    let config = fleet_config(population, shards, defense);
+    let map = if defense == DefenseSpec::None {
+        calibrated_map()
+    } else {
+        let (iw, _) = h2priv_core::experiment::paper_scenario(0);
+        let objects = h2priv_core::experiment::objects_of_interest(&iw);
+        h2priv_core::experiment::calibrate_size_map_with(&objects, |cfg| cfg.defense = defense)
+    };
     let (baseline, _) = run_population("baseline", &config, None, &map);
     let attack = AttackConfig::paper_attack();
     let (attacked, _) = run_population("attacked", &config, Some(&attack), &map);
     FleetReport {
         population,
         shards,
+        defense: defense.name(),
         baseline,
         attacked,
     }
@@ -229,8 +244,8 @@ pub fn run(population: u32, shards: u32) -> FleetReport {
 pub fn render(report: &FleetReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "FLEET: {} pairs over {} shards, victim = pair 0\n",
-        report.population, report.shards
+        "FLEET: {} pairs over {} shards, victim = pair 0, defense: {}\n",
+        report.population, report.shards, report.defense
     ));
     out.push_str(
         "| run      | completed | broken | requests done | victim degree | victim recovered |\n",
@@ -265,7 +280,7 @@ mod tests {
 
     #[test]
     fn tiny_fleet_report_renders() {
-        let report = run(12, 2);
+        let report = run(12, 2, DefenseSpec::None);
         assert_eq!(report.population, 12);
         let s = render(&report);
         assert!(s.contains("baseline"));

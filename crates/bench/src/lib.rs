@@ -10,6 +10,8 @@
 //! * [`ivd`] — the §IV-D targeted-drop / forced-reset experiment;
 //! * [`table2`] — the full §V attack's prediction accuracy;
 //! * [`ablations`] — design-choice ablations and the §VII defense sketch;
+//! * [`defend`] — the countermeasure arena: padding and shaping defenses
+//!   evaluated against the full adversary grid (privacy vs. overhead);
 //! * [`fleet`] — the population-scale contention run (N pairs sharing the
 //!   gateway, victim throttled among bystanders).
 //!
@@ -21,6 +23,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod defend;
 pub mod fig1;
 pub mod fig5;
 pub mod fleet;

@@ -27,7 +27,9 @@
 //!   §4.2).
 
 use crate::{Layer, ViolationSink};
-use h2priv_http2::{hpack, Frame, FrameDecoder, SettingId, StreamId, DEFAULT_WINDOW, MAX_WINDOW};
+use h2priv_http2::{
+    hpack, pad_overhead, Frame, FrameDecoder, SettingId, StreamId, DEFAULT_WINDOW, MAX_WINDOW,
+};
 use h2priv_netsim::SimTime;
 use std::collections::HashMap;
 
@@ -66,6 +68,11 @@ pub struct H2LedgerChecker {
     peer_table_cap: usize,
     /// SETTINGS_HEADER_TABLE_SIZE we advertised: caps the peer's encoder.
     local_table_cap: usize,
+    /// SETTINGS_MAX_FRAME_SIZE the peer advertised: bounds what we emit
+    /// (padding included).
+    peer_max_frame: usize,
+    /// SETTINGS_MAX_FRAME_SIZE we advertised: bounds what the peer emits.
+    local_max_frame: usize,
     /// Shadow decoder for header blocks we send.
     hpack_tx: hpack::Decoder,
     /// Shadow decoder for header blocks we receive.
@@ -88,8 +95,39 @@ impl H2LedgerChecker {
             local_initial: DEFAULT_WINDOW as i64,
             peer_table_cap: 4_096,
             local_table_cap: 4_096,
+            peer_max_frame: h2priv_http2::DEFAULT_MAX_FRAME_SIZE,
+            local_max_frame: h2priv_http2::DEFAULT_MAX_FRAME_SIZE,
             hpack_tx: hpack::Decoder::new(),
             hpack_rx: hpack::Decoder::new(),
+        }
+    }
+
+    /// RFC-legality of an emitted/observed pad schedule: the padded payload
+    /// (content + pad-length byte + padding) must fit the receiving side's
+    /// advertised `SETTINGS_MAX_FRAME_SIZE`. Pad lengths >= payload length
+    /// and non-zero pad octets never reach this check — the decoders above
+    /// reject those frames outright (PROTOCOL_ERROR), surfacing as
+    /// `frame-decode-*` violations.
+    fn check_pad_legal(
+        &self,
+        dir: &str,
+        stream_id: StreamId,
+        content_len: usize,
+        pad: u8,
+        max_frame: usize,
+        now: SimTime,
+    ) {
+        let total = content_len + 1 + pad as usize;
+        if total > max_frame {
+            self.sink.report(
+                Layer::Http2,
+                "pad-exceeds-max-frame",
+                now,
+                format!(
+                    "{}: {dir} padded payload {total}B on {stream_id} > SETTINGS_MAX_FRAME_SIZE {max_frame}",
+                    self.label
+                ),
+            );
         }
     }
 
@@ -161,7 +199,18 @@ impl H2LedgerChecker {
                 stream_id,
                 end_stream,
                 header_block,
+                pad,
             } => {
+                if let Some(p) = pad {
+                    self.check_pad_legal(
+                        "sent",
+                        stream_id,
+                        header_block.len(),
+                        p,
+                        self.peer_max_frame,
+                        now,
+                    );
+                }
                 if let Err(e) = self.hpack_tx.decode(&header_block) {
                     report("hpack-desync-sent", format!("stream {stream_id}: {e}"));
                 }
@@ -203,8 +252,22 @@ impl H2LedgerChecker {
                 stream_id,
                 end_stream,
                 data,
+                pad,
             } => {
-                let len = data.len() as i64;
+                if let Some(p) = pad {
+                    self.check_pad_legal(
+                        "sent",
+                        stream_id,
+                        data.len(),
+                        p,
+                        self.peer_max_frame,
+                        now,
+                    );
+                }
+                // RFC 7540 §6.9.1: the whole payload — pad-length byte and
+                // padding included — debits flow-control windows on both
+                // ledgers, or padded senders would double-credit.
+                let len = (data.len() + pad_overhead(pad)) as i64;
                 if self.conn_send < len {
                     report(
                         "conn-send-window",
@@ -311,7 +374,18 @@ impl H2LedgerChecker {
                 stream_id,
                 end_stream,
                 header_block,
+                pad,
             } => {
+                if let Some(p) = pad {
+                    self.check_pad_legal(
+                        "recv",
+                        stream_id,
+                        header_block.len(),
+                        p,
+                        self.local_max_frame,
+                        now,
+                    );
+                }
                 // Shadow-decode every block — including blocks for streams
                 // we reset. The compression context is connection-wide;
                 // skipping one block desynchronizes everything after it.
@@ -348,8 +422,21 @@ impl H2LedgerChecker {
                 stream_id,
                 end_stream,
                 data,
+                pad,
             } => {
-                let len = data.len() as i64;
+                if let Some(p) = pad {
+                    self.check_pad_legal(
+                        "recv",
+                        stream_id,
+                        data.len(),
+                        p,
+                        self.local_max_frame,
+                        now,
+                    );
+                }
+                // The padded total debits the windows (RFC 7540 §6.9.1),
+                // exactly as on the send side.
+                let len = (data.len() + pad_overhead(pad)) as i64;
                 // Connection-level debit is unconditional: DATA for a
                 // stream we reset was still in flight against the
                 // connection window and must be accounted exactly once.
@@ -471,6 +558,19 @@ impl H2LedgerChecker {
                         self.peer_table_cap = value as usize;
                     }
                 }
+                SettingId::MaxFrameSize => {
+                    // Our advertised limit bounds inbound frames; the
+                    // peer's bounds what we send. Teach the shadow
+                    // decoders so oversized (incl. over-padded) frames
+                    // surface as decode violations.
+                    if sent_by_us {
+                        self.local_max_frame = value as usize;
+                        self.recv.set_max_frame_size(value as usize);
+                    } else {
+                        self.peer_max_frame = value as usize;
+                        self.sent.set_max_frame_size(value as usize);
+                    }
+                }
                 _ => {}
             }
         }
@@ -483,10 +583,15 @@ mod tests {
     use h2priv_http2::{encode_frame, ErrorCode, CLIENT_PREFACE};
 
     fn data(stream: u32, len: usize, end: bool) -> Vec<u8> {
+        data_padded(stream, len, end, None)
+    }
+
+    fn data_padded(stream: u32, len: usize, end: bool, pad: Option<u8>) -> Vec<u8> {
         encode_frame(&Frame::Data {
             stream_id: StreamId(stream),
             end_stream: end,
             data: h2priv_bytes::SharedBytes::from_vec(vec![0u8; len]),
+            pad,
         })
     }
 
@@ -496,6 +601,7 @@ mod tests {
             stream_id: StreamId(stream),
             end_stream: end,
             header_block: block,
+            pad: None,
         })
     }
 
@@ -608,6 +714,68 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(sink.take().iter().any(|v| v.rule == "window-update-zero"));
+    }
+
+    #[test]
+    fn padded_data_debits_full_payload_both_directions() {
+        let (mut c, sink) = checker();
+        c.on_received(&headers(1, false), SimTime::ZERO);
+        c.on_sent(&headers(1, false), SimTime::ZERO);
+        let send_before = c.conn_send;
+        // 100 content bytes + 1 pad-length byte + 29 pad = 130 flow bytes.
+        c.on_sent(&data_padded(1, 100, false, Some(29)), SimTime::ZERO);
+        assert_eq!(c.conn_send, send_before - 130, "padding debits the ledger");
+        let recv_before = c.conn_recv;
+        c.on_received(&data_padded(1, 40, false, Some(9)), SimTime::ZERO);
+        assert_eq!(c.conn_recv, recv_before - 50);
+        assert!(sink.is_empty(), "violations: {:?}", sink.take());
+    }
+
+    #[test]
+    fn padded_overrun_hidden_by_stripping_is_caught() {
+        // A padded sender that only accounted the content bytes would
+        // overrun the window by the padding overhead: five frames of
+        // 13 000 content + 255 pad (13 256 flow bytes each) blow the
+        // 65 535-byte window even though 5 × 13 000 alone would fit.
+        let (mut c, sink) = checker();
+        c.on_received(&headers(1, true), SimTime::ZERO);
+        c.on_sent(&headers(1, false), SimTime::ZERO);
+        for _ in 0..5 {
+            c.on_sent(&data_padded(1, 13_000, false, Some(255)), SimTime::ZERO);
+        }
+        let violations = sink.take();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.rule == "conn-send-window" || v.rule == "stream-send-window"),
+            "violations: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn illegal_pad_length_is_a_decode_violation() {
+        let (mut c, sink) = checker();
+        c.on_received(&headers(1, true), SimTime::ZERO);
+        // Hand-built PADDED DATA with pad_len == payload length (RFC 7540
+        // §6.1 PROTOCOL_ERROR): [len=3][DATA][PADDED][stream 1] 3,0,0.
+        let raw = [0, 0, 3, 0x0, 0x8, 0, 0, 0, 1, 3, 0, 0];
+        c.on_received(&raw, SimTime::ZERO);
+        assert!(
+            sink.take().iter().any(|v| v.rule == "frame-decode-recv"),
+            "illegal pad length must surface as a decode violation"
+        );
+    }
+
+    #[test]
+    fn non_zero_padding_is_a_decode_violation() {
+        let (mut c, sink) = checker();
+        c.on_received(&headers(1, true), SimTime::ZERO);
+        let raw = [0, 0, 4, 0x0, 0x8, 0, 0, 0, 1, 2, 9, 0xAB, 0xCD];
+        c.on_received(&raw, SimTime::ZERO);
+        assert!(
+            sink.take().iter().any(|v| v.rule == "frame-decode-recv"),
+            "non-zero pad octets must surface as a decode violation"
+        );
     }
 
     #[test]

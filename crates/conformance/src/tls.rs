@@ -14,10 +14,24 @@
 //!
 //! The paper's passive monitor counts `application_data` records to count
 //! GETs (§V); these invariants are what make that count well-defined.
+//!
+//! # Padded and dummy records
+//!
+//! Shaping defenses (constant-rate and adaptive-padding senders) pad
+//! record plaintexts and inject *dummy* `application_data` records that
+//! carry no real traffic. The checker accepts both deliberately: a padded
+//! or dummy record is a perfectly ordinary record as long as it is sealed
+//! **in-stream** by the sending endpoint's own record writer, so its
+//! explicit nonce continues the per-direction sequence. That is exactly
+//! what `record-seq` enforces — a middlebox splicing pre-canned dummy
+//! records into the stream out-of-band would break continuity and be
+//! flagged, while an endpoint-cooperating shaper passes. The only extra
+//! obligation padding adds is the tiling upper bound: a padded fragment
+//! must still fit `MAX_CIPHERTEXT`, reported as `record-too-long`.
 
 use crate::{Layer, ViolationSink};
 use h2priv_netsim::SimTime;
-use h2priv_tls::{RecordHeader, AEAD_OVERHEAD, HEADER_LEN};
+use h2priv_tls::{ContentType, RecordHeader, AEAD_OVERHEAD, HEADER_LEN, MAX_CIPHERTEXT};
 use std::collections::BTreeMap;
 
 /// Reassembles and validates one direction's record stream.
@@ -93,17 +107,34 @@ impl TlsDirChecker {
         self.rec.extend_from_slice(bytes);
         while self.rec.len() >= HEADER_LEN {
             let Some(header) = RecordHeader::decode(&self.rec) else {
-                sink.report(
-                    Layer::Tls,
-                    "record-header",
-                    now,
-                    format!(
-                        "{}: invalid record header at stream offset {} (first byte {:#04x})",
-                        self.label,
-                        self.next_offset - self.rec.len() as u64,
-                        self.rec[0]
-                    ),
-                );
+                // A known content type with an over-limit length is a
+                // tiling violation in its own right (padding overshot the
+                // fragment bound), distinct from outright corruption.
+                let fragment_len = u16::from_be_bytes([self.rec[3], self.rec[4]]) as usize;
+                if ContentType::from_u8(self.rec[0]).is_some() && fragment_len > MAX_CIPHERTEXT {
+                    sink.report(
+                        Layer::Tls,
+                        "record-too-long",
+                        now,
+                        format!(
+                            "{}: record #{} fragment {fragment_len}B exceeds \
+                             MAX_CIPHERTEXT ({MAX_CIPHERTEXT}B)",
+                            self.label, self.records
+                        ),
+                    );
+                } else {
+                    sink.report(
+                        Layer::Tls,
+                        "record-header",
+                        now,
+                        format!(
+                            "{}: invalid record header at stream offset {} (first byte {:#04x})",
+                            self.label,
+                            self.next_offset - self.rec.len() as u64,
+                            self.rec[0]
+                        ),
+                    );
+                }
                 self.poisoned = true;
                 return;
             };
@@ -210,6 +241,76 @@ mod tests {
         // Further bytes are ignored after poisoning.
         c.on_payload(wire.len() as u64, &[1, 2, 3], SimTime::ZERO, &sink);
         assert_eq!(sink.total(), 1);
+    }
+
+    #[test]
+    fn oversized_record_is_flagged_as_too_long() {
+        // Hand-build an application_data header whose length field
+        // overshoots the tiling bound (RecordHeader::decode refuses it).
+        let too_big = (MAX_CIPHERTEXT + 1) as u16;
+        let mut wire = vec![23, 3, 3];
+        wire.extend_from_slice(&too_big.to_be_bytes());
+        wire.extend_from_slice(&[0u8; 64]);
+        let sink = ViolationSink::new();
+        let mut c = TlsDirChecker::new("l2r");
+        c.on_payload(0, &wire, SimTime::ZERO, &sink);
+        let v = sink.take();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "record-too-long");
+    }
+
+    #[test]
+    fn in_stream_dummy_records_are_clean() {
+        // A shaping defense injects dummy app-data records sealed by the
+        // sender's own writer: nonce continuity holds, so the checker
+        // accepts the stream exactly as it would undefended traffic.
+        let mut client = TlsSession::new(Role::Client, 42);
+        let mut server = TlsSession::new(Role::Server, 42);
+        let mut wire = client.initial_flight().expect("client hello");
+        let out = server.receive(&wire).expect("server side");
+        let out2 = client.receive(&out.reply).expect("client side");
+        wire.extend_from_slice(&out2.reply);
+        let base = {
+            let probe_sink = ViolationSink::new();
+            let mut probe = TlsDirChecker::new("probe");
+            probe.on_payload(0, &wire, SimTime::ZERO, &probe_sink);
+            probe.records_seen()
+        };
+        // Real data, two dummies (a padded-to-17B PING-shaped record and a
+        // max-size pad blob), more real data.
+        wire.extend_from_slice(&client.seal_app_data(&[9u8; 1200]).unwrap());
+        wire.extend_from_slice(&client.seal_app_data(&[0u8; 17]).unwrap());
+        wire.extend_from_slice(&client.seal_app_data(&vec![0u8; 16_384]).unwrap());
+        wire.extend_from_slice(&client.seal_app_data(&[9u8; 800]).unwrap());
+        let sink = ViolationSink::new();
+        let mut c = TlsDirChecker::new("l2r");
+        for chunk in wire.chunks(1460) {
+            c.on_payload(c.next_offset, chunk, SimTime::ZERO, &sink);
+        }
+        assert!(sink.is_empty(), "violations: {:?}", sink.take());
+        assert_eq!(c.records_seen(), base + 4);
+    }
+
+    #[test]
+    fn out_of_band_dummy_record_breaks_sequence() {
+        // The converse: a dummy record sealed by a *different* writer (a
+        // middlebox with its own cipher state) restarts the nonce at 0 and
+        // must trip sequence continuity when spliced into the stream.
+        let wire = sealed_stream();
+        let mut rogue = TlsSession::new(Role::Client, 42);
+        let mut peer = TlsSession::new(Role::Server, 42);
+        let hello = rogue.initial_flight().unwrap();
+        let out = peer.receive(&hello).unwrap();
+        rogue.receive(&out.reply).unwrap();
+        let dummy = rogue.seal_app_data(&[0u8; 32]).unwrap();
+        let mut spliced = wire.clone();
+        spliced.extend_from_slice(&dummy);
+        let sink = ViolationSink::new();
+        let mut c = TlsDirChecker::new("l2r");
+        c.on_payload(0, &spliced, SimTime::ZERO, &sink);
+        let v = sink.take();
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        assert_eq!(v[0].rule, "record-seq");
     }
 
     #[test]

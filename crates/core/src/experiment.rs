@@ -124,6 +124,18 @@ pub fn run_paper_trial(
 /// recorded — exactly how the paper's adversary built its
 /// "image size to political party mapping".
 pub fn calibrate_size_map(objects: &[ObjectId]) -> SizeMap {
+    calibrate_size_map_with(objects, |_| {})
+}
+
+/// [`calibrate_size_map`] with a scenario tweak applied to every
+/// calibration fetch. Per Kerckhoffs' principle the defense evaluation
+/// assumes the adversary knows the deployed countermeasure, so it
+/// calibrates its size map against the *defended* server — pass a tweak
+/// setting the same [`ScenarioConfig::defense`] the victim runs.
+pub fn calibrate_size_map_with(
+    objects: &[ObjectId],
+    tweak: impl Fn(&mut ScenarioConfig),
+) -> SizeMap {
     let golden: Vec<usize> = (0..8).collect();
     let iw = isidewith::build(&golden);
     let mut map = SizeMap::new(SIZE_TOLERANCE);
@@ -143,6 +155,7 @@ pub fn calibrate_size_map(objects: &[ObjectId]) -> SizeMap {
         };
         cfg.browser.gap_noise_frac = 0.0;
         cfg.server_link.jitter = h2priv_netsim::DurationDist::None;
+        tweak(&mut cfg);
         let result = h2priv_testkit::run_trial(&iw.site, &plan, &cfg, None);
         let records = extract_records(&result.trace);
         let data = app_data_records(&records, Dir::RightToLeft);

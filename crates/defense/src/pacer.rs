@@ -1,0 +1,327 @@
+//! Middlebox shapers: reshape server→client packet *timing* at a gateway
+//! the site trusts (the paper's "middlebox defense" deployment, where the
+//! CDN edge — not the origin — runs the countermeasure).
+//!
+//! Both shapers pace only payload-bearing packets but keep *every* packet
+//! in the shaped direction — pure ACKs included — behind the last departure
+//! they granted, so the stream transits the pacer in order. Letting ACKs
+//! overtake held data would regress the observed ack sequence (a wire
+//! conformance violation) and could trigger spurious dup-ACK storms,
+//! confounding the measurement with TCP pathology rather than the defense
+//! itself.
+
+use h2priv_netsim::{Dir, MbContext, Middlebox, Packet, SimDuration, SimTime, Verdict};
+use h2priv_tcp::TcpSegment;
+
+/// Constant-rate shaping: payload packets in the shaped direction depart
+/// on a fixed time grid, one per `interval` slot. An on-path observer sees
+/// a metronome instead of the response burst structure the attack's
+/// segmentation keys on.
+#[derive(Debug, Clone)]
+pub struct ConstantRatePacer {
+    dir: Dir,
+    interval: SimDuration,
+    /// Earliest slot the next payload packet may occupy.
+    next_slot: SimTime,
+    /// Latest departure granted in the shaped direction (order
+    /// preservation for non-payload packets).
+    last_departure: SimTime,
+    /// Packets that were actually delayed (the latency cost numerator).
+    pub delayed: u64,
+    /// Total delay added across all packets.
+    pub added_delay: SimDuration,
+}
+
+impl ConstantRatePacer {
+    /// Shapes payload packets heading `dir` to one departure per
+    /// `interval`.
+    pub fn new(dir: Dir, interval: SimDuration) -> Self {
+        ConstantRatePacer {
+            dir,
+            interval,
+            next_slot: SimTime::ZERO,
+            last_departure: SimTime::ZERO,
+            delayed: 0,
+            added_delay: SimDuration::ZERO,
+        }
+    }
+
+    fn depart(&mut self, departure: SimTime, now: SimTime) -> Verdict {
+        self.last_departure = departure;
+        let hold = departure.saturating_since(now);
+        if hold.is_zero() {
+            Verdict::Forward
+        } else {
+            self.delayed += 1;
+            self.added_delay += hold;
+            Verdict::Hold(hold)
+        }
+    }
+}
+
+impl Middlebox<TcpSegment> for ConstantRatePacer {
+    fn process(&mut self, packet: &Packet<TcpSegment>, ctx: &mut MbContext<'_>) -> Verdict {
+        if ctx.dir != self.dir {
+            return Verdict::Forward;
+        }
+        if packet.payload.payload.is_empty() {
+            // Pure ACKs don't consume a slot but may not overtake held
+            // data: they ride along at the stream's current departure
+            // front.
+            let departure = self.last_departure.max(ctx.now);
+            return self.depart(departure, ctx.now);
+        }
+        let slot = self.next_slot.max(ctx.now).max(self.last_departure);
+        self.next_slot = slot + self.interval;
+        self.depart(slot, ctx.now)
+    }
+}
+
+/// Adaptive (randomized) pacing: each payload packet in the shaped
+/// direction picks up a uniformly-sampled extra delay in
+/// `[0, max_jitter]`, clamped so departures stay ordered. Gap lengths —
+/// the attack's burst-segmentation signal — become noisy instead of
+/// reflecting object boundaries.
+#[derive(Debug, Clone)]
+pub struct AdaptivePacer {
+    dir: Dir,
+    max_jitter: SimDuration,
+    /// Latest departure handed out so far (order preservation).
+    last_departure: SimTime,
+    /// Packets that were actually delayed.
+    pub delayed: u64,
+    /// Total delay added across all packets.
+    pub added_delay: SimDuration,
+}
+
+impl AdaptivePacer {
+    /// Shapes payload packets heading `dir` with up to `max_jitter` of
+    /// random extra delay each.
+    pub fn new(dir: Dir, max_jitter: SimDuration) -> Self {
+        AdaptivePacer {
+            dir,
+            max_jitter,
+            last_departure: SimTime::ZERO,
+            delayed: 0,
+            added_delay: SimDuration::ZERO,
+        }
+    }
+}
+
+impl Middlebox<TcpSegment> for AdaptivePacer {
+    fn process(&mut self, packet: &Packet<TcpSegment>, ctx: &mut MbContext<'_>) -> Verdict {
+        if ctx.dir != self.dir {
+            return Verdict::Forward;
+        }
+        let departure = if packet.payload.payload.is_empty() {
+            // Pure ACKs pick up no jitter of their own but may not
+            // overtake held data.
+            self.last_departure.max(ctx.now)
+        } else {
+            let nanos = self.max_jitter.as_nanos();
+            let jitter = if nanos == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(ctx.rng.gen_range_u64(0..nanos + 1))
+            };
+            (ctx.now + jitter).max(self.last_departure)
+        };
+        self.last_departure = departure;
+        let hold = departure.saturating_since(ctx.now);
+        if hold.is_zero() {
+            Verdict::Forward
+        } else {
+            self.delayed += 1;
+            self.added_delay += hold;
+            Verdict::Hold(hold)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_netsim::{NodeId, ShapingState, SimRng};
+    use h2priv_tcp::{Seq, TcpFlags};
+
+    fn data_packet(src: usize, dst: usize) -> Packet<TcpSegment> {
+        let seg = TcpSegment {
+            seq: Seq(1),
+            ack: Seq(0),
+            flags: TcpFlags::ACK,
+            window: 0,
+            payload: vec![0xAA; 500].into(),
+        };
+        Packet::new(NodeId(src), NodeId(dst), 540, seg)
+    }
+
+    fn ack_packet(src: usize, dst: usize) -> Packet<TcpSegment> {
+        let seg = TcpSegment {
+            seq: Seq(1),
+            ack: Seq(2),
+            flags: TcpFlags::ACK,
+            window: 0,
+            payload: Vec::new().into(),
+        };
+        Packet::new(NodeId(src), NodeId(dst), 40, seg)
+    }
+
+    fn run<M: Middlebox<TcpSegment>>(
+        mb: &mut M,
+        packet: &Packet<TcpSegment>,
+        dir: Dir,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Verdict {
+        let mut shaping = ShapingState::default();
+        let mut ctx = MbContext {
+            now,
+            dir,
+            rng,
+            shaping: &mut shaping,
+        };
+        mb.process(packet, &mut ctx)
+    }
+
+    #[test]
+    fn constant_rate_spaces_a_burst() {
+        let mut pacer = ConstantRatePacer::new(Dir::RightToLeft, SimDuration::from_millis(2));
+        let mut rng = SimRng::seed_from(1);
+        let p = data_packet(2, 0);
+        let now = SimTime::from_millis(10);
+        // A 4-packet burst at the same instant departs at 0/2/4/6 ms extra.
+        assert_eq!(
+            run(&mut pacer, &p, Dir::RightToLeft, now, &mut rng),
+            Verdict::Forward
+        );
+        for i in 1..4u64 {
+            match run(&mut pacer, &p, Dir::RightToLeft, now, &mut rng) {
+                Verdict::Hold(d) => assert_eq!(d, SimDuration::from_millis(2 * i)),
+                other => panic!("expected hold, got {other:?}"),
+            }
+        }
+        assert_eq!(pacer.delayed, 3);
+    }
+
+    #[test]
+    fn constant_rate_ignores_other_direction_and_acks() {
+        let mut pacer = ConstantRatePacer::new(Dir::RightToLeft, SimDuration::from_millis(2));
+        let mut rng = SimRng::seed_from(1);
+        let now = SimTime::ZERO;
+        let d = data_packet(0, 2);
+        let a = ack_packet(2, 0);
+        assert_eq!(
+            run(&mut pacer, &d, Dir::LeftToRight, now, &mut rng),
+            Verdict::Forward
+        );
+        assert_eq!(
+            run(&mut pacer, &a, Dir::RightToLeft, now, &mut rng),
+            Verdict::Forward
+        );
+        assert_eq!(
+            run(&mut pacer, &a, Dir::RightToLeft, now, &mut rng),
+            Verdict::Forward
+        );
+    }
+
+    #[test]
+    fn acks_do_not_overtake_held_data() {
+        let mut pacer = ConstantRatePacer::new(Dir::RightToLeft, SimDuration::from_millis(2));
+        let mut rng = SimRng::seed_from(1);
+        let now = SimTime::from_millis(10);
+        let d = data_packet(2, 0);
+        let a = ack_packet(2, 0);
+        // Two data packets: the second is held to the 12 ms slot.
+        assert_eq!(
+            run(&mut pacer, &d, Dir::RightToLeft, now, &mut rng),
+            Verdict::Forward
+        );
+        assert_eq!(
+            run(&mut pacer, &d, Dir::RightToLeft, now, &mut rng),
+            Verdict::Hold(SimDuration::from_millis(2))
+        );
+        // A pure ACK right behind them must not depart before 12 ms.
+        assert_eq!(
+            run(&mut pacer, &a, Dir::RightToLeft, now, &mut rng),
+            Verdict::Hold(SimDuration::from_millis(2))
+        );
+        // ...but consumes no slot: the next data packet still gets 12 ms.
+        assert_eq!(
+            run(&mut pacer, &d, Dir::RightToLeft, now, &mut rng),
+            Verdict::Hold(SimDuration::from_millis(4))
+        );
+    }
+
+    #[test]
+    fn adaptive_acks_do_not_overtake_held_data() {
+        let mut pacer = AdaptivePacer::new(Dir::RightToLeft, SimDuration::from_millis(8));
+        let mut rng = SimRng::seed_from(7);
+        let now = SimTime::ZERO;
+        let d = data_packet(2, 0);
+        let a = ack_packet(2, 0);
+        let data_departure = match run(&mut pacer, &d, Dir::RightToLeft, now, &mut rng) {
+            Verdict::Forward => now,
+            Verdict::Hold(h) => now + h,
+            Verdict::Drop => panic!("pacer never drops"),
+        };
+        let ack_departure = match run(&mut pacer, &a, Dir::RightToLeft, now, &mut rng) {
+            Verdict::Forward => now,
+            Verdict::Hold(h) => now + h,
+            Verdict::Drop => panic!("pacer never drops"),
+        };
+        assert!(ack_departure >= data_departure, "ACK overtook held data");
+    }
+
+    #[test]
+    fn constant_rate_idle_stream_is_undelayed() {
+        let mut pacer = ConstantRatePacer::new(Dir::RightToLeft, SimDuration::from_millis(2));
+        let mut rng = SimRng::seed_from(1);
+        let p = data_packet(2, 0);
+        // Packets arriving slower than the rate pass untouched.
+        for i in 0..4u64 {
+            let now = SimTime::from_millis(10 * i);
+            assert_eq!(
+                run(&mut pacer, &p, Dir::RightToLeft, now, &mut rng),
+                Verdict::Forward
+            );
+        }
+        assert_eq!(pacer.delayed, 0);
+    }
+
+    #[test]
+    fn adaptive_jitter_is_bounded_and_ordered() {
+        let mut pacer = AdaptivePacer::new(Dir::RightToLeft, SimDuration::from_millis(8));
+        let mut rng = SimRng::seed_from(7);
+        let p = data_packet(2, 0);
+        let mut last_departure = SimTime::ZERO;
+        for i in 0..50u64 {
+            let now = SimTime::from_millis(i);
+            let v = run(&mut pacer, &p, Dir::RightToLeft, now, &mut rng);
+            let departure = match v {
+                Verdict::Forward => now,
+                Verdict::Hold(d) => {
+                    assert!(d <= SimDuration::from_millis(8 + 50));
+                    now + d
+                }
+                Verdict::Drop => panic!("pacer never drops"),
+            };
+            assert!(departure >= last_departure, "reordering at packet {i}");
+            last_departure = departure;
+        }
+        assert!(pacer.delayed > 0, "50 jittered packets, none delayed?");
+    }
+
+    #[test]
+    fn adaptive_zero_jitter_is_passthrough() {
+        let mut pacer = AdaptivePacer::new(Dir::RightToLeft, SimDuration::ZERO);
+        let mut rng = SimRng::seed_from(7);
+        let p = data_packet(2, 0);
+        for i in 0..10u64 {
+            let now = SimTime::from_millis(i);
+            assert_eq!(
+                run(&mut pacer, &p, Dir::RightToLeft, now, &mut rng),
+                Verdict::Forward
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Named defense configurations for scenarios and the CLI.
+
+use h2priv_netsim::SimDuration;
+
+/// One countermeasure configuration, selectable per scenario and via
+/// `repro defend --defense <name>`. Integer knobs throughout so specs are
+/// `Eq`, hashable and bit-for-bit deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseSpec {
+    /// Undefended baseline.
+    None,
+    /// Server pads object bodies to a constrained-padding size set derived
+    /// from the site's object sizes (Reed & Reiter).
+    ConstrainedPadding {
+        /// Per-object overhead bound, in per-mille (250 = at most +25 %).
+        overhead_per_mille: u32,
+    },
+    /// Server emits RFC 7540 PADDED frames quantizing payload sizes.
+    FrameQuantize {
+        /// DATA/HEADERS total-payload quantum in bytes.
+        quantum: u32,
+    },
+    /// Middlebox pacing to a fixed grid plus endpoint dummy records at the
+    /// same cadence: the wire ticks like a metronome.
+    ConstantRate {
+        /// Departure slot width in microseconds.
+        interval_us: u32,
+    },
+    /// Randomized gap-filling: middlebox departure jitter plus endpoint
+    /// dummy records that fire when the stream goes quiet.
+    AdaptivePadding {
+        /// Base quiet gap before a dummy fires, in microseconds.
+        min_gap_us: u32,
+        /// Uniform extra spread on the gap, in microseconds.
+        spread_us: u32,
+    },
+}
+
+impl DefenseSpec {
+    /// Stable CLI/exhibit name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DefenseSpec::None => "none",
+            DefenseSpec::ConstrainedPadding { .. } => "constrained-padding",
+            DefenseSpec::FrameQuantize { .. } => "frame-quantize",
+            DefenseSpec::ConstantRate { .. } => "constant-rate",
+            DefenseSpec::AdaptivePadding { .. } => "adaptive-padding",
+        }
+    }
+
+    /// Parses a CLI name into the defense's canonical arena configuration.
+    pub fn parse(name: &str) -> Option<DefenseSpec> {
+        DefenseSpec::arena().into_iter().find(|d| d.name() == name)
+    }
+
+    /// The canonical arena: every defense at its evaluated setting, the
+    /// undefended baseline first.
+    pub fn arena() -> [DefenseSpec; 5] {
+        [
+            DefenseSpec::None,
+            // +25% body overhead bound: the regime Reed & Reiter show
+            // already collapses most size classes.
+            DefenseSpec::ConstrainedPadding {
+                overhead_per_mille: 250,
+            },
+            // 1 KiB frame quantum: hides sub-KiB chunk-length variation.
+            DefenseSpec::FrameQuantize { quantum: 1024 },
+            // 2 ms slots ≈ 500 records/s ceiling on the response path.
+            DefenseSpec::ConstantRate { interval_us: 2_000 },
+            // Gaps of 5–8 ms get filled: just under the attack's 30 ms
+            // burst-segmentation threshold, well above intra-burst spacing.
+            DefenseSpec::AdaptivePadding {
+                min_gap_us: 5_000,
+                spread_us: 3_000,
+            },
+        ]
+    }
+
+    /// True when the defense involves the endpoint/middlebox shaping path
+    /// (dummy records + pacing) rather than only size padding.
+    pub fn is_shaping(&self) -> bool {
+        matches!(
+            self,
+            DefenseSpec::ConstantRate { .. } | DefenseSpec::AdaptivePadding { .. }
+        )
+    }
+
+    /// The middlebox pacing interval / jitter bound, when shaping.
+    pub fn pacing(&self) -> Option<SimDuration> {
+        match self {
+            DefenseSpec::ConstantRate { interval_us } => {
+                Some(SimDuration::from_micros(*interval_us as u64))
+            }
+            DefenseSpec::AdaptivePadding {
+                min_gap_us,
+                spread_us,
+            } => Some(SimDuration::from_micros((*min_gap_us + *spread_us) as u64)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DefenseSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for spec in DefenseSpec::arena() {
+            assert_eq!(DefenseSpec::parse(spec.name()), Some(spec));
+        }
+        assert_eq!(DefenseSpec::parse("bogus"), None);
+    }
+
+    #[test]
+    fn arena_leads_with_baseline() {
+        assert_eq!(DefenseSpec::arena()[0], DefenseSpec::None);
+    }
+
+    #[test]
+    fn shaping_classification() {
+        assert!(!DefenseSpec::None.is_shaping());
+        assert!(!DefenseSpec::FrameQuantize { quantum: 512 }.is_shaping());
+        assert!(DefenseSpec::ConstantRate { interval_us: 1000 }.is_shaping());
+        assert!(DefenseSpec::AdaptivePadding {
+            min_gap_us: 1,
+            spread_us: 0
+        }
+        .is_shaping());
+    }
+}

@@ -19,6 +19,14 @@ pub enum FrameDecodeError {
     /// CONTINUATION arrived outside a header sequence, or a non-
     /// CONTINUATION frame interrupted one (RFC 7540 §6.10).
     UnexpectedContinuation,
+    /// A PADDED frame declared a pad length of the payload length or more
+    /// — a connection error of type PROTOCOL_ERROR (RFC 7540 §6.1).
+    BadPadding(FrameType),
+    /// A PADDED frame carried non-zero padding octets. RFC 7540 §6.1 says
+    /// padding MUST be zero and a receiver MAY treat violations as
+    /// PROTOCOL_ERROR; this model always does, so covert channels in pad
+    /// bytes surface as conformance violations.
+    NonZeroPadding(FrameType),
     /// The client preface bytes were wrong.
     BadPreface,
 }
@@ -30,6 +38,12 @@ impl std::fmt::Display for FrameDecodeError {
             FrameDecodeError::BadLength(t) => write!(f, "bad payload length for {t:?}"),
             FrameDecodeError::PushUnsupported => write!(f, "push promise not supported"),
             FrameDecodeError::UnexpectedContinuation => write!(f, "unexpected continuation"),
+            FrameDecodeError::BadPadding(t) => {
+                write!(f, "pad length >= payload length for {t:?} (PROTOCOL_ERROR)")
+            }
+            FrameDecodeError::NonZeroPadding(t) => {
+                write!(f, "non-zero padding octets in {t:?} (PROTOCOL_ERROR)")
+            }
             FrameDecodeError::BadPreface => write!(f, "invalid client preface"),
         }
     }
@@ -67,6 +81,7 @@ pub fn encode_headers_split(
             stream_id,
             end_stream,
             header_block: block.to_vec(),
+            pad: None,
         });
     }
     let mut out = Vec::with_capacity(block.len() + 64);
@@ -107,22 +122,44 @@ pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
             stream_id,
             end_stream,
             data,
+            pad,
         } => {
-            let fl = if *end_stream { flags::END_STREAM } else { 0 };
-            header(out, data.len(), FrameType::Data, fl, *stream_id);
+            let mut fl = if *end_stream { flags::END_STREAM } else { 0 };
+            if pad.is_some() {
+                fl |= flags::PADDED;
+            }
+            let len = data.len() + crate::frame::pad_overhead(*pad);
+            header(out, len, FrameType::Data, fl, *stream_id);
+            if let Some(p) = pad {
+                out.push(*p);
+            }
             out.extend_from_slice(data);
+            if let Some(p) = pad {
+                out.resize(out.len() + *p as usize, 0);
+            }
         }
         Frame::Headers {
             stream_id,
             end_stream,
             header_block,
+            pad,
         } => {
             let mut fl = flags::END_HEADERS;
             if *end_stream {
                 fl |= flags::END_STREAM;
             }
-            header(out, header_block.len(), FrameType::Headers, fl, *stream_id);
+            if pad.is_some() {
+                fl |= flags::PADDED;
+            }
+            let len = header_block.len() + crate::frame::pad_overhead(*pad);
+            header(out, len, FrameType::Headers, fl, *stream_id);
+            if let Some(p) = pad {
+                out.push(*p);
+            }
             out.extend_from_slice(header_block);
+            if let Some(p) = pad {
+                out.resize(out.len() + *p as usize, 0);
+            }
         }
         Frame::Priority {
             stream_id,
@@ -396,17 +433,16 @@ impl FrameDecoder {
     ) -> Result<Option<Frame>, FrameDecodeError> {
         match ftype {
             FrameType::Data => {
-                let data = strip_padding(fl, payload)
-                    .ok_or(FrameDecodeError::BadLength(FrameType::Data))?;
+                let (data, pad) = strip_padding(FrameType::Data, fl, payload)?;
                 Ok(Some(Frame::Data {
                     stream_id,
                     end_stream: fl & flags::END_STREAM != 0,
                     data: data.into(),
+                    pad,
                 }))
             }
             FrameType::Headers => {
-                let mut block = strip_padding(fl, payload)
-                    .ok_or(FrameDecodeError::BadLength(FrameType::Headers))?;
+                let (mut block, pad) = strip_padding(FrameType::Headers, fl, payload)?;
                 if fl & flags::PRIORITY != 0 {
                     if block.len() < 5 {
                         return Err(FrameDecodeError::BadLength(FrameType::Headers));
@@ -414,7 +450,9 @@ impl FrameDecoder {
                     block.drain(..5); // dependency + weight, advisory only
                 }
                 if fl & flags::END_HEADERS == 0 {
-                    // Begin a header sequence awaiting CONTINUATION.
+                    // Begin a header sequence awaiting CONTINUATION. The
+                    // opening frame's padding is already accounted on the
+                    // wire; the reassembled block reports no pad.
                     self.header_sequence = Some((stream_id, fl & flags::END_STREAM != 0, block));
                     return Ok(None);
                 }
@@ -422,6 +460,7 @@ impl FrameDecoder {
                     stream_id,
                     end_stream: fl & flags::END_STREAM != 0,
                     header_block: block,
+                    pad,
                 }))
             }
             FrameType::Priority => {
@@ -512,19 +551,41 @@ impl FrameDecoder {
                     stream_id: seq_stream,
                     end_stream,
                     header_block: block,
+                    pad: None,
                 }))
             }
         }
     }
 }
 
-fn strip_padding(fl: u8, payload: Vec<u8>) -> Option<Vec<u8>> {
+/// Strips DATA/HEADERS padding, returning the content bytes and the pad
+/// length (`None` when the PADDED flag is unset).
+///
+/// # Errors
+///
+/// `BadPadding` when `pad_len >= payload length` — RFC 7540 §6.1 makes
+/// this a connection error of type PROTOCOL_ERROR, not a droppable frame —
+/// and `NonZeroPadding` when any pad octet is non-zero (padding MUST be
+/// zero; this model enforces the RFC's MAY-check unconditionally so the
+/// conformance oracle sees covert pad contents).
+fn strip_padding(
+    ftype: FrameType,
+    fl: u8,
+    payload: Vec<u8>,
+) -> Result<(Vec<u8>, Option<u8>), FrameDecodeError> {
     if fl & flags::PADDED == 0 {
-        return Some(payload);
+        return Ok((payload, None));
     }
-    let (&pad_len, rest) = payload.split_first()?;
-    let rest_len = rest.len().checked_sub(pad_len as usize)?;
-    Some(rest[..rest_len].to_vec())
+    let Some((&pad_len, rest)) = payload.split_first() else {
+        return Err(FrameDecodeError::BadPadding(ftype));
+    };
+    let Some(rest_len) = rest.len().checked_sub(pad_len as usize) else {
+        return Err(FrameDecodeError::BadPadding(ftype));
+    };
+    if rest[rest_len..].iter().any(|&b| b != 0) {
+        return Err(FrameDecodeError::NonZeroPadding(ftype));
+    }
+    Ok((rest[..rest_len].to_vec(), Some(pad_len)))
 }
 
 #[cfg(test)]
@@ -545,11 +606,13 @@ mod tests {
             stream_id: StreamId(5),
             end_stream: true,
             data: vec![1, 2, 3].into(),
+            pad: None,
         });
         roundtrip(Frame::Headers {
             stream_id: StreamId(1),
             end_stream: false,
             header_block: vec![0x82, 0x87],
+            pad: None,
         });
         roundtrip(Frame::Priority {
             stream_id: StreamId(3),
@@ -587,11 +650,55 @@ mod tests {
     }
 
     #[test]
+    fn padded_roundtrip_across_pad_schedules() {
+        // Encode→decode identity for PADDED DATA/HEADERS across pad
+        // lengths, including the zero-pad (length-byte-only) edge and the
+        // maximum 255.
+        for pad in [0u8, 1, 7, 32, 255] {
+            roundtrip(Frame::Data {
+                stream_id: StreamId(5),
+                end_stream: pad % 2 == 0,
+                data: vec![0xA5; 100].into(),
+                pad: Some(pad),
+            });
+            roundtrip(Frame::Headers {
+                stream_id: StreamId(3),
+                end_stream: false,
+                header_block: vec![0x82, 0x87, 0x84],
+                pad: Some(pad),
+            });
+        }
+        // All-padding DATA: zero content bytes is legal (pad_len == rest).
+        roundtrip(Frame::Data {
+            stream_id: StreamId(9),
+            end_stream: false,
+            data: vec![].into(),
+            pad: Some(16),
+        });
+    }
+
+    #[test]
+    fn padded_wire_layout_matches_rfc() {
+        let bytes = encode_frame(&Frame::Data {
+            stream_id: StreamId(1),
+            end_stream: false,
+            data: vec![7, 8].into(),
+            pad: Some(3),
+        });
+        // length = 1 pad-length byte + 2 data + 3 padding = 6.
+        assert_eq!(&bytes[..3], &[0, 0, 6]);
+        assert_eq!(bytes[3], 0x0); // DATA
+        assert_eq!(bytes[4], 0x8); // PADDED
+        assert_eq!(&bytes[9..], &[3, 7, 8, 0, 0, 0]);
+    }
+
+    #[test]
     fn header_layout_matches_rfc() {
         let bytes = encode_frame(&Frame::Data {
             stream_id: StreamId(5),
             end_stream: true,
             data: vec![0xAA; 300].into(),
+            pad: None,
         });
         assert_eq!(bytes.len(), 9 + 300);
         assert_eq!(&bytes[..3], &[0, 1, 44]); // length 300
@@ -647,6 +754,7 @@ mod tests {
             stream_id: StreamId(1),
             end_stream: false,
             data: vec![0; 17].into(),
+            pad: None,
         });
         dec.push(&bytes);
         assert_eq!(dec.next_frame(), Err(FrameDecodeError::FrameTooLarge));
@@ -709,9 +817,82 @@ mod tests {
         let mut dec = FrameDecoder::new(false);
         dec.push(&raw);
         match dec.next_frame().unwrap().unwrap() {
-            Frame::Data { data, .. } => assert_eq!(data, vec![7, 8]),
+            Frame::Data { data, pad, .. } => {
+                assert_eq!(data, vec![7, 8]);
+                assert_eq!(pad, Some(2), "pad length survives decoding");
+            }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn pad_length_equal_to_payload_is_protocol_error() {
+        // RFC 7540 §6.1: pad_len >= payload length is a connection error.
+        // payload = [pad_len] ++ 2 trailing bytes; pad_len 3 >= 3.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 3, 0x0, 0x8, 0, 0, 0, 1]);
+        raw.extend_from_slice(&[3, 0, 0]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::BadPadding(FrameType::Data))
+        );
+    }
+
+    #[test]
+    fn pad_length_exceeding_payload_is_protocol_error() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 4, 0x0, 0x8, 0, 0, 0, 1]);
+        raw.extend_from_slice(&[200, 1, 2, 3]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::BadPadding(FrameType::Data))
+        );
+    }
+
+    #[test]
+    fn empty_padded_payload_is_protocol_error() {
+        // PADDED flag with a zero-length payload: no room for the
+        // pad-length byte itself.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 0, 0x0, 0x8, 0, 0, 0, 1]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::BadPadding(FrameType::Data))
+        );
+    }
+
+    #[test]
+    fn padded_headers_bad_pad_is_protocol_error() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 2, 0x1, 0x8 | 0x4, 0, 0, 0, 5]);
+        raw.extend_from_slice(&[9, 0]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::BadPadding(FrameType::Headers))
+        );
+    }
+
+    #[test]
+    fn non_zero_padding_is_rejected() {
+        // pad_len=2 but the pad octets are 0xFF — RFC 7540 §6.1 padding
+        // MUST be zero; this decoder enforces the MAY-check.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0, 0, 5, 0x0, 0x8, 0, 0, 0, 1]);
+        raw.extend_from_slice(&[2, 7, 8, 0xFF, 0xFF]);
+        let mut dec = FrameDecoder::new(false);
+        dec.push(&raw);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameDecodeError::NonZeroPadding(FrameType::Data))
+        );
     }
 
     #[test]
@@ -739,6 +920,7 @@ mod continuation_tests {
                 stream_id: StreamId(1),
                 end_stream: true,
                 header_block: vec![1, 2, 3],
+                pad: None,
             })
         );
     }
@@ -757,6 +939,7 @@ mod continuation_tests {
                 stream_id: StreamId(7),
                 end_stream: true,
                 header_block: block,
+                pad: None,
             }
         );
         assert_eq!(dec.next_frame().unwrap(), None);

@@ -21,6 +21,22 @@ use crate::hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, HeaderField
 use crate::settings::{H2Config, SendPolicy, Settings};
 use crate::stream::{StreamId, StreamState};
 
+/// Pad schedule for frame-size quantization: the padding that rounds
+/// `len + 1` (content plus the pad-length byte) up to the next multiple of
+/// `quantum`, capped by the 255-octet pad field and the `max_total` payload
+/// bound. `None` when quantization is off or even the pad-length byte does
+/// not fit; `Some(0)` still sets the PADDED flag (the schedule stays
+/// deterministic — every frame in a quantized stream carries the flag).
+fn quantize_pad(len: usize, quantum: usize, max_total: usize) -> Option<u8> {
+    if quantum <= 1 || len + 1 > max_total {
+        return None;
+    }
+    let total = len + 1;
+    let target = total.div_ceil(quantum) * quantum;
+    let pad = (target - total).min(255).min(max_total - total);
+    Some(pad as u8)
+}
+
 /// Which side of the connection this endpoint is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Peer {
@@ -134,6 +150,9 @@ pub struct H2Stats {
     pub resets_received: u64,
     /// Times the mux stalled on the connection-level window.
     pub conn_window_stalls: u64,
+    /// Padding overhead sent (pad-length bytes + pad octets) across DATA
+    /// and HEADERS frames — the wire cost of a frame-padding defense.
+    pub pad_bytes_sent: u64,
 }
 
 /// Body bytes queued on one stream, as a FIFO of shared chunks. The mux
@@ -527,10 +546,12 @@ impl H2Connection {
         );
         self.data_order.push(id);
         let block = self.hpack_encoder.encode(headers);
+        let pad = self.headers_pad(block.len());
         self.headers_queue.push_back(Frame::Headers {
             stream_id: id,
             end_stream,
             header_block: block,
+            pad,
         });
         Ok(id)
     }
@@ -559,12 +580,25 @@ impl H2Connection {
             entry.state = entry.state.on_local_end();
         }
         let block = self.hpack_encoder.encode(headers);
+        let pad = self.headers_pad(block.len());
         self.headers_queue.push_back(Frame::Headers {
             stream_id,
             end_stream,
             header_block: block,
+            pad,
         });
         Ok(())
+    }
+
+    /// Pad schedule for a HEADERS payload of `len` bytes under the
+    /// configured quantization, or `None` when padding is off or the block
+    /// will split into a CONTINUATION sequence (which is never padded).
+    fn headers_pad(&self, len: usize) -> Option<u8> {
+        let max = self.peer_settings.max_frame_size as usize;
+        if len > max {
+            return None;
+        }
+        quantize_pad(len, self.config.headers_pad_quantum, max)
     }
 
     /// Queues body bytes on a stream, copying them once into a shared
@@ -850,38 +884,52 @@ impl H2Connection {
     /// Emits the next DATA chunk of the stream at `data_order[pick]`.
     fn send_data_at(&mut self, pick: usize, conn_avail: usize) -> Option<Outgoing> {
         let id = self.data_order[pick];
+        let max_frame = self.peer_settings.max_frame_size as usize;
+        let quantum = self.config.data_pad_quantum;
         let entry = self.streams.get_mut(&id).expect("scheduled stream exists");
-        let chunk_cap = self
-            .config
-            .data_chunk_size
-            .min(self.peer_settings.max_frame_size as usize);
+        let chunk_cap = self.config.data_chunk_size.min(max_frame);
         let n = entry.sendable().min(chunk_cap).min(conn_avail);
+        // Padding is drawn from flow-control window *slack* only: RFC 7540
+        // §6.9.1 debits the whole padded payload, and a defense must never
+        // displace data bytes or deadlock the mux when windows run tight.
+        let window_slack = entry
+            .send_window
+            .available()
+            .min(conn_avail)
+            .saturating_sub(n);
+        let pad = quantize_pad(n, quantum, n + window_slack.min(max_frame - n));
         let data = entry.pending.take(n);
         let end_stream = entry.pending.is_empty() && entry.pending_end;
         if end_stream {
             entry.pending_end = false;
             entry.state = entry.state.on_local_end();
         }
-        entry.send_window.consume(n);
+        let cost = n + crate::frame::pad_overhead(pad);
+        entry.send_window.consume(cost);
         entry.credit -= n as i64;
-        self.conn_send_window.consume(n);
+        self.conn_send_window.consume(cost);
         self.stats.data_frames_sent += 1;
         self.stats.data_bytes_sent += n as u64;
         let frame = Frame::Data {
             stream_id: id,
             end_stream,
             data,
+            pad,
         };
         Some(self.emit(frame))
     }
 
     fn emit(&mut self, frame: Frame) -> Outgoing {
+        if let Frame::Data { pad, .. } | Frame::Headers { pad, .. } = &frame {
+            self.stats.pad_bytes_sent += crate::frame::pad_overhead(*pad) as u64;
+        }
         // Header blocks larger than the peer's max frame size leave as a
         // HEADERS + CONTINUATION sequence (RFC 7540 §6.10).
         if let Frame::Headers {
             stream_id,
             end_stream,
             header_block,
+            ..
         } = &frame
         {
             let max = self.peer_settings.max_frame_size as usize;
@@ -1020,6 +1068,7 @@ impl H2Connection {
                 stream_id,
                 end_stream,
                 header_block,
+                ..
             } => {
                 let headers = self.hpack_decoder.decode(&header_block).map_err(|_| {
                     let err = H2Error::new(ErrorCode::CompressionError, "hpack decode failed");
@@ -1059,11 +1108,16 @@ impl H2Connection {
                 stream_id,
                 end_stream,
                 data,
+                pad,
             } => {
                 self.stats.data_frames_received += 1;
                 self.stats.data_bytes_received += data.len() as u64;
-                // Connection-level accounting.
-                let len = data.len();
+                // Connection-level accounting. RFC 7540 §6.9.1: the whole
+                // payload — pad-length byte and padding included — debits
+                // the windows, so padded senders and unpadded ledgers stay
+                // in sync (and the WINDOW_UPDATEs below re-credit the same
+                // padded totals).
+                let len = data.len() + crate::frame::pad_overhead(pad);
                 if len > self.conn_recv_window.available() {
                     let err = H2Error::new(
                         ErrorCode::FlowControlError,

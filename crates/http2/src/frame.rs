@@ -83,7 +83,8 @@ pub mod flags {
     pub const ACK: u8 = 0x1;
     /// HEADERS / PUSH_PROMISE / CONTINUATION: header block complete.
     pub const END_HEADERS: u8 = 0x4;
-    /// DATA / HEADERS: padding present (modeled but unused by default).
+    /// DATA / HEADERS: padding present (RFC 7540 §6.1/§6.2; emitted when a
+    /// padding defense sets a pad schedule, always strippable on receive).
     pub const PADDED: u8 = 0x8;
     /// HEADERS: priority fields present.
     pub const PRIORITY: u8 = 0x20;
@@ -133,6 +134,13 @@ impl SettingId {
     }
 }
 
+/// Flow-control overhead of a PADDED frame: the pad-length byte plus the
+/// padding itself. RFC 7540 §6.1/§6.9: the *entire* payload — padding
+/// included — debits connection and stream flow-control windows.
+pub fn pad_overhead(pad: Option<u8>) -> usize {
+    pad.map_or(0, |p| 1 + p as usize)
+}
+
 /// A parsed HTTP/2 frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -145,6 +153,10 @@ pub enum Frame {
         /// Payload bytes — a shared slice of the queued body, so muxing a
         /// body into frames does not copy it.
         data: h2priv_bytes::SharedBytes,
+        /// Padding: `Some(n)` sets the PADDED flag and appends `n` zero
+        /// octets after a pad-length byte (a padding defense's schedule);
+        /// `None` emits the classic unpadded frame.
+        pad: Option<u8>,
     },
     /// HEADERS: an HPACK-encoded header block (always END_HEADERS in this
     /// model; CONTINUATION is supported on the wire but never emitted).
@@ -155,6 +167,9 @@ pub enum Frame {
         end_stream: bool,
         /// HPACK header block fragment.
         header_block: Vec<u8>,
+        /// Padding, as for [`Frame::Data`] (HEADERS padding does not touch
+        /// flow control but still widens the frame on the wire).
+        pad: Option<u8>,
     },
     /// PRIORITY: stream dependency advice.
     Priority {
@@ -219,6 +234,17 @@ impl Frame {
         }
     }
 
+    /// Bytes this frame debits from flow-control windows: the DATA payload
+    /// including the pad-length byte and padding when present (RFC 7540
+    /// §6.9.1 — flow control accounts for the whole payload). Zero for
+    /// frame types that are not flow controlled.
+    pub fn flow_len(&self) -> usize {
+        match self {
+            Frame::Data { data, pad, .. } => data.len() + pad_overhead(*pad),
+            _ => 0,
+        }
+    }
+
     /// The frame's wire type.
     pub fn frame_type(&self) -> FrameType {
         match self {
@@ -276,8 +302,33 @@ mod tests {
             stream_id: StreamId(3),
             end_stream: true,
             data: vec![1].into(),
+            pad: None,
         };
         assert_eq!(f.frame_type(), FrameType::Data);
         assert_eq!(f.stream_id(), StreamId(3));
+    }
+
+    #[test]
+    fn flow_len_counts_pad_length_byte_and_padding() {
+        let unpadded = Frame::Data {
+            stream_id: StreamId(1),
+            end_stream: false,
+            data: vec![0; 10].into(),
+            pad: None,
+        };
+        assert_eq!(unpadded.flow_len(), 10);
+        let padded = Frame::Data {
+            stream_id: StreamId(1),
+            end_stream: false,
+            data: vec![0; 10].into(),
+            pad: Some(5),
+        };
+        assert_eq!(padded.flow_len(), 16, "10 data + 1 pad-length byte + 5 pad");
+        assert_eq!(
+            pad_overhead(Some(0)),
+            1,
+            "PADDED with zero pad still costs the length byte"
+        );
+        assert_eq!(pad_overhead(None), 0);
     }
 }

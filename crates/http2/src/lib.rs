@@ -37,7 +37,9 @@ pub use codec::{
 pub use connection::{H2Connection, H2Event, H2Stats, Outgoing, OutgoingMeta, Peer};
 pub use error::{ErrorCode, H2Error};
 pub use flow::{FlowWindow, WindowOverflow, DEFAULT_WINDOW, MAX_WINDOW};
-pub use frame::{flags, Frame, FrameType, SettingId, DEFAULT_MAX_FRAME_SIZE, FRAME_HEADER_LEN};
+pub use frame::{
+    flags, pad_overhead, Frame, FrameType, SettingId, DEFAULT_MAX_FRAME_SIZE, FRAME_HEADER_LEN,
+};
 pub use hpack::HeaderField;
 pub use settings::{H2Config, SendPolicy, Settings};
 pub use stream::{StreamId, StreamState};

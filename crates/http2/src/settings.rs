@@ -101,6 +101,19 @@ pub struct H2Config {
     /// preface (browsers send a large connection WINDOW_UPDATE at startup;
     /// 0 keeps the strict RFC default of 65 535 bytes).
     pub connection_window_bonus: u32,
+    /// Frame-size quantization for DATA (a padding defense): when > 1,
+    /// DATA frames carry RFC 7540 §6.1 padding so the total payload
+    /// (pad-length byte + data + padding) rounds up to a multiple of this
+    /// quantum — a deterministic pad schedule that hides exact chunk
+    /// sizes. Padding is best-effort: it is drawn from flow-control window
+    /// *slack* (never displacing data bytes) and capped by the 255-octet
+    /// pad field and the peer's max frame size. 0 disables padding.
+    pub data_pad_quantum: usize,
+    /// Frame-size quantization for HEADERS: when > 1, single-frame HEADERS
+    /// payloads are padded up to a multiple of this quantum (capped at 255
+    /// pad octets). Header blocks large enough to split into CONTINUATION
+    /// sequences are never padded. 0 disables padding.
+    pub headers_pad_quantum: usize,
 }
 
 impl Default for H2Config {
@@ -110,6 +123,8 @@ impl Default for H2Config {
             send_policy: SendPolicy::RoundRobin,
             data_chunk_size: 2_048,
             connection_window_bonus: 0,
+            data_pad_quantum: 0,
+            headers_pad_quantum: 0,
         }
     }
 }

@@ -38,6 +38,7 @@ use std::rc::Rc;
 
 use h2priv_analysis::{GroundTruth, WireTrace};
 use h2priv_conformance::{ConformanceTap, Violation, ViolationSink};
+use h2priv_defense::{constrained_pad_set, DefenseSpec, TlsShaper};
 use h2priv_netsim::{
     Context, Dir, GatewayStats, LinkConfig, MbContext, Middlebox, Node, NodeId, Packet, SchedStats,
     SimDuration, SimRng, SimTime, Simulator, StopReason, TimerId, Verdict,
@@ -114,6 +115,13 @@ pub struct FleetConfig {
     pub start_spread: SimDuration,
     /// Hard cap on simulated time per shard.
     pub deadline: SimDuration,
+    /// Countermeasure deployed by the site. Padding defenses apply to every
+    /// server in the population (the site deploys them fleet-wide); the
+    /// shaping defenses' dummy-record schedule runs on the victim server
+    /// only — bystander traffic is load, not measurement target, and the
+    /// arena topology has no per-pair pacing hop, so fleet shaping models
+    /// the endpoint half of the defense.
+    pub defense: DefenseSpec,
 }
 
 impl Default for FleetConfig {
@@ -125,6 +133,7 @@ impl Default for FleetConfig {
             conformance: FleetConformance::Off,
             start_spread: SimDuration::from_secs(5),
             deadline: crate::calib::TRIAL_DEADLINE,
+            defense: DefenseSpec::None,
         }
     }
 }
@@ -671,6 +680,32 @@ pub fn run_fleet_shard(
     let bystander_shared = shared_site(&bystander_site);
     let authority: Rc<str> = Rc::from("www.isidewith.com");
 
+    // Defense-derived server-side configs, computed once per shard. Both
+    // site variants are permutations of the same survey, so one pad set
+    // covers every server in the population.
+    let mut server_config = scen.server.clone();
+    let mut server_h2 = scen.server_h2.clone();
+    match config.defense {
+        DefenseSpec::ConstrainedPadding { overhead_per_mille } => {
+            let sizes: Vec<usize> = bystander_site
+                .site
+                .objects()
+                .iter()
+                .map(|o| o.size)
+                .collect();
+            server_config.pad_sizes = Some(
+                constrained_pad_set(&sizes, overhead_per_mille)
+                    .sizes()
+                    .to_vec(),
+            );
+        }
+        DefenseSpec::FrameQuantize { quantum } => {
+            server_h2.data_pad_quantum = quantum as usize;
+            server_h2.headers_pad_quantum = quantum as usize;
+        }
+        _ => {}
+    }
+
     let trace = Rc::new(RefCell::new(WireTrace::new()));
     let truth = Rc::new(RefCell::new(GroundTruth::new()));
     let sink = (config.conformance != FleetConformance::Off).then(ViolationSink::new);
@@ -716,18 +751,41 @@ pub fn run_fleet_shard(
         // the whole shard.
         client_core.halt_when_done = false;
 
-        let server_app = SiteServer::new(server_site.clone(), scen.server.clone(), pair_rng.fork());
+        let server_app =
+            SiteServer::new(server_site.clone(), server_config.clone(), pair_rng.fork());
         let mut server_tcp = scen.tcp.clone();
         server_tcp.iss = Seq(700_000);
         let mut server_core = HostCore::new_server(
             client_arena_id,
             server_app,
             server_tcp,
-            scen.server_h2.clone(),
+            server_h2.clone(),
             session_key,
             is_victim.then(|| truth.clone()),
             scen.socket_buffer,
         );
+        // Shaping runs on the victim server only, from a dedicated RNG
+        // stream so the defense never perturbs the pair's app randomness.
+        if is_victim {
+            let shaper_rng = SimRng::seed_from(mix(config.seed, 0xDEF5 ^ pair as u64));
+            match config.defense {
+                DefenseSpec::ConstantRate { interval_us } => server_core.set_shaper(
+                    TlsShaper::constant_rate(SimDuration::from_micros(interval_us as u64)),
+                    shaper_rng,
+                ),
+                DefenseSpec::AdaptivePadding {
+                    min_gap_us,
+                    spread_us,
+                } => server_core.set_shaper(
+                    TlsShaper::adaptive(
+                        SimDuration::from_micros(min_gap_us as u64),
+                        SimDuration::from_micros(spread_us as u64),
+                    ),
+                    shaper_rng,
+                ),
+                _ => {}
+            }
+        }
 
         let mut chain: Vec<Box<dyn Middlebox<TcpSegment>>> = Vec::new();
         if is_victim {

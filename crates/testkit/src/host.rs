@@ -20,10 +20,11 @@ use std::rc::Rc;
 use h2priv_analysis::GroundTruth;
 use h2priv_bytes::SharedBytes;
 use h2priv_conformance::{H2LedgerChecker, TcpEndpointChecker, ViolationSink};
+use h2priv_defense::{dummy_record_plaintext, TlsShaper};
 use h2priv_http2::{
     ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId,
 };
-use h2priv_netsim::{Context, Node, NodeId, Packet, SimTime, TimerId};
+use h2priv_netsim::{Context, Node, NodeId, Packet, SimRng, SimTime, TimerId};
 use h2priv_tcp::{AbortReason, TcpConfig, TcpConnection, TcpSegment, TcpStats};
 use h2priv_tls::{Role, TlsSession};
 use h2priv_web::{Browser, BrowserCmd, ObjectId, SiteServer};
@@ -107,6 +108,16 @@ impl std::fmt::Debug for HostOracle {
     }
 }
 
+/// Endpoint shaping state attached to a host: the dummy-record schedule,
+/// its private RNG stream (forked from the scenario seed, so shaping never
+/// perturbs app-level randomness), and the pre-encoded dummy plaintext.
+#[derive(Debug)]
+struct HostShaper {
+    shaper: TlsShaper,
+    rng: SimRng,
+    dummy: Vec<u8>,
+}
+
 /// The application running on a host.
 #[derive(Debug)]
 pub enum App {
@@ -157,6 +168,10 @@ pub struct HostCore {
     /// carry, and fleet bystanders don't carry them — `None` costs a
     /// pointer, not the full struct.
     oracle: Option<Box<HostOracle>>,
+    /// Dummy-record shaping schedule (shaping defenses, server side).
+    /// Boxed for the same reason as the oracle: almost every host runs
+    /// without one.
+    shaper: Option<Box<HostShaper>>,
 }
 
 impl HostCore {
@@ -186,6 +201,7 @@ impl HostCore {
             authority,
             socket_buffer,
             oracle: None,
+            shaper: None,
         }
     }
 
@@ -213,6 +229,7 @@ impl HostCore {
             authority: Rc::from(""),
             socket_buffer,
             oracle: None,
+            shaper: None,
         }
     }
 
@@ -260,6 +277,22 @@ impl HostCore {
         self.oracle = Some(Box::new(oracle));
     }
 
+    /// Attaches a dummy-record shaping schedule. `rng` must be a dedicated
+    /// fork of the scenario seed so the schedule's draws never perturb the
+    /// application's randomness.
+    pub fn set_shaper(&mut self, shaper: TlsShaper, rng: SimRng) {
+        self.shaper = Some(Box::new(HostShaper {
+            shaper,
+            rng,
+            dummy: dummy_record_plaintext(),
+        }));
+    }
+
+    /// Dummy records this host's shaper has sealed so far (0 without one).
+    pub fn shaper_dummies(&self) -> u64 {
+        self.shaper.as_ref().map_or(0, |s| s.shaper.dummies_sent)
+    }
+
     /// Queues the TLS first flight on a client core. Call once before the
     /// first pump; a no-op on servers.
     pub(crate) fn begin(&mut self) {
@@ -270,11 +303,18 @@ impl HostCore {
         }
     }
 
-    /// The application's next scheduled wakeup, if any.
+    /// The application's next scheduled wakeup, if any; the shaping
+    /// schedule folds in here so an otherwise-idle host still wakes to
+    /// seal dummy records.
     pub(crate) fn app_wakeup(&self) -> Option<SimTime> {
-        match &self.app {
+        let app = match &self.app {
             App::Client(b) => b.next_wakeup(),
             App::Server(s) => s.next_wakeup(),
+        };
+        let pad = self.shaper.as_ref().and_then(|s| s.shaper.next_wakeup());
+        match (app, pad) {
+            (Some(a), Some(p)) => Some(a.min(p)),
+            (a, p) => a.or(p),
         }
     }
 
@@ -699,6 +739,31 @@ impl HostCore {
             }
             scratch.spans.push((meta, start, run.len()));
             self.h2.recycle_outgoing(out.bytes);
+        }
+        // Shaping: a pass that sealed real traffic re-arms the dummy
+        // schedule; a pass that sealed nothing asks the schedule whether
+        // dummy records are due and seals them in-stream — through the same
+        // record writer as real data, so nonce continuity (and thus the
+        // oracle's `record-seq` rule) holds. Dummies go out only when the
+        // real mux is silent: they fill gaps, never displace data.
+        if let Some(hs) = self.shaper.as_mut() {
+            if run.is_empty() {
+                let due = hs.shaper.dummies_due(now, &mut hs.rng);
+                for _ in 0..due {
+                    if self.tcp.buffered() + run.len() >= limit {
+                        break;
+                    }
+                    if let Some(oracle) = self.oracle.as_mut() {
+                        oracle.h2.on_sent(&hs.dummy, now);
+                    }
+                    if self.tls.seal_app_data_into(&hs.dummy, &mut run).is_err() {
+                        break;
+                    }
+                    progressed = true;
+                }
+            } else {
+                hs.shaper.on_real_send(now, &mut hs.rng);
+            }
         }
         if run.is_empty() {
             scratch.run = run;

@@ -10,8 +10,13 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use h2priv_analysis::{GroundTruth, WireTrace};
+use h2priv_defense::{
+    constrained_pad_set, AdaptivePacer, ConstantRatePacer, DefenseSpec, TlsShaper,
+};
 use h2priv_http2::{H2Config, SendPolicy, Settings};
-use h2priv_netsim::{GatewayNode, LinkConfig, Middlebox, NodeId, SimRng, Simulator, StopReason};
+use h2priv_netsim::{
+    Dir, GatewayNode, LinkConfig, Middlebox, NodeId, SimDuration, SimRng, Simulator, StopReason,
+};
 use h2priv_tcp::{AbortReason, TcpConfig, TcpSegment, TcpStats};
 use h2priv_web::{
     BrowsePlan, Browser, BrowserConfig, RequestOutcome, SiteServer, SiteServerConfig, Website,
@@ -47,6 +52,12 @@ pub struct ScenarioConfig {
     /// Modeled kernel socket send-buffer size per endpoint (backpressure
     /// that keeps several responses pending in the mux at once).
     pub socket_buffer: usize,
+    /// Countermeasure to deploy against the observer. Body padding rewrites
+    /// the server config, frame quantization rewrites the server's HTTP/2
+    /// config, and shaping defenses add a CDN-edge pacing node between the
+    /// server and the adversary's gateway plus a dummy-record schedule on
+    /// the server host.
+    pub defense: DefenseSpec,
     /// Run the cross-layer conformance oracle alongside the trial: endpoint
     /// checkers on both hosts plus a wire tap at the gateway, all reporting
     /// into [`RunResult::violations`]. On by default; benches turn it off
@@ -69,6 +80,7 @@ impl Default for ScenarioConfig {
             server: SiteServerConfig {
                 worker_latency: calib::worker_latency(),
                 pad_bucket: None,
+                pad_sizes: None,
             },
             client_h2: H2Config {
                 settings: Settings {
@@ -78,12 +90,16 @@ impl Default for ScenarioConfig {
                 send_policy: SendPolicy::RoundRobin,
                 data_chunk_size: calib::DATA_CHUNK_SIZE,
                 connection_window_bonus: calib::CLIENT_CONN_WINDOW_BONUS,
+                data_pad_quantum: 0,
+                headers_pad_quantum: 0,
             },
             server_h2: H2Config {
                 settings: Settings::default(),
                 send_policy: SendPolicy::RoundRobin,
                 data_chunk_size: calib::DATA_CHUNK_SIZE,
                 connection_window_bonus: 0,
+                data_pad_quantum: 0,
+                headers_pad_quantum: 0,
             },
             tcp: TcpConfig::default(),
             // Links preserve order: real path jitter is shared queueing
@@ -98,6 +114,7 @@ impl Default for ScenarioConfig {
                 .jitter(calib::natural_jitter()),
             deadline: calib::TRIAL_DEADLINE,
             socket_buffer: calib::SOCKET_BUFFER,
+            defense: DefenseSpec::None,
             conformance: true,
         }
     }
@@ -160,6 +177,9 @@ pub struct RunResult {
     pub violations: Vec<Violation>,
     /// Total violations reported, including any past the storage cap.
     pub violations_total: u64,
+    /// Dummy records the server's shaping schedule sealed (0 without a
+    /// shaping defense) — the defense's byte-overhead numerator.
+    pub defense_dummies: u64,
 }
 
 impl RunResult {
@@ -201,6 +221,31 @@ pub fn build_scenario(
     let client_id = sim.reserve_node_id();
     let gateway_id = sim.reserve_node_id();
     let server_id = sim.reserve_node_id();
+    // Shaping defenses pace at a CDN edge *between* the server and the
+    // adversary's vantage point: a Hold issued inside the gateway's own
+    // middlebox chain would not move the tap's arrival timestamps, so the
+    // pacer must finish its work one hop upstream of the observer.
+    let edge_id = config.defense.is_shaping().then(|| sim.reserve_node_id());
+
+    // Padding defenses rewrite the server-side configs before the hosts
+    // are built; `DefenseSpec::None` leaves both untouched byte for byte.
+    let mut server_config = config.server.clone();
+    let mut server_h2 = config.server_h2.clone();
+    match config.defense {
+        DefenseSpec::ConstrainedPadding { overhead_per_mille } => {
+            let sizes: Vec<usize> = site.objects().iter().map(|o| o.size).collect();
+            server_config.pad_sizes = Some(
+                constrained_pad_set(&sizes, overhead_per_mille)
+                    .sizes()
+                    .to_vec(),
+            );
+        }
+        DefenseSpec::FrameQuantize { quantum } => {
+            server_h2.data_pad_quantum = quantum as usize;
+            server_h2.headers_pad_quantum = quantum as usize;
+        }
+        _ => {}
+    }
 
     let trace = Rc::new(RefCell::new(WireTrace::new()));
     let truth = Rc::new(RefCell::new(GroundTruth::new()));
@@ -218,18 +263,42 @@ pub fn build_scenario(
         config.socket_buffer,
     );
 
-    let server_app = SiteServer::new(site.clone(), config.server.clone(), seed_rng.fork());
+    let server_app = SiteServer::new(site.clone(), server_config, seed_rng.fork());
     let mut server_tcp = config.tcp.clone();
     server_tcp.iss = h2priv_tcp::Seq(700_000);
     let (server_host, server) = Host::server(
         client_id,
         server_app,
         server_tcp,
-        config.server_h2.clone(),
+        server_h2,
         session_key,
         truth.clone(),
         config.socket_buffer,
     );
+    // Shaping: the server additionally seals dummy records on the defense's
+    // schedule, from a dedicated RNG fork (drawn only for shaping runs, so
+    // undefended trials keep their exact seed sequence).
+    match config.defense {
+        DefenseSpec::ConstantRate { interval_us } => {
+            server.borrow_mut().set_shaper(
+                TlsShaper::constant_rate(SimDuration::from_micros(interval_us as u64)),
+                seed_rng.fork(),
+            );
+        }
+        DefenseSpec::AdaptivePadding {
+            min_gap_us,
+            spread_us,
+        } => {
+            server.borrow_mut().set_shaper(
+                TlsShaper::adaptive(
+                    SimDuration::from_micros(min_gap_us as u64),
+                    SimDuration::from_micros(spread_us as u64),
+                ),
+                seed_rng.fork(),
+            );
+        }
+        _ => {}
+    }
 
     let mut gateway = GatewayNode::new(client_id, server_id);
     if let Some(adv) = adversary {
@@ -255,7 +324,35 @@ pub fn build_scenario(
     sim.install_node(gateway_id, Box::new(gateway));
     sim.install_node(server_id, Box::new(server_host));
     sim.add_link(client_id, gateway_id, config.client_link.clone());
-    sim.add_link(gateway_id, server_id, config.server_link.clone());
+    match edge_id {
+        // Pacing edge: client — gateway — edge — server. The WAN link (and
+        // the adversary's gateway) stays downstream of the pacer, so the
+        // tap observes post-shaping timing; the edge—server hop models an
+        // intra-datacenter LAN: fast, clean, order-preserving.
+        Some(edge_id) => {
+            let mut edge = GatewayNode::new(client_id, server_id);
+            let pace = config
+                .defense
+                .pacing()
+                .expect("shaping defense always has a pacing bound");
+            match config.defense {
+                DefenseSpec::ConstantRate { .. } => {
+                    edge.push_middlebox(ConstantRatePacer::new(Dir::RightToLeft, pace));
+                }
+                _ => {
+                    edge.push_middlebox(AdaptivePacer::new(Dir::RightToLeft, pace));
+                }
+            }
+            sim.install_node(edge_id, Box::new(edge));
+            sim.add_link(gateway_id, edge_id, config.server_link.clone());
+            let lan = LinkConfig::with_delay(SimDuration::from_micros(50))
+                .bandwidth(calib::LINK_BANDWIDTH);
+            sim.add_link(edge_id, server_id, lan);
+        }
+        None => {
+            sim.add_link(gateway_id, server_id, config.server_link.clone());
+        }
+    }
 
     Scenario {
         sim,
@@ -302,6 +399,7 @@ pub fn run_scenario(mut scenario: Scenario) -> RunResult {
         sched,
         violations,
         violations_total,
+        defense_dummies: server.shaper_dummies(),
     }
 }
 

@@ -35,6 +35,7 @@ fn serialized_shard_peak(population: u32) -> u64 {
         conformance: FleetConformance::Off,
         start_spread: SimDuration::from_secs(population as u64 * STAGGER_SECS),
         deadline: SimDuration::from_secs(population as u64 * STAGGER_SECS + 60),
+        ..FleetConfig::default()
     };
     let (result, peak) = count_alloc::measure_peak_bytes(|| run_fleet_shard(&config, 0, None));
     assert_eq!(

@@ -1,0 +1,103 @@
+//! End-to-end countermeasure smoke tests: every arena defense completes
+//! the paper's page load conformance-clean, and each mechanism leaves its
+//! expected fingerprint on the wire.
+
+use h2priv_defense::DefenseSpec;
+use h2priv_netsim::Dir;
+use h2priv_testkit::{build_scenario, run_scenario, RunResult, ScenarioConfig};
+use h2priv_web::isidewith;
+
+fn run_with(defense: DefenseSpec) -> RunResult {
+    let golden: Vec<usize> = (0..8).collect();
+    let iw = isidewith::build(&golden);
+    let cfg = ScenarioConfig {
+        seed: 0xDEF,
+        defense,
+        ..ScenarioConfig::default()
+    };
+    run_scenario(build_scenario(&iw.site, &iw.plan, &cfg, None))
+}
+
+fn assert_page_loaded(result: &RunResult, defense: DefenseSpec) {
+    assert!(!result.broken, "{defense}: connection broke");
+    assert!(
+        result
+            .outcomes
+            .iter()
+            .all(|o| o.completed_at.is_some() && !o.failed),
+        "{defense}: page load incomplete"
+    );
+}
+
+/// Every defense in the arena — including both shaping topologies (the
+/// extra CDN-edge pacing hop) — finishes the page load with zero
+/// conformance violations: padded frames balance the flow-control ledger,
+/// dummy records keep TLS nonce continuity, and the pacers reorder
+/// nothing.
+#[test]
+fn every_defense_is_conformant_and_completes() {
+    for defense in DefenseSpec::arena() {
+        let result = run_with(defense);
+        assert_page_loaded(&result, defense);
+        result.assert_conformant();
+    }
+}
+
+/// Size-padding defenses inflate the response direction; the undefended
+/// baseline is the floor.
+#[test]
+fn padding_defenses_add_response_bytes() {
+    let base = run_with(DefenseSpec::None);
+    let base_bytes = base.trace.bytes_in_dir(Dir::RightToLeft);
+    for defense in [
+        DefenseSpec::ConstrainedPadding {
+            overhead_per_mille: 250,
+        },
+        DefenseSpec::FrameQuantize { quantum: 1024 },
+    ] {
+        let defended = run_with(defense);
+        let bytes = defended.trace.bytes_in_dir(Dir::RightToLeft);
+        assert!(
+            bytes > base_bytes,
+            "{defense}: {bytes} B response traffic, expected more than the \
+             undefended {base_bytes} B"
+        );
+    }
+}
+
+/// Shaping defenses seal dummy records on the server and report the count
+/// through the run result.
+#[test]
+fn shaping_defenses_emit_dummy_records() {
+    assert_eq!(run_with(DefenseSpec::None).defense_dummies, 0);
+    for defense in [
+        DefenseSpec::ConstantRate { interval_us: 2_000 },
+        DefenseSpec::AdaptivePadding {
+            min_gap_us: 5_000,
+            spread_us: 3_000,
+        },
+    ] {
+        let defended = run_with(defense);
+        assert!(
+            defended.defense_dummies > 0,
+            "{defense}: no dummy records sealed"
+        );
+    }
+}
+
+/// Same seed, same defense → byte-identical captures: the defense layers
+/// draw only from their dedicated seeded RNG forks.
+#[test]
+fn defended_trials_are_deterministic() {
+    for defense in DefenseSpec::arena() {
+        let a = run_with(defense);
+        let b = run_with(defense);
+        assert_eq!(a.trace.len(), b.trace.len(), "{defense}: trace diverged");
+        assert_eq!(a.events, b.events, "{defense}: event count diverged");
+        assert_eq!(
+            a.trace.bytes_in_dir(Dir::RightToLeft),
+            b.trace.bytes_in_dir(Dir::RightToLeft),
+            "{defense}: response bytes diverged"
+        );
+    }
+}

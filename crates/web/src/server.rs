@@ -32,6 +32,14 @@ pub struct SiteServerConfig {
     /// overheads"; the ablation bench quantifies both its protection and
     /// its overhead against the serialization attack.
     pub pad_bucket: Option<usize>,
+    /// Constrained-padding defense: a sorted set of canonical body sizes
+    /// (Reed & Reiter, arXiv:2108.01753). Each body is padded up to the
+    /// smallest canonical size that fits; bodies beyond the largest land
+    /// on multiples of it. Derived per-site by `h2priv-defense`'s
+    /// `constrained_pad_set`, which bounds the per-object overhead while
+    /// collapsing nearby sizes onto one wire size. Takes precedence over
+    /// [`pad_bucket`](Self::pad_bucket) when both are set.
+    pub pad_sizes: Option<Vec<usize>>,
 }
 
 impl Default for SiteServerConfig {
@@ -39,7 +47,23 @@ impl Default for SiteServerConfig {
         SiteServerConfig {
             worker_latency: DurationDist::None,
             pad_bucket: None,
+            pad_sizes: None,
         }
+    }
+}
+
+/// The canonical padded size for a body of `len` bytes given a sorted
+/// size set: the smallest canonical size that fits, or the next multiple
+/// of the largest for oversize bodies (mirrors `h2priv-defense`'s
+/// `PadSet::pad_to`, kept here so the web crate stays dependency-light).
+fn pad_to_canonical(len: usize, sizes: &[usize]) -> usize {
+    let Some(&max) = sizes.last() else {
+        return len;
+    };
+    match sizes.binary_search(&len) {
+        Ok(_) => len,
+        Err(i) if i < sizes.len() => sizes[i],
+        Err(_) => len.div_ceil(max) * max,
     }
 }
 
@@ -149,22 +173,31 @@ impl SiteServer {
             .map(|w| match w.object {
                 Some(id) => {
                     let obj = self.site.object(id).expect("worker references site object");
-                    let body = match self.config.pad_bucket {
-                        // Padding rewrites the body, so the defense path
-                        // materializes its own copy; the undefended path
-                        // serves the shared body as-is — the site's
-                        // materialized copy when present, else the
-                        // per-thread memo.
-                        Some(bucket) => {
-                            let mut body = obj.body();
-                            let padded = body.len().div_ceil(bucket.max(1)) * bucket.max(1);
-                            body.resize(padded, 0);
-                            SharedBytes::from_vec(body)
-                        }
-                        None => self
-                            .site
+                    // Padding rewrites the body, so the defense paths
+                    // materialize their own copy; the undefended path
+                    // serves the shared body as-is — the site's
+                    // materialized copy when present, else the per-thread
+                    // memo.
+                    let body = if let Some(padded) = self
+                        .config
+                        .pad_sizes
+                        .as_deref()
+                        .map(|sizes| pad_to_canonical(obj.size, sizes))
+                        .filter(|&p| p > obj.size)
+                    {
+                        let mut body = obj.body();
+                        body.resize(padded, 0);
+                        SharedBytes::from_vec(body)
+                    } else if self.config.pad_sizes.is_none() && self.config.pad_bucket.is_some() {
+                        let bucket = self.config.pad_bucket.unwrap_or(1).max(1);
+                        let mut body = obj.body();
+                        let padded = body.len().div_ceil(bucket) * bucket;
+                        body.resize(padded, 0);
+                        SharedBytes::from_vec(body)
+                    } else {
+                        self.site
                             .shared_body_of(id)
-                            .unwrap_or_else(|| obj.shared_body()),
+                            .unwrap_or_else(|| obj.shared_body())
                     };
                     Response {
                         stream: w.stream,
@@ -242,6 +275,7 @@ mod tests {
         let cfg = SiteServerConfig {
             worker_latency: DurationDist::Constant(SimDuration::from_millis(7)),
             pad_bucket: None,
+            pad_sizes: None,
         };
         let mut s = SiteServer::new(site, cfg, SimRng::seed_from(1));
         let due = s.on_request(StreamId(1), "/a", SimTime::ZERO);
@@ -271,6 +305,7 @@ mod tests {
         let cfg = SiteServerConfig {
             worker_latency: DurationDist::Constant(SimDuration::from_millis(7)),
             pad_bucket: None,
+            pad_sizes: None,
         };
         let mut s = SiteServer::new(site, cfg, SimRng::seed_from(1));
         s.on_request(StreamId(1), "/a", SimTime::ZERO);
@@ -297,6 +332,45 @@ mod tests {
         assert!(responses[0]
             .headers
             .contains(&HeaderField::new("content-length", "8192")));
+    }
+
+    #[test]
+    fn pad_sizes_collapse_onto_canonical_set() {
+        let mut site = Website::new();
+        site.add("/a", ObjectKind::Image, 5_200);
+        site.add("/b", ObjectKind::Image, 6_800);
+        site.add("/big", ObjectKind::Image, 20_000);
+        let cfg = SiteServerConfig {
+            pad_sizes: Some(vec![7_000]),
+            ..SiteServerConfig::default()
+        };
+        let mut s = SiteServer::new(site, cfg, SimRng::seed_from(1));
+        s.on_request(StreamId(1), "/a", SimTime::ZERO);
+        s.on_request(StreamId(3), "/b", SimTime::ZERO);
+        s.on_request(StreamId(5), "/big", SimTime::ZERO);
+        let responses = s.due_responses(SimTime::ZERO);
+        // Both small objects land on the canonical 7000; the oversize one
+        // rounds to the coarse grid (3 × 7000).
+        assert_eq!(responses[0].body.len(), 7_000);
+        assert_eq!(responses[1].body.len(), 7_000);
+        assert_eq!(responses[2].body.len(), 21_000);
+        assert!(responses[0]
+            .headers
+            .contains(&HeaderField::new("content-length", "7000")));
+    }
+
+    #[test]
+    fn exact_canonical_size_serves_shared_body() {
+        let mut site = Website::new();
+        site.add("/a", ObjectKind::Image, 4_096);
+        let cfg = SiteServerConfig {
+            pad_sizes: Some(vec![4_096]),
+            ..SiteServerConfig::default()
+        };
+        let mut s = SiteServer::new(site, cfg, SimRng::seed_from(1));
+        s.on_request(StreamId(1), "/a", SimTime::ZERO);
+        let responses = s.due_responses(SimTime::ZERO);
+        assert_eq!(responses[0].body.len(), 4_096);
     }
 
     #[test]
