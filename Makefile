@@ -1,6 +1,6 @@
 # Convenience targets; each is a thin wrapper over cargo.
 
-.PHONY: build test lint bench bench-check bench-sched bench-defense bench-fleet bench-fleet-mem check-conformance repro repro-quick
+.PHONY: build test lint bench bench-check bench-sched bench-defense bench-dos bench-fleet bench-fleet-mem check-conformance repro repro-quick
 
 build:
 	cargo build --release --workspace
@@ -25,6 +25,13 @@ bench-sched:
 # `--defense <name>` via `make repro` to evaluate a single defense.
 bench-defense:
 	cargo run --release -p h2priv-bench --bin repro -- defend --check
+
+# The slow-DoS triad: every attack workload vs. the hardened server and
+# the online detector, standalone and inside a contended fleet, plus the
+# false-positive sweep — with the conformance oracle attached (the
+# attacks are RFC-legal, so the oracle must stay green).
+bench-dos:
+	cargo run --release -p h2priv-bench --bin repro -- dos --check
 
 # The population-scale exhibit at fleet size: 10k client-server pairs
 # sharded over 8 engines. Byte-identical at any --threads.

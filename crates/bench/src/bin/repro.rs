@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [--json] [--check] [--threads N] [--trials N]
 //!       [--population N] [--shards N] [--defense NAME] [--bench-json[=PATH]]
-//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations] [defend] [fleet]
+//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations] [defend] [dos] [fleet]
 //! ```
 //!
 //! With no exhibit names, everything runs. `--quick` uses 25 trials per
@@ -36,7 +36,9 @@
 use std::time::Instant;
 
 use h2priv_bench::json::{object, Json, ToJson};
-use h2priv_bench::{ablations, common, defend, fig1, fig5, fleet, ivd, runner, table1, table2};
+use h2priv_bench::{
+    ablations, common, defend, dos, fig1, fig5, fleet, ivd, runner, table1, table2,
+};
 use h2priv_bytes::count_alloc;
 use h2priv_defense::DefenseSpec;
 
@@ -290,6 +292,19 @@ fn main() {
                 }
             },
         );
+    }
+    if want("dos") {
+        // The attack grid and fleet runs are fixed-size; trials scale only
+        // the false-positive sweep, capped like the other secondary grids.
+        let dos_trials = trials.min(25);
+        timed("dos", dos_trials, &mut || {
+            let report = dos::run(dos_trials);
+            if json {
+                println!("{}", h2priv_bench::json::to_string_pretty(&report));
+            } else {
+                println!("{}", dos::render(&report));
+            }
+        });
     }
     if want("fleet") {
         let mut report = None;

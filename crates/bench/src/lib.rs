@@ -12,6 +12,8 @@
 //! * [`ablations`] — design-choice ablations and the §VII defense sketch;
 //! * [`defend`] — the countermeasure arena: padding and shaping defenses
 //!   evaluated against the full adversary grid (privacy vs. overhead);
+//! * [`dos`] — the slow-rate DoS triad: attack workloads vs. server
+//!   hardening vs. the online detector, standalone and at fleet scale;
 //! * [`fleet`] — the population-scale contention run (N pairs sharing the
 //!   gateway, victim throttled among bystanders).
 //!
@@ -24,6 +26,7 @@
 pub mod ablations;
 pub mod common;
 pub mod defend;
+pub mod dos;
 pub mod fig1;
 pub mod fig5;
 pub mod fleet;

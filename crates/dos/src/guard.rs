@@ -1,0 +1,472 @@
+//! `ServerGuard`: per-connection resource hardening against slow-rate DoS.
+//!
+//! The guard watches one server-side [`H2Connection`] through its public
+//! inspectors — no protocol hooks, no wire taps — and converts resource
+//! starvation into deterministic shedding decisions:
+//!
+//! * **Header timeout** — a HEADERS/CONTINUATION sequence still open after
+//!   `header_timeout` closes the connection (the sequence blocks every
+//!   other frame, so a stream-level reset cannot help).
+//! * **Progress-rate enforcement** — a stream with queued response bytes
+//!   *and no usable flow-control credit* must drain at least
+//!   `min_progress_bytes` per `progress_interval` or it is reset with
+//!   `ENHANCE_YOUR_CALM`. This is the defense the slow-read literature
+//!   calls *minimum data rate*: idle timeouts alone are defeated by
+//!   one-byte WINDOW_UPDATE drips. The credit gate keeps the blame on the
+//!   peer — a stream stalled by network loss still holds credit and is
+//!   never shed, so victims of the paper's own §V gateway adversary don't
+//!   get punished twice.
+//! * **SETTINGS rate limit** — more than `max_settings_per_window` non-ACK
+//!   SETTINGS inside `settings_window` closes the connection.
+//! * **Zero-window hoard detection** — a peer that advertised a zero
+//!   initial window while holding `hoard_streams` or more open streams for
+//!   `hoard_timeout` closes the connection. This connection-level rule
+//!   catches hoarders even when a starved worker pool means no stream ever
+//!   has queued bytes for the progress rule to judge.
+//!
+//! The host applies the returned [`GuardAction`]s (RST_STREAM / GOAWAY,
+//! plus worker-pool release); the guard itself never touches the
+//! connection. All thresholds are far outside honest-client behavior under
+//! the calibrated network model, so guarded benign runs complete exactly
+//! as unguarded ones do — the false-positive suite in `tests/` pins this.
+
+use h2priv_http2::{H2Connection, StreamId};
+use h2priv_netsim::{SimDuration, SimTime};
+
+/// Guard thresholds. Defaults are generous: an honest client over the
+/// calibrated WAN never leaves a header sequence open at all, never drips
+/// sub-kilobyte credit, and sends exactly one SETTINGS frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Longest a HEADERS/CONTINUATION sequence may stay open.
+    pub header_timeout: SimDuration,
+    /// Window over which response-drain progress is measured.
+    pub progress_interval: SimDuration,
+    /// Minimum queued-response bytes that must drain per interval.
+    pub min_progress_bytes: usize,
+    /// Window for the SETTINGS rate limit.
+    pub settings_window: SimDuration,
+    /// Non-ACK SETTINGS frames allowed per window.
+    pub max_settings_per_window: u64,
+    /// Open remote streams that count as hoarding when the peer
+    /// advertised a zero initial window.
+    pub hoard_streams: usize,
+    /// How long hoarding may persist before the connection closes.
+    pub hoard_timeout: SimDuration,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            header_timeout: SimDuration::from_secs(2),
+            progress_interval: SimDuration::from_secs(2),
+            min_progress_bytes: 1024,
+            settings_window: SimDuration::from_secs(1),
+            max_settings_per_window: 20,
+            hoard_streams: 16,
+            hoard_timeout: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A shedding decision for the host to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardAction {
+    /// Reset one stream with `ENHANCE_YOUR_CALM` and release its worker.
+    ResetStream(StreamId),
+    /// Send GOAWAY(`ENHANCE_YOUR_CALM`) and drop the connection.
+    CloseConnection,
+}
+
+/// Shedding counters, reported by the `dos` exhibit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Connections closed for an overdue header sequence.
+    pub header_timeouts: u64,
+    /// Streams reset for insufficient drain progress.
+    pub progress_kills: u64,
+    /// Connections closed for SETTINGS flooding.
+    pub settings_floods: u64,
+    /// Connections closed for zero-window stream hoarding.
+    pub hoard_closes: u64,
+}
+
+/// Drain-progress bookkeeping for one suspect stream.
+#[derive(Debug, Clone, Copy)]
+struct StallMark {
+    stream: StreamId,
+    /// Queued bytes when the mark was taken.
+    pending_at_mark: usize,
+    mark: SimTime,
+}
+
+/// Per-connection guard state. One instance per server-side connection.
+#[derive(Debug)]
+pub struct ServerGuard {
+    config: GuardConfig,
+    /// Open header sequence being timed, if any.
+    header_seq: Option<(StreamId, SimTime)>,
+    stalled: Vec<StallMark>,
+    /// SETTINGS count at the start of the current rate window.
+    settings_mark: (u64, SimTime),
+    /// When zero-window stream hoarding was first observed, if ongoing.
+    hoard_since: Option<SimTime>,
+    closed: bool,
+    stats: GuardStats,
+}
+
+impl ServerGuard {
+    /// Creates a guard with the given thresholds.
+    pub fn new(config: GuardConfig) -> Self {
+        ServerGuard {
+            config,
+            header_seq: None,
+            stalled: Vec::new(),
+            settings_mark: (0, SimTime::ZERO),
+            hoard_since: None,
+            closed: false,
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Shedding counters.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    /// True once the guard has ordered the connection closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Inspects the connection and appends any shedding decisions to
+    /// `actions`. The host calls this after every pump and at every
+    /// [`next_wakeup`](Self::next_wakeup) deadline.
+    pub fn scan(&mut self, h2: &H2Connection, now: SimTime, actions: &mut Vec<GuardAction>) {
+        if self.closed {
+            return;
+        }
+
+        // 1. Header-sequence age. The decoder exposes the stream of any
+        // sequence still being reassembled; an honest client completes its
+        // block in one frame, so any persistently open sequence is hostile.
+        match h2.in_progress_header_stream() {
+            Some(stream) => match self.header_seq {
+                Some((seq_stream, since)) if seq_stream == stream => {
+                    if now.saturating_since(since) >= self.config.header_timeout {
+                        self.stats.header_timeouts += 1;
+                        self.closed = true;
+                        actions.push(GuardAction::CloseConnection);
+                        return;
+                    }
+                }
+                _ => self.header_seq = Some((stream, now)),
+            },
+            None => self.header_seq = None,
+        }
+
+        // 2. SETTINGS rate. The connection counts non-ACK SETTINGS; the
+        // guard windows the counter.
+        let settings = h2.stats().settings_received;
+        let (mark_count, mark_at) = self.settings_mark;
+        if now.saturating_since(mark_at) >= self.config.settings_window {
+            self.settings_mark = (settings, now);
+        } else if settings - mark_count > self.config.max_settings_per_window {
+            self.stats.settings_floods += 1;
+            self.closed = true;
+            actions.push(GuardAction::CloseConnection);
+            return;
+        }
+
+        // 3. Zero-window stream hoarding. A client that advertised a zero
+        // initial window and holds many open streams consumes stream and
+        // worker capacity while guaranteeing no response can ever drain —
+        // so the per-stream progress rule below may never even see queued
+        // bytes (a starved worker pool produces none). Judge the
+        // connection as a whole.
+        let hoarding = h2.peer_settings().initial_window_size == 0
+            && h2.open_remote_streams() >= self.config.hoard_streams;
+        if hoarding {
+            let since = *self.hoard_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.config.hoard_timeout {
+                self.stats.hoard_closes += 1;
+                self.closed = true;
+                actions.push(GuardAction::CloseConnection);
+                return;
+            }
+        } else {
+            self.hoard_since = None;
+        }
+
+        // 4. Drain progress. A stream with queued response bytes must
+        // shrink its queue by min_progress_bytes per interval. In this
+        // server model pending bytes only ever decrease (the whole body is
+        // queued at once), so "drained" is pending_at_mark - pending_now.
+        //
+        // Only streams the *peer* is starving count: a stream that still
+        // holds real flow-control credit but isn't draining is stalled on
+        // the network or the transport, and resetting it would punish
+        // honest clients behind lossy or actively-disrupted paths (the
+        // paper's §V adversary stalls victim flows in exactly that way).
+        // The slow-read signature is pending data against near-zero
+        // credit — the client withholds the window on purpose.
+        let suspects = h2.streams_with_pending_data();
+        self.stalled.retain(|m| suspects.contains(&m.stream));
+        for stream in suspects {
+            if h2.stream_send_available(stream) >= self.config.min_progress_bytes {
+                self.stalled.retain(|m| m.stream != stream);
+                continue;
+            }
+            let pending = h2.pending_data(stream);
+            match self.stalled.iter_mut().find(|m| m.stream == stream) {
+                None => self.stalled.push(StallMark {
+                    stream,
+                    pending_at_mark: pending,
+                    mark: now,
+                }),
+                Some(m) => {
+                    let drained = m.pending_at_mark.saturating_sub(pending);
+                    if drained >= self.config.min_progress_bytes {
+                        m.pending_at_mark = pending;
+                        m.mark = now;
+                    } else if now.saturating_since(m.mark) >= self.config.progress_interval {
+                        self.stats.progress_kills += 1;
+                        actions.push(GuardAction::ResetStream(stream));
+                        // The reset clears the queue; forget the mark so a
+                        // reused id starts fresh.
+                        m.pending_at_mark = 0;
+                        m.mark = now;
+                    }
+                }
+            }
+        }
+        self.stalled
+            .retain(|m| !(m.pending_at_mark == 0 && h2.pending_data(m.stream) == 0));
+    }
+
+    /// Earliest time a pending suspicion can ripen into a timeout. `None`
+    /// while nothing is suspect — the guard then costs no wakeups at all,
+    /// which is what keeps guarded benign runs schedule-identical.
+    pub fn next_wakeup(&self) -> Option<SimTime> {
+        if self.closed {
+            return None;
+        }
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: SimTime| {
+            next = Some(next.map_or(t, |n: SimTime| n.min(t)));
+        };
+        if let Some((_, since)) = self.header_seq {
+            consider(since + self.config.header_timeout);
+        }
+        if let Some(since) = self.hoard_since {
+            consider(since + self.config.hoard_timeout);
+        }
+        for m in &self.stalled {
+            consider(m.mark + self.config.progress_interval);
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_http2::{
+        encode_frame, encode_headers_split, hpack, Frame, H2Config, HeaderField, Settings,
+        CLIENT_PREFACE,
+    };
+
+    /// Server connection with the client handshake already consumed.
+    fn server() -> H2Connection {
+        let mut h2 = H2Connection::new_server(H2Config::default());
+        let mut bytes = CLIENT_PREFACE.to_vec();
+        bytes.extend_from_slice(&encode_frame(&Frame::Settings {
+            ack: false,
+            settings: Settings::default().to_wire(),
+        }));
+        h2.recv(&bytes).expect("handshake");
+        h2
+    }
+
+    fn get_request(h2: &mut H2Connection, stream: u32, enc: &mut hpack::Encoder) {
+        let block = enc.encode(&[
+            HeaderField::new(":method", "GET"),
+            HeaderField::new(":scheme", "https"),
+            HeaderField::new(":authority", "a"),
+            HeaderField::new(":path", "/"),
+        ]);
+        let bytes = encode_headers_split(h2priv_http2::StreamId(stream), true, &block, 16384);
+        h2.recv(&bytes).expect("headers");
+    }
+
+    #[test]
+    fn quiet_connection_never_wakes_or_acts() {
+        let h2 = server();
+        let mut g = ServerGuard::new(GuardConfig::default());
+        let mut actions = Vec::new();
+        g.scan(&h2, SimTime::from_secs(1), &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(g.next_wakeup(), None);
+    }
+
+    #[test]
+    fn open_header_sequence_times_out() {
+        let mut h2 = server();
+        // HEADERS without END_HEADERS: length 1, type 0x1, flags 0,
+        // stream 1, one block byte.
+        let raw = [0u8, 0, 1, 0x1, 0, 0, 0, 0, 1, 0x82];
+        h2.recv(&raw).expect("open sequence");
+        assert!(h2.in_progress_header_stream().is_some());
+
+        let mut g = ServerGuard::new(GuardConfig::default());
+        let mut actions = Vec::new();
+        let t0 = SimTime::from_secs(1);
+        g.scan(&h2, t0, &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(
+            g.next_wakeup(),
+            Some(t0 + GuardConfig::default().header_timeout)
+        );
+        g.scan(&h2, t0 + SimDuration::from_secs(2), &mut actions);
+        assert_eq!(actions, vec![GuardAction::CloseConnection]);
+        assert!(g.is_closed());
+        assert_eq!(g.stats().header_timeouts, 1);
+    }
+
+    #[test]
+    fn settings_flood_closes_the_connection() {
+        let mut h2 = server();
+        let flood = encode_frame(&Frame::Settings {
+            ack: false,
+            settings: vec![],
+        });
+        let mut g = ServerGuard::new(GuardConfig::default());
+        let mut actions = Vec::new();
+        g.scan(&h2, SimTime::ZERO, &mut actions);
+        for _ in 0..21 {
+            h2.recv(&flood).expect("settings");
+        }
+        g.scan(&h2, SimTime::from_millis(500), &mut actions);
+        assert_eq!(actions, vec![GuardAction::CloseConnection]);
+        assert_eq!(g.stats().settings_floods, 1);
+    }
+
+    #[test]
+    fn settings_spread_across_windows_are_tolerated() {
+        let mut h2 = server();
+        let flood = encode_frame(&Frame::Settings {
+            ack: false,
+            settings: vec![],
+        });
+        let mut g = ServerGuard::new(GuardConfig::default());
+        let mut actions = Vec::new();
+        for window in 0..5u64 {
+            for _ in 0..10 {
+                h2.recv(&flood).expect("settings");
+            }
+            g.scan(&h2, SimTime::from_secs(window), &mut actions);
+        }
+        assert!(actions.is_empty(), "10/s is under the 20/s limit");
+    }
+
+    #[test]
+    fn zero_window_hoard_closes_and_a_normal_window_does_not() {
+        // Hostile handshake: SETTINGS_INITIAL_WINDOW_SIZE = 0.
+        let mut h2 = H2Connection::new_server(H2Config::default());
+        let mut bytes = CLIENT_PREFACE.to_vec();
+        let hostile = Settings {
+            initial_window_size: 0,
+            ..Settings::default()
+        };
+        bytes.extend_from_slice(&encode_frame(&Frame::Settings {
+            ack: false,
+            settings: hostile.to_wire(),
+        }));
+        h2.recv(&bytes).expect("handshake");
+        let mut enc = hpack::Encoder::new();
+        for i in 0..GuardConfig::default().hoard_streams as u32 {
+            get_request(&mut h2, 2 * i + 1, &mut enc);
+        }
+
+        let mut g = ServerGuard::new(GuardConfig::default());
+        let mut actions = Vec::new();
+        let t0 = SimTime::from_secs(1);
+        g.scan(&h2, t0, &mut actions);
+        assert!(actions.is_empty(), "first sight only marks");
+        assert_eq!(
+            g.next_wakeup(),
+            Some(t0 + GuardConfig::default().hoard_timeout)
+        );
+        g.scan(&h2, t0 + GuardConfig::default().hoard_timeout, &mut actions);
+        assert_eq!(actions, vec![GuardAction::CloseConnection]);
+        assert!(g.is_closed());
+        assert_eq!(g.stats().hoard_closes, 1);
+
+        // The same stream count behind an honest window never marks.
+        let mut h2 = server();
+        let mut enc = hpack::Encoder::new();
+        for i in 0..GuardConfig::default().hoard_streams as u32 {
+            get_request(&mut h2, 2 * i + 1, &mut enc);
+        }
+        let mut g = ServerGuard::new(GuardConfig::default());
+        let mut actions = Vec::new();
+        g.scan(&h2, t0, &mut actions);
+        g.scan(&h2, t0 + SimDuration::from_secs(10), &mut actions);
+        assert!(actions.is_empty(), "honest windows are never hoarding");
+        assert_eq!(g.stats().hoard_closes, 0);
+    }
+
+    #[test]
+    fn stalled_response_is_reset_and_a_draining_one_is_not() {
+        let mut h2 = server();
+        let mut enc = hpack::Encoder::new();
+        get_request(&mut h2, 1, &mut enc);
+        let sid = h2priv_http2::StreamId(1);
+        h2.send_headers(sid, &[HeaderField::new(":status", "200")], false)
+            .expect("response headers");
+        h2.send_data(sid, &vec![0u8; 100_000], true)
+            .expect("queue body");
+
+        let interval = GuardConfig::default().progress_interval;
+        let mut g = ServerGuard::new(GuardConfig::default());
+        let mut actions = Vec::new();
+        let t0 = SimTime::from_secs(1);
+        g.scan(&h2, t0, &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(
+            g.next_wakeup(),
+            None,
+            "a stream with credit to burn is the network's problem, not the peer's"
+        );
+        // Exhaust the peer's default 64 KiB of credit: pending data
+        // against an empty window is the slow-read signature, and the
+        // first sight marks.
+        while h2.poll_send().is_some() {}
+        g.scan(&h2, t0, &mut actions);
+        assert!(actions.is_empty(), "first sight only marks");
+        assert_eq!(g.next_wakeup(), Some(t0 + interval));
+        // A real credit grant (stream and connection level, as an honest
+        // client sends them) clears the suspicion entirely.
+        let mut credit = encode_frame(&Frame::WindowUpdate {
+            stream_id: sid,
+            increment: 8192,
+        });
+        credit.extend_from_slice(&encode_frame(&Frame::WindowUpdate {
+            stream_id: h2priv_http2::StreamId(0),
+            increment: 8192,
+        }));
+        h2.recv(&credit).expect("credit");
+        g.scan(&h2, t0 + SimDuration::from_millis(500), &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(g.next_wakeup(), None, "a credited stream is healthy again");
+        // Drain that credit too and stall for a full interval: reset.
+        while h2.poll_send().is_some() {}
+        let t1 = t0 + SimDuration::from_secs(1);
+        g.scan(&h2, t1, &mut actions);
+        assert!(actions.is_empty(), "the stall clock restarts at re-mark");
+        g.scan(&h2, t1 + interval, &mut actions);
+        assert_eq!(actions, vec![GuardAction::ResetStream(sid)]);
+        assert_eq!(g.stats().progress_kills, 1);
+        assert!(!g.is_closed(), "stream kills keep the connection up");
+    }
+}

@@ -1,0 +1,34 @@
+//! Slow-rate HTTP/2 denial-of-service: attack workloads, server
+//! hardening, and online detection.
+//!
+//! HTTP/2's stateful framing gives a low-bandwidth attacker three levers a
+//! plain HTTP/1.1 server never exposed: an unfinished HEADERS/CONTINUATION
+//! sequence freezes the whole connection, per-stream flow control lets a
+//! receiver hold a response hostage one byte at a time, and every SETTINGS
+//! frame obliges the server to do work and answer. Tripathi
+//! (arXiv:2203.16796) showed the major implementations all fell to these
+//! slow-rate workloads. This crate reproduces the triad inside the
+//! deterministic simulation:
+//!
+//! * [`attack`] — [`DosClient`], a sans-IO malicious client mounting the
+//!   four workloads ([`DosAttack`]) with RFC-legal frames only.
+//! * [`guard`] — [`ServerGuard`], per-connection resource hardening:
+//!   header-sequence timeouts, minimum-progress enforcement, and SETTINGS
+//!   rate limits, shed via `ENHANCE_YOUR_CALM`.
+//! * [`detector`] — [`DosDetector`], an online event-sequence detector at
+//!   the TLS-terminating edge with structural (zero-false-positive)
+//!   signatures.
+//!
+//! The `h2priv-testkit` crate mounts all three inside simulated hosts and
+//! fleets; the `repro dos` exhibit reports starvation, shedding, and
+//! detection-latency numbers.
+
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod detector;
+pub mod guard;
+
+pub use attack::{DosAttack, DosClient, DosClientStats, DosConfig};
+pub use detector::{Alert, AlertKind, DetectorConfig, DosDetector};
+pub use guard::{GuardAction, GuardConfig, GuardStats, ServerGuard};

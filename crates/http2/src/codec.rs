@@ -257,6 +257,14 @@ impl FrameDecoder {
         self.max_frame_size = size;
     }
 
+    /// Stream of the HEADERS/CONTINUATION sequence currently being
+    /// reassembled, if one is open. While it is, RFC 7540 §4.3 forbids the
+    /// peer from interleaving any other frame — which is exactly why a
+    /// slow-trickled sequence pins receiver state (the slow-HEADERS DoS).
+    pub fn in_progress_header_stream(&self) -> Option<StreamId> {
+        self.header_sequence.as_ref().map(|(id, _, _)| *id)
+    }
+
     /// Appends received bytes.
     pub fn push(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);

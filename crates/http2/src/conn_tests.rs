@@ -507,3 +507,189 @@ fn concurrent_stream_limit_is_enforced() {
     drain_events(&mut c);
     assert!(c.open_stream(&get("/now-fits"), true).is_ok());
 }
+
+/// Builds the raw bytes of one HEADERS frame (END_HEADERS, optional
+/// END_STREAM) for a hand-rolled hostile client.
+fn raw_headers(enc: &mut hpack::Encoder, stream: u32, end_stream: bool) -> Vec<u8> {
+    encode_frame(&Frame::Headers {
+        stream_id: StreamId(stream),
+        end_stream,
+        header_block: enc.encode(&get("/hoard")),
+        pad: None,
+    })
+}
+
+/// Drains a connection's wire output and parses it into frames.
+fn drain_frames(c: &mut H2Connection) -> Vec<Frame> {
+    let mut dec = FrameDecoder::new(false);
+    while let Some(out) = c.poll_send() {
+        if !matches!(out.meta, OutgoingMeta::Preface) {
+            dec.push(out.frame_bytes());
+        }
+    }
+    std::iter::from_fn(|| dec.next_frame().unwrap()).collect()
+}
+
+#[test]
+fn remote_streams_beyond_advertised_limit_are_refused() {
+    let server_cfg = H2Config {
+        settings: Settings {
+            max_concurrent_streams: 2,
+            ..Settings::default()
+        },
+        ..H2Config::default()
+    };
+    let mut s = H2Connection::new_server(server_cfg);
+    // A hostile client ignores the advertised limit: preface, SETTINGS,
+    // then three opens back to back.
+    let mut wire = CLIENT_PREFACE.to_vec();
+    wire.extend_from_slice(&encode_frame(&Frame::Settings {
+        ack: false,
+        settings: vec![],
+    }));
+    let mut enc = hpack::Encoder::new();
+    for stream in [1u32, 3, 5] {
+        wire.extend_from_slice(&raw_headers(&mut enc, stream, true));
+    }
+    s.recv(&wire).unwrap();
+    let delivered: Vec<StreamId> = drain_events(&mut s)
+        .iter()
+        .filter_map(|ev| match ev {
+            H2Event::Headers { stream_id, .. } => Some(*stream_id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered, vec![StreamId(1), StreamId(3)]);
+    assert_eq!(s.open_remote_streams(), 2);
+    // The third open got RST_STREAM(REFUSED_STREAM) and no stream state.
+    let resets: Vec<(StreamId, ErrorCode)> = drain_frames(&mut s)
+        .iter()
+        .filter_map(|f| match f {
+            Frame::RstStream {
+                stream_id,
+                error_code,
+            } => Some((*stream_id, *error_code)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(resets, vec![(StreamId(5), ErrorCode::RefusedStream)]);
+    assert_eq!(s.stream_state(StreamId(5)), None);
+    assert_eq!(s.stats().resets_sent, 1);
+}
+
+#[test]
+fn refused_remote_stream_keeps_hpack_synchronized() {
+    let server_cfg = H2Config {
+        settings: Settings {
+            max_concurrent_streams: 1,
+            ..Settings::default()
+        },
+        ..H2Config::default()
+    };
+    let mut s = H2Connection::new_server(server_cfg);
+    let mut wire = CLIENT_PREFACE.to_vec();
+    wire.extend_from_slice(&encode_frame(&Frame::Settings {
+        ack: false,
+        settings: vec![],
+    }));
+    // The refused stream's block still indexes into the dynamic table; the
+    // follow-up block on stream 1 (after stream 1 closes... stream 1 first)
+    let mut enc = hpack::Encoder::new();
+    wire.extend_from_slice(&raw_headers(&mut enc, 1, true));
+    wire.extend_from_slice(&raw_headers(&mut enc, 3, true)); // refused
+    s.recv(&wire).unwrap();
+    drain_events(&mut s);
+    drain_frames(&mut s);
+    // Close stream 1 so a new open fits, then reuse the table entries the
+    // refused block installed. Decoding succeeds only if the server kept
+    // decoding refused blocks (RFC 7540 §4.3).
+    s.send_headers(StreamId(1), &resp_200(), true).unwrap();
+    drain_frames(&mut s);
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&raw_headers(&mut enc, 5, true));
+    s.recv(&wire).unwrap();
+    let delivered: Vec<StreamId> = drain_events(&mut s)
+        .iter()
+        .filter_map(|ev| match ev {
+            H2Event::Headers { stream_id, .. } => Some(*stream_id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered, vec![StreamId(5)]);
+}
+
+#[test]
+fn goaway_cancels_streams_above_last_stream_id() {
+    let (mut c, _s) = ready_pair(H2Config::default(), H2Config::default());
+    let a = c.open_stream(&get("/a"), true).unwrap();
+    let b = c.open_stream(&get("/b"), false).unwrap();
+    c.send_data(b, &[7u8; 4_096], false).unwrap();
+    let d = c.open_stream(&get("/d"), true).unwrap();
+    assert_eq!((a, b, d), (StreamId(1), StreamId(3), StreamId(5)));
+    // The server walks away having processed only stream 1.
+    c.recv(&encode_frame(&Frame::GoAway {
+        last_stream_id: StreamId(1),
+        error_code: ErrorCode::NoError,
+    }))
+    .unwrap();
+    let events = drain_events(&mut c);
+    assert!(events.iter().any(
+        |ev| matches!(ev, H2Event::GoAway { last_stream_id, .. } if *last_stream_id == StreamId(1))
+    ));
+    let cancelled: Vec<StreamId> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            H2Event::Reset {
+                stream_id,
+                error_code: ErrorCode::RefusedStream,
+            } => Some(*stream_id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(cancelled, vec![StreamId(3), StreamId(5)]);
+    assert_eq!(c.stream_state(a), Some(StreamState::HalfClosedLocal));
+    assert_eq!(c.stream_state(b), Some(StreamState::Closed));
+    assert_eq!(c.stream_state(d), Some(StreamState::Closed));
+    assert_eq!(c.pending_data(b), 0, "cancelled output is dropped");
+}
+
+#[test]
+fn settings_received_counter_and_header_sequence_inspector() {
+    let (mut c, mut s) = ready_pair(H2Config::default(), H2Config::default());
+    assert_eq!(s.stats().settings_received, 1, "the handshake SETTINGS");
+    for _ in 0..3 {
+        s.recv(&encode_frame(&Frame::Settings {
+            ack: false,
+            settings: vec![],
+        }))
+        .unwrap();
+    }
+    assert_eq!(s.stats().settings_received, 4);
+    // A HEADERS frame without END_HEADERS leaves the sequence open.
+    assert_eq!(s.in_progress_header_stream(), None);
+    let sid = c.open_stream(&get("/x"), true).unwrap();
+    let mut frames = Vec::new();
+    while let Some(out) = c.poll_send() {
+        frames.push(out);
+    }
+    let headers_wire = frames
+        .iter()
+        .find(|o| {
+            matches!(
+                o.meta,
+                OutgoingMeta::Frame {
+                    frame_type: FrameType::Headers,
+                    ..
+                }
+            )
+        })
+        .unwrap()
+        .frame_bytes()
+        .to_vec();
+    // Clear the END_HEADERS flag (byte 4 of the frame header) and truncate
+    // nothing: the sequence is now open until a CONTINUATION closes it.
+    let mut partial = headers_wire.clone();
+    partial[4] &= !flags::END_HEADERS;
+    s.recv(&partial).unwrap();
+    assert_eq!(s.in_progress_header_stream(), Some(sid));
+}

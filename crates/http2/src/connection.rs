@@ -150,6 +150,10 @@ pub struct H2Stats {
     pub resets_received: u64,
     /// Times the mux stalled on the connection-level window.
     pub conn_window_stalls: u64,
+    /// Non-ACK SETTINGS frames received. A handshake contributes exactly
+    /// one; a climbing count is the SETTINGS-flood signature the server
+    /// guard rate-limits.
+    pub settings_received: u64,
     /// Padding overhead sent (pad-length bytes + pad octets) across DATA
     /// and HEADERS frames — the wire cost of a frame-padding defense.
     pub pad_bytes_sent: u64,
@@ -495,6 +499,39 @@ impl H2Connection {
             .collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// Stream whose HEADERS/CONTINUATION sequence is mid-flight in the
+    /// receive decoder (RFC 7540 §4.3 blocks every other frame until it
+    /// completes) — the handle the server guard's header timeout watches.
+    pub fn in_progress_header_stream(&self) -> Option<StreamId> {
+        self.frame_decoder.in_progress_header_stream()
+    }
+
+    /// Send-window credit currently available on a stream (peer credit
+    /// capped by what the peer granted; 0 for unknown streams). A stream
+    /// with pending data and zero credit is stalled on the *peer* — the
+    /// zero-window / slow-read signature.
+    pub fn stream_send_available(&self, id: StreamId) -> usize {
+        self.streams.get(&id).map_or(0, |e| {
+            if e.state.can_send() {
+                e.send_window.available()
+            } else {
+                0
+            }
+        })
+    }
+
+    /// Count of remotely-initiated streams not yet fully closed — the
+    /// population bounded by our advertised `SETTINGS_MAX_CONCURRENT_STREAMS`.
+    pub fn open_remote_streams(&self) -> usize {
+        let local_is_client = matches!(self.peer, Peer::Client);
+        self.streams
+            .iter()
+            .filter(|(id, e)| {
+                id.is_client_initiated() != local_is_client && e.state != StreamState::Closed
+            })
+            .count()
     }
 
     // ---- application surface ----------------------------------------------
@@ -1015,6 +1052,7 @@ impl H2Connection {
                 if ack {
                     return Ok(());
                 }
+                self.stats.settings_received += 1;
                 let old_initial = self.peer_settings.initial_window_size;
                 self.peer_settings.apply(&settings);
                 self.frame_decoder
@@ -1076,6 +1114,23 @@ impl H2Connection {
                     err
                 })?;
                 self.stats.headers_received += 1;
+                // RFC 7540 §5.1.2: our advertised MAX_CONCURRENT_STREAMS
+                // binds the *peer's* opens too. A HEADERS opening a new
+                // remotely-initiated stream beyond the limit is refused
+                // with RST_STREAM(REFUSED_STREAM); the block was already
+                // HPACK-decoded above, so the connection-wide compression
+                // context stays synchronized (§4.3), but no stream state is
+                // created and nothing is delivered.
+                let remote_open = stream_id.is_client_initiated()
+                    != matches!(self.peer, Peer::Client)
+                    && !self.streams.contains_key(&stream_id);
+                if remote_open
+                    && self.open_remote_streams()
+                        >= self.config.settings.max_concurrent_streams as usize
+                {
+                    self.send_rst(stream_id, ErrorCode::RefusedStream);
+                    return Ok(());
+                }
                 let entry = self.streams.entry(stream_id).or_insert_with(|| {
                     StreamEntry::new(
                         StreamState::Open,
@@ -1207,6 +1262,34 @@ impl H2Connection {
                     last_stream_id,
                     error_code,
                 });
+                // RFC 7540 §6.8: locally-initiated streams above
+                // `last_stream_id` were not and will never be processed by
+                // the peer. Cancel them now — clearing pending output and
+                // surfacing a REFUSED_STREAM reset per stream — so requests
+                // in flight at GOAWAY error out instead of hanging until
+                // the trial deadline.
+                let local_is_client = matches!(self.peer, Peer::Client);
+                let mut orphaned: Vec<StreamId> = self
+                    .streams
+                    .iter()
+                    .filter(|(id, e)| {
+                        id.is_client_initiated() == local_is_client
+                            && id.0 > last_stream_id.0
+                            && e.state != StreamState::Closed
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                orphaned.sort_unstable();
+                for id in orphaned {
+                    let entry = self.streams.get_mut(&id).expect("stream just listed");
+                    entry.state = StreamState::Closed;
+                    entry.pending.clear();
+                    entry.pending_end = false;
+                    self.events.push_back(H2Event::Reset {
+                        stream_id: id,
+                        error_code: ErrorCode::RefusedStream,
+                    });
+                }
                 Ok(())
             }
             Frame::Priority {

@@ -1,0 +1,299 @@
+//! Standalone slow-DoS trial: one attacker against one server over the
+//! calibrated topology.
+//!
+//! The honest-client scenario swaps its browser for a [`DosClient`]
+//! mounting one of the slow-rate workloads from arXiv:2203.16796
+//! (Tripathi's slow-HTTP/2 study, ROADMAP item 5): trickled
+//! HEADERS/CONTINUATION sequences, one-byte `WINDOW_UPDATE` drips against
+//! a zero receive window, `SETTINGS` floods, and zero-window stream
+//! hoarding. The server optionally carries the hardening stack under test
+//! — a [`WorkerPool`] budget, a [`ServerGuard`] shedding policy and an
+//! online [`DosDetector`] — so one [`run_dos_trial`] call measures, for a
+//! single connection, what the attack pins down and how fast the defenses
+//! put a stop to it. Fleet-scale contention (attackers starving bystander
+//! pairs through the shared pool) lives in [`crate::fleet`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use h2priv_conformance::{ConformanceTap, Violation, ViolationSink};
+use h2priv_dos::{
+    Alert, DetectorConfig, DosClient, DosClientStats, DosConfig, DosDetector, GuardConfig,
+    GuardStats, ServerGuard,
+};
+use h2priv_netsim::{GatewayNode, SimDuration, SimRng, SimTime, Simulator, StopReason};
+use h2priv_tcp::TcpConfig;
+use h2priv_web::{isidewith, PoolConfig, PoolStats, SiteServer, WorkerPool};
+
+use crate::host::{App, Host, HostCore, HostOracle};
+use crate::scenario::ScenarioConfig;
+
+/// Everything configurable about one attacker-vs-server trial.
+#[derive(Debug, Clone)]
+pub struct DosScenarioConfig {
+    /// Trial seed (drives TCP/TLS and server-worker randomness; the
+    /// attacker itself is deterministic).
+    pub seed: u64,
+    /// The workload the attacker mounts.
+    pub attack: DosConfig,
+    /// Server-side shedding policy (`None` = undefended).
+    pub guard: Option<GuardConfig>,
+    /// Online detector on the server host (`None` = no monitoring).
+    pub detector: Option<DetectorConfig>,
+    /// Worker-pool budget on the server (`None` = unbounded workers).
+    pub pool: Option<PoolConfig>,
+    /// Hard cap on simulated trial duration.
+    pub deadline: SimDuration,
+    /// Run the conformance oracle alongside the trial. The attacks are
+    /// RFC-legal by construction, so the oracle must stay green.
+    pub conformance: bool,
+}
+
+impl Default for DosScenarioConfig {
+    fn default() -> Self {
+        DosScenarioConfig {
+            seed: 0,
+            attack: DosConfig::default(),
+            guard: None,
+            detector: None,
+            pool: None,
+            deadline: SimDuration::from_secs(30),
+            conformance: true,
+        }
+    }
+}
+
+/// The outcome of one attacker-vs-server trial.
+#[derive(Debug, Clone)]
+pub struct DosRunResult {
+    /// Why and when the run stopped.
+    pub stop: StopReason,
+    /// When the attacker issued its first malicious frame.
+    pub attack_started: Option<SimTime>,
+    /// When the server shed the attacker (`ENHANCE_YOUR_CALM` reset or
+    /// GOAWAY observed by the attacker); `None` means the attack ran to
+    /// the deadline unopposed.
+    pub shed_at: Option<SimTime>,
+    /// Alerts the detector raised.
+    pub alerts: Vec<Alert>,
+    /// First-alert latency relative to the start of the attack.
+    pub detection_latency: Option<SimDuration>,
+    /// Attacker-side counters.
+    pub attacker: DosClientStats,
+    /// Guard shedding counters, when a guard ran.
+    pub guard: Option<GuardStats>,
+    /// Pool counters, when a pool ran.
+    pub pool: Option<PoolStats>,
+    /// Request workers still held by the attacker's connection at the end.
+    pub pool_in_use: usize,
+    /// Parser threads still captured at the end.
+    pub parser_held: usize,
+    /// Control-plane busy horizon at the end (SETTINGS backlog).
+    pub pool_busy_until: SimTime,
+    /// Requests the server accepted.
+    pub requests_seen: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Conformance violations (must be empty: the workloads are RFC-legal).
+    pub violations: Vec<Violation>,
+    /// Total violations reported, including any past the storage cap.
+    pub violations_total: u64,
+}
+
+/// Builds and runs one attacker-vs-server trial.
+pub fn run_dos_trial(config: &DosScenarioConfig) -> DosRunResult {
+    // Topology and stack knobs come from the canonical scenario so the
+    // attacker faces exactly the server the honest exhibits measure.
+    let base = ScenarioConfig {
+        seed: config.seed,
+        ..ScenarioConfig::default()
+    };
+    let mut sim = Simulator::new(config.seed);
+    let mut seed_rng = SimRng::seed_from(config.seed ^ 0xD1CE_BA5E);
+    let attacker_id = sim.reserve_node_id();
+    let gateway_id = sim.reserve_node_id();
+    let server_id = sim.reserve_node_id();
+    let session_key = 0x5EC0_0D5E ^ config.seed;
+
+    let attacker_core = Rc::new(RefCell::new(HostCore::new_attacker(
+        server_id,
+        DosClient::new(config.attack.clone()),
+        base.tcp.clone(),
+        session_key,
+        base.socket_buffer,
+    )));
+    // Burn the browser's RNG fork so the server worker stream matches the
+    // honest scenario draw-for-draw.
+    let _ = seed_rng.fork();
+
+    let site = isidewith::build(&[0, 1, 2, 3, 4, 5, 6, 7]).site;
+    let mut server_app = SiteServer::new(site, base.server.clone(), seed_rng.fork());
+    let pool = config
+        .pool
+        .map(|p| Rc::new(RefCell::new(WorkerPool::new(p))));
+    if let Some(pool) = &pool {
+        server_app.set_pool(Rc::clone(pool));
+    }
+    let mut server_tcp: TcpConfig = base.tcp.clone();
+    server_tcp.iss = h2priv_tcp::Seq(700_000);
+    let server_core = Rc::new(RefCell::new(HostCore::new_server(
+        attacker_id,
+        server_app,
+        server_tcp,
+        base.server_h2.clone(),
+        session_key,
+        None,
+        base.socket_buffer,
+    )));
+    if let Some(guard_cfg) = config.guard {
+        server_core
+            .borrow_mut()
+            .set_guard(ServerGuard::new(guard_cfg));
+    }
+    if let Some(det_cfg) = config.detector {
+        server_core
+            .borrow_mut()
+            .set_detector(DosDetector::new(det_cfg));
+    }
+
+    let mut gateway = GatewayNode::new(attacker_id, server_id);
+    let violations = config.conformance.then(ViolationSink::new);
+    if let Some(sink) = &violations {
+        attacker_core
+            .borrow_mut()
+            .set_oracle(HostOracle::new("attacker", true, sink.clone()));
+        server_core
+            .borrow_mut()
+            .set_oracle(HostOracle::new("server", false, sink.clone()));
+        gateway.push_middlebox(Box::new(ConformanceTap::new(sink.clone())));
+    }
+
+    sim.install_node(
+        attacker_id,
+        Box::new(Host::from_core(attacker_core.clone())),
+    );
+    sim.install_node(gateway_id, Box::new(gateway));
+    sim.install_node(server_id, Box::new(Host::from_core(server_core.clone())));
+    sim.add_link(attacker_id, gateway_id, base.client_link.clone());
+    sim.add_link(gateway_id, server_id, base.server_link.clone());
+
+    let summary = sim.run_until(SimTime::ZERO + config.deadline);
+
+    let attacker = attacker_core.borrow();
+    let server = server_core.borrow();
+    let dos = attacker.attacker();
+    let alerts = server.dos_alerts();
+    let attack_started = dos.attack_started();
+    let detection_latency = match (alerts.first(), attack_started) {
+        (Some(alert), Some(start)) => Some(alert.at.saturating_since(start)),
+        _ => None,
+    };
+    let (violations, violations_total) = match &violations {
+        Some(sink) => {
+            let total = sink.total();
+            (sink.take(), total)
+        }
+        None => (Vec::new(), 0),
+    };
+    let (pool_stats, pool_in_use, parser_held, pool_busy_until) = match &pool {
+        Some(pool) => {
+            let pool = pool.borrow();
+            (
+                Some(pool.stats()),
+                pool.in_use(),
+                pool.parser_held(),
+                pool.busy_until(),
+            )
+        }
+        None => (None, 0, 0, SimTime::ZERO),
+    };
+    let requests_seen = match &server.app {
+        App::Server(s) => s.requests_seen(),
+        _ => 0,
+    };
+    DosRunResult {
+        stop: summary.stop,
+        attack_started,
+        shed_at: dos.shed_at(),
+        alerts,
+        detection_latency,
+        attacker: dos.stats(),
+        guard: server.guard_stats(),
+        pool: pool_stats,
+        pool_in_use,
+        parser_held,
+        pool_busy_until,
+        requests_seen,
+        events: summary.events,
+        violations,
+        violations_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2priv_dos::DosAttack;
+
+    fn trial(attack: DosAttack, defended: bool) -> DosRunResult {
+        run_dos_trial(&DosScenarioConfig {
+            seed: 7,
+            attack: DosConfig::for_attack(attack),
+            guard: defended.then(GuardConfig::default),
+            detector: Some(DetectorConfig::default()),
+            pool: Some(PoolConfig::default()),
+            deadline: SimDuration::from_secs(30),
+            conformance: true,
+        })
+    }
+
+    #[test]
+    fn undefended_zero_window_hoard_pins_the_pool() {
+        let r = run_dos_trial(&DosScenarioConfig {
+            seed: 7,
+            attack: DosConfig::for_attack(DosAttack::ZeroWindowHoard),
+            pool: Some(PoolConfig::default()),
+            ..DosScenarioConfig::default()
+        });
+        assert_eq!(r.shed_at, None, "no guard, nothing sheds");
+        assert!(r.requests_seen > 0);
+        assert_eq!(
+            r.pool_in_use,
+            PoolConfig::default().capacity,
+            "hoarded streams hold every worker to the deadline"
+        );
+        assert_eq!(r.violations_total, 0, "{:?}", r.violations);
+    }
+
+    #[test]
+    fn guarded_attacks_are_shed_and_detected() {
+        for attack in DosAttack::all() {
+            let r = trial(attack, true);
+            assert!(
+                r.shed_at.is_some(),
+                "{}: guard never shed the attacker",
+                attack.name()
+            );
+            assert!(
+                r.alerts.iter().any(|a| a.kind.name() == attack.name()),
+                "{}: detector missed it (alerts: {:?})",
+                attack.name(),
+                r.alerts
+            );
+            assert!(r.detection_latency.is_some());
+            assert_eq!(
+                (r.pool_in_use, r.parser_held),
+                (0, 0),
+                "{}: shedding must return all pool capacity",
+                attack.name()
+            );
+            assert_eq!(
+                r.violations_total,
+                0,
+                "{}: {:?}",
+                attack.name(),
+                r.violations
+            );
+        }
+    }
+}

@@ -39,12 +39,17 @@ use std::rc::Rc;
 use h2priv_analysis::{GroundTruth, WireTrace};
 use h2priv_conformance::{ConformanceTap, Violation, ViolationSink};
 use h2priv_defense::{constrained_pad_set, DefenseSpec, TlsShaper};
+use h2priv_dos::{
+    DetectorConfig, DosAttack, DosClient, DosConfig, DosDetector, GuardConfig, ServerGuard,
+};
 use h2priv_netsim::{
     Context, Dir, GatewayStats, LinkConfig, MbContext, Middlebox, Node, NodeId, Packet, SchedStats,
     SimDuration, SimRng, SimTime, Simulator, StopReason, TimerId, Verdict,
 };
 use h2priv_tcp::{Seq, TcpSegment};
-use h2priv_web::{isidewith, Browser, RequestOutcome, SiteServer};
+use h2priv_web::{
+    isidewith, Browser, PoolConfig, PoolStats, RequestOutcome, SiteServer, WorkerPool,
+};
 
 use crate::host::{App, BufPool, HostCore, HostOracle, PumpScratch};
 use crate::scenario::ScenarioConfig;
@@ -97,6 +102,29 @@ impl FleetConformance {
     }
 }
 
+/// Hostile-traffic injection for a fleet run: the top `attackers` pair
+/// ids (never the victim) swap their browser for a [`DosClient`], so the
+/// attack contends with honest bystanders on the shared links — and, when
+/// a worker pool is configured, on the shard's shared thread budget.
+#[derive(Debug, Clone)]
+pub struct FleetDosConfig {
+    /// The workload each hostile pair mounts.
+    pub attack: DosAttack,
+    /// How many pairs are hostile, taken from the top of the pair-id
+    /// range.
+    pub attackers: u32,
+    /// Server-side shedding policy, installed on every server of the
+    /// population (`None` = undefended).
+    pub guard: Option<GuardConfig>,
+    /// Online detector on every server (`None` = no monitoring). Benign
+    /// pairs double as the false-positive corpus.
+    pub detector: Option<DetectorConfig>,
+    /// One worker pool per shard, shared by all of the shard's servers —
+    /// the resource coupling that lets a hostile connection starve
+    /// bystanders (`None` = unbounded workers).
+    pub pool: Option<PoolConfig>,
+}
+
 /// Everything configurable about one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -122,6 +150,9 @@ pub struct FleetConfig {
     /// arena topology has no per-pair pacing hop, so fleet shaping models
     /// the endpoint half of the defense.
     pub defense: DefenseSpec,
+    /// Hostile-traffic injection (`None` — the default — keeps every
+    /// pre-existing fleet schedule bit-identical).
+    pub dos: Option<FleetDosConfig>,
 }
 
 impl Default for FleetConfig {
@@ -134,8 +165,18 @@ impl Default for FleetConfig {
             start_spread: SimDuration::from_secs(5),
             deadline: crate::calib::TRIAL_DEADLINE,
             defense: DefenseSpec::None,
+            dos: None,
         }
     }
+}
+
+/// Whether `pair` is hostile under `dos` (the victim never is: it stays
+/// the attack-measurement pair).
+fn is_hostile(pair: u32, population: u32, dos: Option<&FleetDosConfig>) -> bool {
+    let Some(dos) = dos else {
+        return false;
+    };
+    pair != VICTIM_PAIR && pair >= population.saturating_sub(dos.attackers)
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -302,10 +343,15 @@ impl HostArena {
                 ));
             });
             if self.flags[idx as usize] & FLAG_FINISHED == 0 {
-                let done = core.dead
-                    || (self.is_client
-                        && matches!(&core.app, App::Client(b) if b.is_done())
-                        && core.tcp.send_drained());
+                // "Done" for an attacker core means the server shed it —
+                // an unopposed attack keeps its shard running to the
+                // deadline, which is the point.
+                let app_done = match &core.app {
+                    App::Client(b) => b.is_done(),
+                    App::Attacker(a) => a.is_done(),
+                    App::Server(_) => false,
+                };
+                let done = core.dead || (self.is_client && app_done && core.tcp.send_drained());
                 if done {
                     self.flags[idx as usize] |= FLAG_FINISHED;
                     self.finished_count += 1;
@@ -606,6 +652,19 @@ pub struct ShardResult {
     pub violations: Vec<Violation>,
     /// Total violations reported, including past the storage cap.
     pub violations_total: u64,
+    /// Hostile pairs simulated in this shard.
+    pub attackers: u32,
+    /// Hostile pairs the server shed (guard `RST_STREAM`/GOAWAY observed
+    /// by the attacker).
+    pub attackers_shed: u32,
+    /// Hostile pairs whose server detector raised at least one alert.
+    pub detected: u32,
+    /// Summed first-alert latency over detected hostile pairs, µs.
+    pub detection_latency_us: u64,
+    /// Detector alerts on *benign* pairs — the fleet false-positive count.
+    pub benign_alerts: u64,
+    /// Final worker-pool counters, when the shard ran a pool.
+    pub pool: Option<PoolStats>,
 }
 
 /// Seed-ordered merge of all shards.
@@ -641,6 +700,18 @@ pub struct FleetResult {
     pub violations: Vec<Violation>,
     /// Total violations across shards.
     pub violations_total: u64,
+    /// Hostile pairs across the population.
+    pub attackers: u32,
+    /// Hostile pairs shed by their server.
+    pub attackers_shed: u32,
+    /// Hostile pairs with at least one detector alert.
+    pub detected: u32,
+    /// Summed first-alert latency over detected hostile pairs, µs.
+    pub detection_latency_us: u64,
+    /// Detector alerts on benign pairs (fleet false positives).
+    pub benign_alerts: u64,
+    /// Pool counters summed across shards, when pools ran.
+    pub pool: Option<PoolStats>,
 }
 
 /// Runs one shard of the fleet. `adversary` (if any) is installed on the
@@ -710,6 +781,13 @@ pub fn run_fleet_shard(
     let truth = Rc::new(RefCell::new(GroundTruth::new()));
     let sink = (config.conformance != FleetConformance::Off).then(ViolationSink::new);
 
+    // One worker pool per shard, shared across every server: pool pressure
+    // from a hostile connection is visible to all of the shard's pairs.
+    let dos = config.dos.as_ref();
+    let shard_pool = dos
+        .and_then(|d| d.pool)
+        .map(|p| Rc::new(RefCell::new(WorkerPool::new(p))));
+
     let mut clients = HostArena::new(true, server_arena_id, config.population);
     let mut servers = HostArena::new(false, client_arena_id, config.population);
     let mut gateway = FleetGateway::new(client_arena_id, config.population);
@@ -730,29 +808,47 @@ pub fn run_fleet_shard(
         } else {
             (&bystander_site, &bystander_shared)
         };
-        let browser = Browser::new(
-            &iside.site,
-            iside.plan.clone(),
-            scen.browser.clone(),
-            pair_rng.fork(),
-        );
+        let hostile = is_hostile(pair, config.population, dos);
         let session_key = 0x5EC0_0D5E ^ mix(config.seed, pair as u64);
-        let mut client_core = HostCore::new_client(
-            server_arena_id,
-            browser,
-            scen.tcp.clone(),
-            scen.client_h2.clone(),
-            session_key,
-            authority.clone(),
-            None,
-            scen.socket_buffer,
-        );
+        let mut client_core = if hostile {
+            let attack = dos.expect("hostile implies dos config").attack;
+            // Burn the browser fork so benign pairs keep their exact RNG
+            // streams whether or not their neighbors turned hostile.
+            let _ = pair_rng.fork();
+            HostCore::new_attacker(
+                server_arena_id,
+                DosClient::new(DosConfig::for_attack(attack)),
+                scen.tcp.clone(),
+                session_key,
+                scen.socket_buffer,
+            )
+        } else {
+            let browser = Browser::new(
+                &iside.site,
+                iside.plan.clone(),
+                scen.browser.clone(),
+                pair_rng.fork(),
+            );
+            HostCore::new_client(
+                server_arena_id,
+                browser,
+                scen.tcp.clone(),
+                scen.client_h2.clone(),
+                session_key,
+                authority.clone(),
+                None,
+                scen.socket_buffer,
+            )
+        };
         // Fleet completion is tracked per slot; no single client may halt
         // the whole shard.
         client_core.halt_when_done = false;
 
-        let server_app =
+        let mut server_app =
             SiteServer::new(server_site.clone(), server_config.clone(), pair_rng.fork());
+        if let Some(pool) = &shard_pool {
+            server_app.set_pool(Rc::clone(pool));
+        }
         let mut server_tcp = scen.tcp.clone();
         server_tcp.iss = Seq(700_000);
         let mut server_core = HostCore::new_server(
@@ -764,6 +860,16 @@ pub fn run_fleet_shard(
             is_victim.then(|| truth.clone()),
             scen.socket_buffer,
         );
+        // The hardening stack installs fleet-wide (the site deploys it on
+        // every server); benign pairs double as the false-positive corpus.
+        if let Some(dos) = dos {
+            if let Some(guard_cfg) = dos.guard {
+                server_core.set_guard(ServerGuard::new(guard_cfg));
+            }
+            if let Some(det_cfg) = dos.detector {
+                server_core.set_detector(DosDetector::new(det_cfg));
+            }
+        }
         // Shaping runs on the victim server only, from a dedicated RNG
         // stream so the defense never perturbs the pair's app randomness.
         if is_victim {
@@ -849,12 +955,38 @@ pub fn run_fleet_shard(
     let mut requests = 0u64;
     let mut requests_complete = 0u64;
     let mut victim = None;
+    let mut attackers = 0u32;
+    let mut attackers_shed = 0u32;
+    let mut detected = 0u32;
+    let mut detection_latency_us = 0u64;
+    let mut benign_alerts = 0u64;
     for idx in 0..clients.cores.len() {
         let pair = clients.pairs[idx];
-        let server_dead = match servers.slot_of_pair[pair as usize] {
+        let server_slot = servers.slot_of_pair[pair as usize];
+        let server_dead = match server_slot {
             NO_SLOT => false,
             i => servers.cores[i as usize].dead,
         };
+        let server_alerts = match server_slot {
+            NO_SLOT => Vec::new(),
+            i => servers.cores[i as usize].dos_alerts(),
+        };
+        if let App::Attacker(dos_client) = &clients.cores[idx].app {
+            // Hostile pairs report attack outcomes, not page metrics:
+            // folding them into completed/broken would skew the bystander
+            // completion rate the exhibit quantifies.
+            attackers += 1;
+            if dos_client.shed_at().is_some() {
+                attackers_shed += 1;
+            }
+            if let Some(alert) = server_alerts.first() {
+                detected += 1;
+                let start = dos_client.attack_started().unwrap_or(SimTime::ZERO);
+                detection_latency_us += alert.at.saturating_since(start).as_micros();
+            }
+            continue;
+        }
+        benign_alerts += server_alerts.len() as u64;
         let dead = clients.cores[idx].dead || server_dead;
         if dead {
             broken += 1;
@@ -892,6 +1024,12 @@ pub fn run_fleet_shard(
         victim,
         violations,
         violations_total,
+        attackers,
+        attackers_shed,
+        detected,
+        detection_latency_us,
+        benign_alerts,
+        pool: shard_pool.map(|p| p.borrow().stats()),
     }
 }
 
@@ -915,6 +1053,12 @@ pub fn merge_shards(population: u32, shards: u32, mut results: Vec<ShardResult>)
         victim: None,
         violations: Vec::new(),
         violations_total: 0,
+        attackers: 0,
+        attackers_shed: 0,
+        detected: 0,
+        detection_latency_us: 0,
+        benign_alerts: 0,
+        pool: None,
     };
     for s in results {
         out.events += s.events;
@@ -931,6 +1075,18 @@ pub fn merge_shards(population: u32, shards: u32, mut results: Vec<ShardResult>)
         }
         out.violations.extend(s.violations);
         out.violations_total += s.violations_total;
+        out.attackers += s.attackers;
+        out.attackers_shed += s.attackers_shed;
+        out.detected += s.detected;
+        out.detection_latency_us += s.detection_latency_us;
+        out.benign_alerts += s.benign_alerts;
+        if let Some(p) = s.pool {
+            let merged = out.pool.get_or_insert_with(PoolStats::default);
+            merged.admitted += p.admitted;
+            merged.parked += p.parked;
+            merged.settings_processed += p.settings_processed;
+            merged.parser_holds += p.parser_holds;
+        }
     }
     out
 }
@@ -1022,6 +1178,55 @@ mod tests {
         assert_eq!(fwd.sched, rev.sched);
         assert_eq!(fwd.sim_time_total, rev.sim_time_total);
         assert_eq!(fwd.completed, rev.completed);
+    }
+
+    #[test]
+    fn hostile_pairs_starve_the_pool_until_the_guard_sheds_them() {
+        use h2priv_dos::{DetectorConfig, DosAttack, GuardConfig};
+        use h2priv_web::PoolConfig;
+        let dos = |guarded: bool| FleetDosConfig {
+            attack: DosAttack::ZeroWindowHoard,
+            attackers: 3,
+            guard: guarded.then(GuardConfig::default),
+            detector: Some(DetectorConfig::default()),
+            pool: Some(PoolConfig {
+                capacity: 4,
+                ..PoolConfig::default()
+            }),
+        };
+        let config = |guarded: bool| FleetConfig {
+            seed: 11,
+            population: 10,
+            shards: 2,
+            conformance: FleetConformance::Full,
+            start_spread: SimDuration::from_millis(200),
+            deadline: SimDuration::from_secs(40),
+            dos: Some(dos(guarded)),
+            ..FleetConfig::default()
+        };
+
+        let undefended = run_fleet(&config(false), || None);
+        assert_eq!(undefended.attackers, 3);
+        assert_eq!(undefended.attackers_shed, 0, "nothing sheds undefended");
+        let pool = undefended.pool.expect("pool stats present");
+        assert!(pool.parked > 0, "hoarded workers must park bystanders");
+        assert!(
+            undefended.completed < 7,
+            "starvation should break bystander page loads ({} completed)",
+            undefended.completed
+        );
+        assert_eq!(undefended.violations_total, 0, "attacks are RFC-legal");
+
+        let guarded = run_fleet(&config(true), || None);
+        assert_eq!(guarded.attackers_shed, 3, "guard sheds every attacker");
+        assert_eq!(guarded.detected, 3, "detector flags every attacker");
+        assert_eq!(guarded.benign_alerts, 0, "no false positives");
+        assert!(
+            guarded.completed >= 6,
+            "bystanders should finish once attackers are shed ({} completed)",
+            guarded.completed
+        );
+        assert_eq!(guarded.violations_total, 0, "{:?}", guarded.violations);
     }
 
     #[test]

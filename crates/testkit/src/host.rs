@@ -21,8 +21,9 @@ use h2priv_analysis::GroundTruth;
 use h2priv_bytes::SharedBytes;
 use h2priv_conformance::{H2LedgerChecker, TcpEndpointChecker, ViolationSink};
 use h2priv_defense::{dummy_record_plaintext, TlsShaper};
+use h2priv_dos::{Alert, DosClient, DosDetector, GuardAction, GuardStats, ServerGuard};
 use h2priv_http2::{
-    ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId,
+    ErrorCode, H2Config, H2Connection, H2Event, HeaderField, OutgoingMeta, StreamId, StreamState,
 };
 use h2priv_netsim::{Context, Node, NodeId, Packet, SimRng, SimTime, TimerId};
 use h2priv_tcp::{AbortReason, TcpConfig, TcpConnection, TcpSegment, TcpStats};
@@ -125,6 +126,8 @@ pub enum App {
     Client(Browser),
     /// A website server.
     Server(SiteServer),
+    /// A slow-HTTP/2 DoS client (client role, hand-rolled frames).
+    Attacker(DosClient),
 }
 
 /// Shared, inspectable state of one host.
@@ -172,6 +175,17 @@ pub struct HostCore {
     /// Boxed for the same reason as the oracle: almost every host runs
     /// without one.
     shaper: Option<Box<HostShaper>>,
+    /// Slow-DoS resource guard (server side), scanned after every pump.
+    /// Boxed like the oracle: almost every host runs undefended.
+    guard: Option<Box<ServerGuard>>,
+    /// Online DoS detector fed the decrypted client→server byte stream
+    /// at the same tap point as the conformance ledger.
+    detector: Option<Box<DosDetector>>,
+    /// Non-ACK SETTINGS frames already billed to the pool's control plane.
+    settings_billed: u64,
+    /// True while this server's pool holds a parser thread for an
+    /// unfinished inbound header sequence.
+    parser_held: bool,
 }
 
 impl HostCore {
@@ -202,6 +216,42 @@ impl HostCore {
             socket_buffer,
             oracle: None,
             shaper: None,
+            guard: None,
+            detector: None,
+            settings_billed: 0,
+            parser_held: false,
+        }
+    }
+
+    /// Builds an attacker core (DoS client + client-side TCP/TLS stack).
+    /// The attacker speaks raw frames, so the `h2` field is an unused
+    /// placeholder; everything below TLS is the honest client stack.
+    pub(crate) fn new_attacker(
+        peer: NodeId,
+        attacker: DosClient,
+        tcp: TcpConfig,
+        session_key: u64,
+        socket_buffer: usize,
+    ) -> HostCore {
+        HostCore {
+            tcp: TcpConnection::client(tcp),
+            tls: TlsSession::new(Role::Client, session_key),
+            h2: H2Connection::new_client(H2Config::default()),
+            app: App::Attacker(attacker),
+            truth: None,
+            stream_objects: Vec::new(),
+            tls_established: false,
+            peer,
+            dead: false,
+            halt_when_done: false,
+            authority: Rc::from(""),
+            socket_buffer,
+            oracle: None,
+            shaper: None,
+            guard: None,
+            detector: None,
+            settings_billed: 0,
+            parser_held: false,
         }
     }
 
@@ -230,6 +280,10 @@ impl HostCore {
             socket_buffer,
             oracle: None,
             shaper: None,
+            guard: None,
+            detector: None,
+            settings_billed: 0,
+            parser_held: false,
         }
     }
 
@@ -251,7 +305,7 @@ impl HostCore {
     pub fn browser(&self) -> &Browser {
         match &self.app {
             App::Client(b) => b,
-            App::Server(_) => panic!("not a client host"),
+            _ => panic!("not a client host"),
         }
     }
 
@@ -263,12 +317,26 @@ impl HostCore {
     pub fn server(&self) -> &SiteServer {
         match &self.app {
             App::Server(s) => s,
-            App::Client(_) => panic!("not a server host"),
+            _ => panic!("not a server host"),
         }
     }
 
+    /// The DoS client, if this is an attacker host.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-attacker host.
+    pub fn attacker(&self) -> &DosClient {
+        match &self.app {
+            App::Attacker(a) => a,
+            _ => panic!("not an attacker host"),
+        }
+    }
+
+    /// True when this host plays the TCP/TLS client role (honest browser
+    /// or DoS attacker).
     fn is_client(&self) -> bool {
-        matches!(self.app, App::Client(_))
+        matches!(self.app, App::Client(_) | App::Attacker(_))
     }
 
     /// Attaches conformance checkers; every byte pumped from here on is
@@ -293,6 +361,34 @@ impl HostCore {
         self.shaper.as_ref().map_or(0, |s| s.shaper.dummies_sent)
     }
 
+    /// Attaches a slow-DoS resource guard (server side). The guard scans
+    /// the connection after every pump and its shedding decisions —
+    /// `RST_STREAM`/`GOAWAY` with `ENHANCE_YOUR_CALM` — are applied by the
+    /// host. Without one the server runs exactly as before, bit for bit.
+    pub fn set_guard(&mut self, guard: ServerGuard) {
+        self.guard = Some(Box::new(guard));
+    }
+
+    /// Attaches an online DoS detector (server side). It is fed the same
+    /// decrypted inbound bytes as the conformance ledger, so it sees what
+    /// a gateway-side tap would.
+    pub fn set_detector(&mut self, detector: DosDetector) {
+        self.detector = Some(Box::new(detector));
+    }
+
+    /// The guard's shedding counters, when one is attached.
+    pub fn guard_stats(&self) -> Option<GuardStats> {
+        self.guard.as_ref().map(|g| g.stats())
+    }
+
+    /// Alerts the attached detector has raised (empty without one).
+    pub fn dos_alerts(&self) -> Vec<Alert> {
+        self.detector
+            .as_ref()
+            .map(|d| d.alerts().to_vec())
+            .unwrap_or_default()
+    }
+
     /// Queues the TLS first flight on a client core. Call once before the
     /// first pump; a no-op on servers.
     pub(crate) fn begin(&mut self) {
@@ -310,12 +406,19 @@ impl HostCore {
         let app = match &self.app {
             App::Client(b) => b.next_wakeup(),
             App::Server(s) => s.next_wakeup(),
+            App::Attacker(a) => a.next_wakeup(),
         };
         let pad = self.shaper.as_ref().and_then(|s| s.shaper.next_wakeup());
-        match (app, pad) {
-            (Some(a), Some(p)) => Some(a.min(p)),
-            (a, p) => a.or(p),
-        }
+        // Guard and detector deadlines wake an otherwise-idle server: the
+        // attacks they watch for are precisely the ones that go quiet.
+        let dos = [
+            self.guard.as_ref().and_then(|g| g.next_wakeup()),
+            self.detector.as_ref().and_then(|d| d.next_wakeup()),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        [app, pad, dos].into_iter().flatten().min()
     }
 
     /// Returns every idle buffer across the stack to `pool` — the TCP send
@@ -427,6 +530,17 @@ impl Host {
         )
     }
 
+    /// Wraps an existing core as a netsim node (used by the DoS scenario
+    /// builder, whose attacker cores are constructed directly).
+    pub(crate) fn from_core(core: Rc<RefCell<HostCore>>) -> Host {
+        Host {
+            core,
+            scratch: PumpScratch::default(),
+            tcp_timer: None,
+            app_timer: None,
+        }
+    }
+
     fn pump(&mut self, ctx: &mut Context<'_, TcpSegment>) {
         let core = self.core.clone();
         let mut core = core.borrow_mut();
@@ -487,6 +601,7 @@ impl HostCore {
             let done = match &self.app {
                 App::Client(b) => b.is_done(),
                 App::Server(_) => false,
+                App::Attacker(a) => a.is_done(),
             };
             if done && (self.tcp.send_drained() || self.dead) {
                 ctx.halt();
@@ -518,6 +633,7 @@ impl HostCore {
         }
         self.pump_inbound(now, scratch);
         self.pump_app(now);
+        self.pump_dos(now);
         self.pump_outbound(now, scratch);
     }
 
@@ -539,7 +655,19 @@ impl HostCore {
         self.dead = true;
         match &mut self.app {
             App::Client(b) => b.on_connection_dead(now),
-            App::Server(_) => {}
+            App::Server(s) => {
+                // Teardown cancels every pending worker and returns all
+                // held pool capacity (workers and any captured parser
+                // thread) to the shard.
+                if self.parser_held {
+                    if let Some(pool) = s.pool() {
+                        pool.borrow_mut().release_parser();
+                    }
+                    self.parser_held = false;
+                }
+                s.shutdown();
+            }
+            App::Attacker(_) => {}
         }
     }
 
@@ -567,15 +695,24 @@ impl HostCore {
         }
         if output.established_now {
             self.tls_established = true;
-            if let App::Client(b) = &mut self.app {
-                b.start(now);
+            match &mut self.app {
+                App::Client(b) => b.start(now),
+                App::Attacker(a) => a.start(now),
+                App::Server(_) => {}
             }
         }
         if !app.is_empty() {
             if let Some(oracle) = self.oracle.as_mut() {
                 oracle.h2.on_received(app, now);
             }
-            if self.h2.recv(app).is_err() {
+            if let Some(detector) = self.detector.as_mut() {
+                detector.on_bytes(app, now);
+            }
+            if let App::Attacker(attacker) = &mut self.app {
+                // The attacker parses the server's frames itself; the
+                // placeholder H2Connection never sees a byte.
+                attacker.on_plaintext(app, now);
+            } else if self.h2.recv(app).is_err() {
                 self.fail_connection(now);
                 return true;
             }
@@ -626,6 +763,8 @@ impl HostCore {
                 }
                 (App::Server(s), H2Event::Reset { stream_id, .. }) => {
                     s.on_stream_reset(stream_id);
+                    // A reset stream gives its pool worker back at once.
+                    s.release_stream(stream_id, now);
                 }
                 _ => {}
             }
@@ -688,8 +827,80 @@ impl HostCore {
                     }
                 }
             }
+            // The attacker's output is pulled in pump_outbound.
+            App::Attacker(_) => {}
         }
         progressed
+    }
+
+    /// Server-side DoS machinery, one pass per pump: bill inbound SETTINGS
+    /// to the pool's control plane, track the parser-thread hold for an
+    /// unfinished header sequence, return workers of fully-drained
+    /// streams, re-try admission of parked requests (capacity may have
+    /// been freed by another connection sharing the pool), run the
+    /// detector's timers, and apply the guard's shedding decisions. A
+    /// no-op unless a pool, guard or detector is attached.
+    fn pump_dos(&mut self, now: SimTime) {
+        if let Some(detector) = self.detector.as_mut() {
+            detector.on_wakeup(now);
+        }
+        let App::Server(server) = &mut self.app else {
+            return;
+        };
+        if let Some(pool) = server.pool().cloned() {
+            let seen = self.h2.stats().settings_received;
+            while self.settings_billed < seen {
+                pool.borrow_mut().note_settings(now);
+                self.settings_billed += 1;
+            }
+            // A guard-closed connection no longer parses: its blocked
+            // thread was reclaimed at close and must not be re-captured
+            // by the still-unfinished header sequence.
+            let guard_closed = self.guard.as_ref().is_some_and(|g| g.is_closed());
+            let parser_blocked = !guard_closed && self.h2.in_progress_header_stream().is_some();
+            if parser_blocked && !self.parser_held {
+                pool.borrow_mut().hold_parser();
+                self.parser_held = true;
+            } else if !parser_blocked && self.parser_held {
+                pool.borrow_mut().release_parser();
+                self.parser_held = false;
+            }
+            // Fully-served streams give their worker back: the mux closed
+            // the stream when the last DATA frame drained into the wire.
+            for stream in server.serving().to_vec() {
+                let gone = matches!(
+                    self.h2.stream_state(stream),
+                    None | Some(StreamState::Closed)
+                );
+                if gone && self.h2.pending_data(stream) == 0 {
+                    server.release_stream(stream, now);
+                }
+            }
+            server.admit_parked(now);
+        }
+        if let Some(guard) = self.guard.as_mut() {
+            let mut actions = Vec::new();
+            guard.scan(&self.h2, now, &mut actions);
+            for action in actions {
+                match action {
+                    GuardAction::ResetStream(stream) => {
+                        self.h2.send_rst(stream, ErrorCode::EnhanceYourCalm);
+                        server.on_stream_reset(stream);
+                        server.release_stream(stream, now);
+                    }
+                    GuardAction::CloseConnection => {
+                        self.h2.send_goaway(ErrorCode::EnhanceYourCalm);
+                        if self.parser_held {
+                            if let Some(pool) = server.pool() {
+                                pool.borrow_mut().release_parser();
+                            }
+                            self.parser_held = false;
+                        }
+                        server.shutdown();
+                    }
+                }
+            }
+        }
     }
 
     /// HTTP/2 → TLS → TCP, with ground-truth annotation on the server.
@@ -705,6 +916,26 @@ impl HostCore {
     fn pump_outbound(&mut self, now: SimTime, scratch: &mut PumpScratch) -> bool {
         if self.dead || !self.tls_established {
             return false;
+        }
+        if let App::Attacker(attacker) = &mut self.app {
+            // The attacker emits hand-rolled frame bytes, not mux output:
+            // seal whatever is due as one record and hand it to TCP. Its
+            // traffic is a trickle by design, so no send-buffer budgeting.
+            let bytes = attacker.poll_wire(now);
+            if bytes.is_empty() {
+                return false;
+            }
+            if let Some(oracle) = self.oracle.as_mut() {
+                oracle.h2.on_sent(&bytes, now);
+            }
+            let mut run = std::mem::take(&mut scratch.run);
+            run.clear();
+            if self.tls.seal_app_data_into(&bytes, &mut run).is_err() {
+                scratch.run = run;
+                return false;
+            }
+            self.tcp.write_shared(SharedBytes::from_vec(run));
+            return true;
         }
         let mut progressed = false;
         // Kernel-style autotuned send buffer: roughly twice the congestion

@@ -12,15 +12,17 @@
 #![warn(missing_docs)]
 
 pub mod calib;
+pub mod dos;
 pub mod fleet;
 mod host;
 mod scenario;
 mod tap;
 
+pub use dos::{run_dos_trial, DosRunResult, DosScenarioConfig};
 pub use fleet::{
     merge_shards, run_fleet, run_fleet_shard, shard_of_pair, victim_golden_order, victim_shard,
-    FleetConfig, FleetConformance, FleetResult, FleetSegment, ShardResult, VictimCapture,
-    VICTIM_PAIR,
+    FleetConfig, FleetConformance, FleetDosConfig, FleetResult, FleetSegment, ShardResult,
+    VictimCapture, VICTIM_PAIR,
 };
 pub use host::{App, Host, HostCore, HostOracle};
 pub use scenario::{build_scenario, run_scenario, run_trial, RunResult, Scenario, ScenarioConfig};

@@ -13,6 +13,7 @@ use h2priv_analysis::{GroundTruth, WireTrace};
 use h2priv_defense::{
     constrained_pad_set, AdaptivePacer, ConstantRatePacer, DefenseSpec, TlsShaper,
 };
+use h2priv_dos::{Alert, DetectorConfig, DosDetector, GuardConfig, GuardStats, ServerGuard};
 use h2priv_http2::{H2Config, SendPolicy, Settings};
 use h2priv_netsim::{
     Dir, GatewayNode, LinkConfig, Middlebox, NodeId, SimDuration, SimRng, Simulator, StopReason,
@@ -63,6 +64,17 @@ pub struct ScenarioConfig {
     /// into [`RunResult::violations`]. On by default; benches turn it off
     /// unless `--check` is given.
     pub conformance: bool,
+    /// Slow-DoS resource guard on the server host. `None` (the default)
+    /// keeps every pre-existing exhibit's schedule bit-identical; the DoS
+    /// false-positive suite sets it on *benign* trials to pin zero sheds.
+    pub dos_guard: Option<GuardConfig>,
+    /// Online DoS detector on the server host, fed the decrypted inbound
+    /// byte stream. `None` by default; benign trials with one attached
+    /// must raise zero alerts.
+    pub dos_detector: Option<DetectorConfig>,
+    /// Worker-pool budget on the server. `None` (the default) keeps the
+    /// legacy unbounded thread-per-request behavior.
+    pub pool: Option<h2priv_web::PoolConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -116,6 +128,9 @@ impl Default for ScenarioConfig {
             socket_buffer: calib::SOCKET_BUFFER,
             defense: DefenseSpec::None,
             conformance: true,
+            dos_guard: None,
+            dos_detector: None,
+            pool: None,
         }
     }
 }
@@ -180,6 +195,17 @@ pub struct RunResult {
     /// Dummy records the server's shaping schedule sealed (0 without a
     /// shaping defense) — the defense's byte-overhead numerator.
     pub defense_dummies: u64,
+    /// Alerts the server-side DoS detector raised (empty without one; must
+    /// stay empty on benign traffic).
+    pub dos_alerts: Vec<Alert>,
+    /// Shedding counters of the server-side DoS guard, when one was
+    /// attached.
+    pub guard: Option<GuardStats>,
+    /// Worker-pool threads (request workers + captured parsers) still held
+    /// when the run ended. Zero without a pool — and zero *with* one
+    /// whenever the connection ended, because both teardown paths (guard
+    /// GOAWAY and transport death) cancel the server's in-flight workers.
+    pub pool_in_use: usize,
 }
 
 impl RunResult {
@@ -275,6 +301,21 @@ pub fn build_scenario(
         truth.clone(),
         config.socket_buffer,
     );
+    // DoS hardening attachments, all default-off so undefended trials keep
+    // their exact byte schedules.
+    if let Some(pool_cfg) = config.pool {
+        let pool = Rc::new(RefCell::new(h2priv_web::WorkerPool::new(pool_cfg)));
+        match &mut server.borrow_mut().app {
+            crate::host::App::Server(s) => s.set_pool(pool),
+            _ => unreachable!("server host runs a SiteServer"),
+        }
+    }
+    if let Some(guard_cfg) = config.dos_guard {
+        server.borrow_mut().set_guard(ServerGuard::new(guard_cfg));
+    }
+    if let Some(det_cfg) = config.dos_detector {
+        server.borrow_mut().set_detector(DosDetector::new(det_cfg));
+    }
     // Shaping: the server additionally seals dummy records on the defense's
     // schedule, from a dedicated RNG fork (drawn only for shaping runs, so
     // undefended trials keep their exact seed sequence).
@@ -400,6 +441,18 @@ pub fn run_scenario(mut scenario: Scenario) -> RunResult {
         violations,
         violations_total,
         defense_dummies: server.shaper_dummies(),
+        dos_alerts: server.dos_alerts(),
+        guard: server.guard_stats(),
+        pool_in_use: match &server.app {
+            crate::host::App::Server(s) => s
+                .pool()
+                .map(|p| {
+                    let p = p.borrow();
+                    p.in_use() + p.parser_held()
+                })
+                .unwrap_or(0),
+            _ => 0,
+        },
     }
 }
 

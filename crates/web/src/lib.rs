@@ -32,5 +32,5 @@ pub mod streaming;
 pub use browser::{Browser, BrowserCmd, BrowserConfig, RequestOutcome};
 pub use object::{ObjectId, ObjectKind, WebObject};
 pub use plan::{BrowsePlan, Phase, PlanStep, Trigger};
-pub use server::{Response, SiteServer, SiteServerConfig};
+pub use server::{PoolConfig, PoolStats, Response, SiteServer, SiteServerConfig, WorkerPool};
 pub use site::Website;

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Perf regression gate: re-times the fast exhibits (fig1, table2), the
-# countermeasure arena (defend) and
+# countermeasure arena (defend), the slow-DoS triad (dos) and
 # the population-scale fleet exhibit with fresh `repro --bench-json`
 # runs and fails when events/sec drops more than 20% below the
 # checked-in BENCH_repro.json baseline, or when the fleet exhibit's
@@ -26,7 +26,7 @@ attempts=3
 for attempt in $(seq 1 "$attempts"); do
     # fleet runs at the baseline's default population (1000) so its
     # events/sec is comparable against the checked-in entry.
-    ./target/release/repro fig1 table2 defend fleet --trials 25 --bench-json="$fresh" >/dev/null
+    ./target/release/repro fig1 table2 defend dos fleet --trials 25 --bench-json="$fresh" >/dev/null
     cat "$fresh" >>"$seen"
 
     if awk '
