@@ -1,6 +1,6 @@
 # Convenience targets; each is a thin wrapper over cargo.
 
-.PHONY: build test lint bench bench-check bench-sched bench-defense bench-dos bench-fleet bench-fleet-mem check-conformance repro repro-quick
+.PHONY: build test lint bench bench-check bench-sched bench-defense bench-dos bench-fleet bench-fleet-mem bench-fleet-1m bench-scaleout check-conformance repro repro-quick
 
 build:
 	cargo build --release --workspace
@@ -44,6 +44,23 @@ bench-fleet:
 # bytes_per_pair against BENCH_repro.json (>20% growth fails).
 bench-fleet-mem:
 	cargo run --release -p h2priv-bench --bin repro -- fleet --population 10000 --shards 8 --bench-json=/dev/stdout
+
+# The million-pair sitting: cohort-streamed shards admit each pair at
+# its staggered start time and retire it (returning its slab slot and
+# buffers) the moment its page load settles, so peak memory tracks the
+# number of co-resident pairs — set by --spread — instead of the
+# population. --progress prints a pairs/events/ETA heartbeat on stderr
+# every ~2s; stdout stays byte-identical to an unstreamed run of the
+# same spread. Expect a few hours on one core; scale --threads to taste.
+bench-fleet-1m:
+	cargo run --release -p h2priv-bench --bin repro -- fleet --population 1000000 --shards 64 --cohort 512 --spread 14400 --progress --bench-json=BENCH_fleet_1m.json
+
+# Parallel-efficiency curve: re-runs the baseline fleet population at
+# --threads 1/2/4/8 and reports aggregate ev/s, ev/s per core, and
+# efficiency vs. the 1-thread point. Outcome rows are asserted identical
+# across thread counts before any rate is reported.
+bench-scaleout:
+	cargo run --release -p h2priv-bench --bin repro -- scaleout --population 2000 --shards 8
 
 check-conformance:
 	cargo run --release -p h2priv-bench --bin repro -- --quick --check

@@ -3,7 +3,9 @@
 //! ```text
 //! repro [--quick] [--json] [--check] [--threads N] [--trials N]
 //!       [--population N] [--shards N] [--defense NAME] [--bench-json[=PATH]]
-//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations] [defend] [dos] [fleet]
+//!       [--cohort N] [--spread SECS] [--progress]
+//!       [table1] [fig5] [ivd] [table2] [fig1] [ablations] [defend] [dos]
+//!       [fleet] [scaleout]
 //! ```
 //!
 //! With no exhibit names, everything runs. `--quick` uses 25 trials per
@@ -19,7 +21,18 @@
 //! (default 1000, `--quick` 128) split over `--shards N` independent
 //! engines (default 8). Shards fan out over the same worker pool; the
 //! shard count — not the thread count — fixes the partition, so fleet
-//! output is also byte-identical at any `--threads`.
+//! output is also byte-identical at any `--threads`. Million-pair runs
+//! use `--cohort N` (stream pair state in bounded cohorts instead of
+//! materializing whole shards — peak memory follows the in-flight set),
+//! `--spread SECS` (widen the start-stagger window so fewer loads overlap;
+//! the shard deadline grows by the same amount) and `--progress` (a stderr
+//! heartbeat with pairs done, events/sec and ETA; stdout is untouched).
+//!
+//! The `scaleout` exhibit (explicit request only — it is a measurement
+//! harness, not a paper artifact, and re-runs the baseline population once
+//! per thread count) executes the same fleet at `--threads` 1/2/4/8 and
+//! reports aggregate events/sec, events/sec **per core** and parallel
+//! efficiency.
 //!
 //! The `defend` exhibit runs the countermeasure arena: every defense in
 //! `DefenseSpec::arena` against the escalating adversary grid, reporting
@@ -81,6 +94,13 @@ impl ExhibitTiming {
         }
         self.events as f64 / (self.wall_ms / 1e3)
     }
+
+    /// Aggregate throughput divided by the worker-thread count — the
+    /// scale-out health number: flat across `--threads` means the shards
+    /// parallelize without stepping on each other.
+    fn ev_s_per_core(&self) -> f64 {
+        self.events_per_sec() / self.threads.max(1) as f64
+    }
 }
 
 impl ToJson for ExhibitTiming {
@@ -92,6 +112,7 @@ impl ToJson for ExhibitTiming {
             ("wall_ms", self.wall_ms.to_json()),
             ("events", self.events.to_json()),
             ("events_per_sec", self.events_per_sec().to_json()),
+            ("ev_s_per_core", self.ev_s_per_core().to_json()),
             ("scheduler", h2priv_netsim::SchedStats::SCHEDULER.to_json()),
             ("sched_near_inserts", self.sched.near_inserts.to_json()),
             ("sched_far_inserts", self.sched.far_inserts.to_json()),
@@ -147,6 +168,11 @@ fn main() {
     let population =
         parse_flag_value(&args, "--population").unwrap_or(if quick { 128 } else { 1_000 }) as u32;
     let shards = parse_flag_value(&args, "--shards").unwrap_or(8).max(1) as u32;
+    let tuning = fleet::FleetTuning {
+        cohort: parse_flag_value(&args, "--cohort").map(|c| c.max(1) as u32),
+        spread_secs: parse_flag_value(&args, "--spread"),
+        progress: args.iter().any(|a| a == "--progress"),
+    };
     let defense = match parse_flag_str(&args, "--defense") {
         Some(name) => match DefenseSpec::parse(&name) {
             Some(spec) => Some(spec),
@@ -168,6 +194,8 @@ fn main() {
                 || a == "--population"
                 || a == "--shards"
                 || a == "--defense"
+                || a == "--cohort"
+                || a == "--spread"
             {
                 it.next();
             } else if !a.starts_with("--") {
@@ -309,7 +337,12 @@ fn main() {
     if want("fleet") {
         let mut report = None;
         timed("fleet", population as u64, &mut || {
-            let r = fleet::run(population, shards, defense.unwrap_or(DefenseSpec::None));
+            let r = fleet::run_with(
+                population,
+                shards,
+                defense.unwrap_or(DefenseSpec::None),
+                &tuning,
+            );
             if json {
                 println!("{}", h2priv_bench::json::to_string_pretty(&r));
             } else {
@@ -340,6 +373,46 @@ fn main() {
                 t.bytes_per_pair,
                 co_resident
             );
+        }
+    }
+
+    // Explicit request only (never part of the run-everything default):
+    // scaleout re-executes the baseline population once per thread count,
+    // overriding --threads point by point, purely to measure parallel
+    // efficiency.
+    if wanted.contains(&"scaleout") {
+        let restore = parse_flag_value(&args, "--threads").unwrap_or(0) as usize;
+        let points = fleet::scaleout(
+            population,
+            shards,
+            defense.unwrap_or(DefenseSpec::None),
+            &tuning,
+            &[1, 2, 4, 8],
+            restore,
+        );
+        if json {
+            println!("{}", h2priv_bench::json::to_string_pretty(&points));
+        } else {
+            println!("{}", fleet::render_scaleout(population, shards, &points));
+        }
+        // One timing row per thread count, so `--bench-json` carries the
+        // whole scaling curve (`ev_s_per_core` is derived per row).
+        for p in &points {
+            eprintln!(
+                "[timing] scaleout --threads {}: {:.0} ms, {:.0} ev/s aggregate, {:.0} ev/s per core, efficiency {:.2}",
+                p.threads, p.wall_ms, p.events_per_sec, p.ev_s_per_core, p.efficiency
+            );
+            timings.push(ExhibitTiming {
+                exhibit: "scaleout",
+                trials: population as u64,
+                threads: p.threads,
+                wall_ms: p.wall_ms,
+                events: p.events,
+                sched: Default::default(),
+                shard_events: Vec::new(),
+                peak_alloc_bytes: 0,
+                bytes_per_pair: 0,
+            });
         }
     }
 

@@ -19,13 +19,17 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use h2priv_core::experiment::{analyze_capture, AdversarySnapshot};
 use h2priv_core::{Adversary, AttackConfig};
 use h2priv_defense::DefenseSpec;
+use h2priv_netsim::SimDuration;
 use h2priv_testkit::fleet::{
-    merge_shards, run_fleet_shard, victim_shard, FleetConfig, FleetConformance, FleetResult,
+    merge_shards, run_fleet_shard, victim_shard, FleetConfig, FleetConformance, FleetProgress,
+    FleetResult,
 };
 use h2priv_web::isidewith;
 
@@ -125,6 +129,24 @@ impl ToJson for FleetReport {
     }
 }
 
+/// Scale-tuning knobs the `repro` CLI exposes for very large fleets. The
+/// default (`None`/`false` everywhere) reproduces the pre-existing exhibit
+/// byte-for-byte.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTuning {
+    /// Cohort streaming: bound resident pair-state to the in-flight set
+    /// (`repro fleet --cohort N`).
+    pub cohort: Option<u32>,
+    /// Override the client start-spread window, seconds (`--spread SECS`).
+    /// The shard deadline grows by the same amount so late starters keep
+    /// the full per-pair time budget. A 1M-pair run needs this: the
+    /// default 5 s window would put ~300k loads in flight at once.
+    pub spread_secs: Option<u64>,
+    /// Emit a stderr heartbeat (pairs done, events/sec, ETA) while the
+    /// populations run (`--progress`). stdout is untouched.
+    pub progress: bool,
+}
+
 fn fleet_config(population: u32, shards: u32, defense: DefenseSpec) -> FleetConfig {
     FleetConfig {
         seed: 0xF1EE7,
@@ -137,6 +159,81 @@ fn fleet_config(population: u32, shards: u32, defense: DefenseSpec) -> FleetConf
             FleetConformance::Off
         },
         ..FleetConfig::default()
+    }
+}
+
+fn tuned_config(
+    population: u32,
+    shards: u32,
+    defense: DefenseSpec,
+    tuning: &FleetTuning,
+    progress: Option<Arc<FleetProgress>>,
+) -> FleetConfig {
+    let mut config = fleet_config(population, shards, defense);
+    config.cohort = tuning.cohort;
+    if let Some(secs) = tuning.spread_secs {
+        let spread = SimDuration::from_secs(secs);
+        config.deadline = spread + config.deadline;
+        config.start_spread = spread;
+    }
+    config.progress = progress;
+    config
+}
+
+/// The stderr heartbeat: a thread sampling the shared [`FleetProgress`]
+/// counters every few seconds. Purely observational — the reporter reads
+/// relaxed atomics the shard workers bump, so attaching it cannot change
+/// any simulation result (and stdout stays byte-identical).
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    fn start(progress: Arc<FleetProgress>, total_pairs: u64) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let t0 = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("fleet-heartbeat".into())
+            .spawn(move || loop {
+                for _ in 0..20 {
+                    if stop2.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                let done = progress.pairs_done.load(Ordering::Relaxed);
+                let events = progress.events.load(Ordering::Relaxed);
+                let shards = progress.shards_done.load(Ordering::Relaxed);
+                let elapsed = t0.elapsed().as_secs_f64();
+                let rate = events as f64 / elapsed.max(1e-9);
+                let eta = if done > 0 && done < total_pairs {
+                    let per_pair = elapsed / done as f64;
+                    format!(", ~{:.0}s left", per_pair * (total_pairs - done) as f64)
+                } else {
+                    String::new()
+                };
+                eprintln!(
+                    "[fleet] {done}/{total_pairs} pairs, {shards} shard(s) done, \
+                     {events} events, {:.2}M ev/s{eta}",
+                    rate / 1e6
+                );
+            })
+            .expect("spawn heartbeat thread");
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -220,7 +317,23 @@ fn run_population(
 /// Per Kerckhoffs' principle the adversary's size map is calibrated
 /// against the defended server.
 pub fn run(population: u32, shards: u32, defense: DefenseSpec) -> FleetReport {
-    let config = fleet_config(population, shards, defense);
+    run_with(population, shards, defense, &FleetTuning::default())
+}
+
+/// [`run`] with the CLI's scale-tuning knobs (cohort streaming, start
+/// spread, progress heartbeat).
+pub fn run_with(
+    population: u32,
+    shards: u32,
+    defense: DefenseSpec,
+    tuning: &FleetTuning,
+) -> FleetReport {
+    let progress = tuning.progress.then(|| Arc::new(FleetProgress::default()));
+    let config = tuned_config(population, shards, defense, tuning, progress.clone());
+    // Two populations run back to back; the heartbeat tracks their sum.
+    let _heartbeat = progress
+        .clone()
+        .map(|p| Heartbeat::start(p, 2 * population as u64));
     let map = if defense == DefenseSpec::None {
         calibrated_map()
     } else {
@@ -238,6 +351,114 @@ pub fn run(population: u32, shards: u32, defense: DefenseSpec) -> FleetReport {
         baseline,
         attacked,
     }
+}
+
+/// One thread-count point of the scale-out exhibit.
+#[derive(Debug, Clone)]
+pub struct ScaleoutPoint {
+    /// Worker threads the shards fanned out over.
+    pub threads: usize,
+    /// Wall-clock for the baseline population, milliseconds.
+    pub wall_ms: f64,
+    /// Simulator events across all shards.
+    pub events: u64,
+    /// Aggregate throughput, events/second.
+    pub events_per_sec: f64,
+    /// Throughput per worker thread — flat means perfect scaling.
+    pub ev_s_per_core: f64,
+    /// Parallel efficiency vs. the 1-thread point (1.0 = linear speedup).
+    pub efficiency: f64,
+    /// Completed pairs (must not vary with the thread count).
+    pub completed: u32,
+}
+
+impl ToJson for ScaleoutPoint {
+    fn to_json(&self) -> Json {
+        object([
+            ("threads", (self.threads as u64).to_json()),
+            ("wall_ms", self.wall_ms.to_json()),
+            ("events", self.events.to_json()),
+            ("events_per_sec", self.events_per_sec.to_json()),
+            ("ev_s_per_core", self.ev_s_per_core.to_json()),
+            ("efficiency", self.efficiency.to_json()),
+            ("completed", (self.completed as u64).to_json()),
+        ])
+    }
+}
+
+/// The scale-out exhibit: the same baseline fleet population executed at
+/// each worker count in `thread_counts`, measuring aggregate events/sec
+/// and parallel efficiency. Every point runs the *identical* shard set —
+/// the partition is fixed by `shards`, not the thread count — so the
+/// completed/broken rows must match across the whole curve (asserted
+/// here), and only wall-clock moves.
+///
+/// Leaves the global worker-thread setting at `restore_threads` (0 =
+/// auto).
+pub fn scaleout(
+    population: u32,
+    shards: u32,
+    defense: DefenseSpec,
+    tuning: &FleetTuning,
+    thread_counts: &[usize],
+    restore_threads: usize,
+) -> Vec<ScaleoutPoint> {
+    let progress = tuning.progress.then(|| Arc::new(FleetProgress::default()));
+    let config = tuned_config(population, shards, defense, tuning, progress.clone());
+    let _heartbeat = progress
+        .clone()
+        .map(|p| Heartbeat::start(p, thread_counts.len() as u64 * population as u64));
+    let map = calibrated_map();
+    let mut points: Vec<ScaleoutPoint> = Vec::new();
+    for &threads in thread_counts {
+        runner::set_threads(threads);
+        let t0 = Instant::now();
+        let (run, _) = run_population("baseline", &config, None, &map);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let events_per_sec = run.events as f64 / (wall_ms / 1e3).max(1e-9);
+        if let Some(first) = points.first() {
+            assert_eq!(
+                run.completed, first.completed,
+                "thread count must not change outcomes"
+            );
+        }
+        let efficiency = points
+            .first()
+            .map(|p| (events_per_sec / p.events_per_sec) / threads.max(1) as f64 * p.threads as f64)
+            .unwrap_or(1.0);
+        points.push(ScaleoutPoint {
+            threads,
+            wall_ms,
+            events: run.events,
+            events_per_sec,
+            ev_s_per_core: events_per_sec / threads.max(1) as f64,
+            efficiency,
+            completed: run.completed,
+        });
+    }
+    runner::set_threads(restore_threads);
+    points
+}
+
+/// Renders the scale-out curve.
+pub fn render_scaleout(population: u32, shards: u32, points: &[ScaleoutPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "FLEET SCALE-OUT: {population} pairs over {shards} shards, baseline population per thread count\n",
+    ));
+    out.push_str("| threads | wall ms | events | ev/s | ev/s per core | efficiency |\n");
+    out.push_str("|--------:|--------:|-------:|-----:|--------------:|-----------:|\n");
+    for p in points {
+        out.push_str(&format!(
+            "| {:>7} | {:>7.0} | {:>6} | {:>4.0} | {:>13.0} | {:>10.2} |\n",
+            p.threads, p.wall_ms, p.events, p.events_per_sec, p.ev_s_per_core, p.efficiency
+        ));
+    }
+    out.push_str(
+        "(same shard partition at every thread count — outcome rows are identical, only\n \
+         wall-clock moves; efficiency is speedup over the 1-thread point divided by threads)\n",
+    );
+    out
 }
 
 /// Renders the exhibit in the repro layout.

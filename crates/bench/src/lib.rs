@@ -15,7 +15,11 @@
 //! * [`dos`] — the slow-rate DoS triad: attack workloads vs. server
 //!   hardening vs. the online detector, standalone and at fleet scale;
 //! * [`fleet`] — the population-scale contention run (N pairs sharing the
-//!   gateway, victim throttled among bystanders).
+//!   gateway, victim throttled among bystanders), with cohort-streamed
+//!   admission for million-pair sittings (`--cohort`/`--spread`/
+//!   `--progress`) and the `scaleout` parallel-efficiency exhibit
+//!   ([`fleet::scaleout`]: the same population at `--threads` 1/2/4/8,
+//!   identical outcome rows asserted, ev/s-per-core curve recorded).
 //!
 //! The `repro` binary prints them in the paper's layout; `EXPERIMENTS.md`
 //! records paper-vs-measured values. Criterion microbenches of the

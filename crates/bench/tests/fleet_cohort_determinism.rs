@@ -1,0 +1,50 @@
+//! Cohort-boundary determinism at the exhibit level: the `--cohort`
+//! value only pre-sizes the streamed arena's slabs — admission happens
+//! at each pair's start time and retirement at its page-load finish
+//! regardless — so the rendered fleet report must be byte-identical
+//! across *every* cohort size, and across thread counts within each.
+//! (Streamed and eager runs are compared on outcome rows in
+//! `testkit::fleet`'s unit tests; this test pins the CLI-visible
+//! surface: what `repro fleet --cohort N --threads T` prints.)
+
+use h2priv_bench::fleet::{self, FleetTuning};
+use h2priv_bench::runner;
+use h2priv_defense::DefenseSpec;
+
+const POPULATION: u32 = 24;
+const SHARDS: u32 = 4;
+
+fn rendered(cohort: u32, threads: usize) -> String {
+    runner::set_threads(threads);
+    let tuning = FleetTuning {
+        cohort: Some(cohort),
+        // A spread wider than the default forces real admission overlap
+        // structure: early pairs retire while later ones are still
+        // unbuilt, so slot reuse actually happens at cohort 1.
+        spread_secs: Some(30),
+        progress: false,
+    };
+    fleet::render(&fleet::run_with(
+        POPULATION,
+        SHARDS,
+        DefenseSpec::None,
+        &tuning,
+    ))
+}
+
+/// Cohort 1 (every slot reused immediately), a prime that divides
+/// nothing (7), and the whole population (no reuse needed) must agree —
+/// at one thread and at eight.
+#[test]
+fn fleet_report_is_identical_across_cohort_sizes_and_threads() {
+    let reference = rendered(1, 1);
+    for cohort in [1, 7, POPULATION] {
+        for threads in [1usize, 8] {
+            assert_eq!(
+                rendered(cohort, threads),
+                reference,
+                "fleet report diverged at cohort {cohort}, {threads} thread(s)"
+            );
+        }
+    }
+}

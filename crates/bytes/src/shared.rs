@@ -83,6 +83,30 @@ impl SharedBytes {
         SharedBytes::from_vec(data.to_vec())
     }
 
+    /// A `len`-byte all-zeros view, allocation-free for lengths up to the
+    /// shared zero page (64 KiB — larger than any frame payload the model
+    /// emits). Consumers that only need a *length* with opaque contents
+    /// (an HTTP/2 receiver delivering body bytes the application never
+    /// reads) get a real, safely readable slice without a per-call
+    /// allocation or copy.
+    pub fn zeros(len: usize) -> SharedBytes {
+        const ZERO_PAGE_LEN: usize = 1 << 16;
+        if len == 0 {
+            return SharedBytes::new();
+        }
+        if len > ZERO_PAGE_LEN {
+            return SharedBytes::from_vec(vec![0; len]);
+        }
+        static ZEROS: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+        SharedBytes {
+            buf: ZEROS
+                .get_or_init(|| Arc::new(vec![0; ZERO_PAGE_LEN]))
+                .clone(),
+            off: 0,
+            len,
+        }
+    }
+
     /// Number of bytes in this view.
     pub fn len(&self) -> usize {
         self.len
@@ -352,5 +376,25 @@ mod tests {
     fn debug_formats_as_bytes() {
         let b = SharedBytes::from_vec(vec![1, 2]);
         assert_eq!(format!("{b:?}"), "[1, 2]");
+    }
+
+    #[test]
+    fn zeros_shares_one_page_and_spills_past_it() {
+        assert!(SharedBytes::zeros(0).is_empty());
+        let a = SharedBytes::zeros(5);
+        assert_eq!(a, [0, 0, 0, 0, 0]);
+        // Page-sized views alias the same backing allocation...
+        let b = SharedBytes::zeros(1 << 16);
+        assert_eq!(b.len(), 1 << 16);
+        assert!(Arc::ptr_eq(&a.buf, &b.buf));
+        assert!(b.iter().all(|&x| x == 0));
+        // ...and slicing a zeros view stays on it, while an over-page
+        // request falls back to a private buffer.
+        let c = a.slice(1..4);
+        assert!(Arc::ptr_eq(&c.buf, &b.buf));
+        let big = SharedBytes::zeros((1 << 16) + 1);
+        assert_eq!(big.len(), (1 << 16) + 1);
+        assert!(!Arc::ptr_eq(&big.buf, &b.buf));
+        assert!(big.iter().all(|&x| x == 0));
     }
 }

@@ -67,6 +67,18 @@ fn header(out: &mut Vec<u8>, len: usize, ftype: FrameType, fl: u8, stream: Strea
     put_u32(out, stream.0 & 0x7FFF_FFFF);
 }
 
+/// Appends a bare 9-byte frame header — the split-DATA send path encodes
+/// the header alone and hands the body through as a shared chunk.
+pub(crate) fn encode_frame_header_into(
+    out: &mut Vec<u8>,
+    payload_len: usize,
+    ftype: FrameType,
+    fl: u8,
+    stream: StreamId,
+) {
+    header(out, payload_len, ftype, fl, stream);
+}
+
 /// Encodes a header block as a HEADERS frame followed by CONTINUATION
 /// frames when the block exceeds `max_frame_size` (RFC 7540 §6.10).
 pub fn encode_headers_split(
@@ -233,6 +245,12 @@ pub struct FrameDecoder {
     /// block). While set, only CONTINUATION frames for that stream are
     /// legal (RFC 7540 §6.10).
     header_sequence: Option<(StreamId, bool, Vec<u8>)>,
+    /// When set, decoded DATA payloads are length-only zero-page views
+    /// (see [`H2Config::opaque_data_payloads`]); padding is still
+    /// validated against the real bytes.
+    ///
+    /// [`H2Config::opaque_data_payloads`]: crate::settings::H2Config::opaque_data_payloads
+    opaque_data: bool,
 }
 
 impl FrameDecoder {
@@ -249,12 +267,18 @@ impl FrameDecoder {
                 0
             },
             header_sequence: None,
+            opaque_data: false,
         }
     }
 
     /// Updates the advertised `SETTINGS_MAX_FRAME_SIZE`.
     pub fn set_max_frame_size(&mut self, size: usize) {
         self.max_frame_size = size;
+    }
+
+    /// Switches DATA payload delivery to opaque length-only views.
+    pub fn set_opaque_data(&mut self, opaque: bool) {
+        self.opaque_data = opaque;
     }
 
     /// Stream of the HEADERS/CONTINUATION sequence currently being
@@ -322,6 +346,23 @@ impl FrameDecoder {
         let fl = avail[4];
         let stream_id =
             StreamId(u32::from_be_bytes([avail[5], avail[6], avail[7], avail[8]]) & 0x7FFF_FFFF);
+        // DATA fast path: build the frame straight from the buffered bytes
+        // — one copy of the content (zero in opaque mode) instead of a
+        // payload `to_vec` plus a padded re-copy.
+        if self.header_sequence.is_none() && ftype == FrameType::Data.as_u8() {
+            let frame = data_frame_from_payload(
+                self.opaque_data,
+                fl,
+                stream_id,
+                &avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len],
+            )?;
+            self.pos += FRAME_HEADER_LEN + len;
+            if self.pos == self.buf.len() {
+                self.buf.clear();
+                self.pos = 0;
+            }
+            return Ok(Some(frame));
+        }
         let payload: Vec<u8> = avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
         self.pos += FRAME_HEADER_LEN + len;
         if self.pos == self.buf.len() {
@@ -414,6 +455,18 @@ impl FrameDecoder {
         let fl = avail[4];
         let stream_id =
             StreamId(u32::from_be_bytes([avail[5], avail[6], avail[7], avail[8]]) & 0x7FFF_FFFF);
+        // DATA fast path, as in `next_frame`: parse padding and content
+        // straight from the borrowed input.
+        if self.header_sequence.is_none() && ftype == FrameType::Data.as_u8() {
+            let frame = data_frame_from_payload(
+                self.opaque_data,
+                fl,
+                stream_id,
+                &avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len],
+            )?;
+            *input = &input[FRAME_HEADER_LEN + len..];
+            return Ok(Some(frame));
+        }
         let payload: Vec<u8> = avail[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len].to_vec();
         *input = &input[FRAME_HEADER_LEN + len..];
         let Some(ftype) = FrameType::from_u8(ftype) else {
@@ -440,15 +493,12 @@ impl FrameDecoder {
         payload: Vec<u8>,
     ) -> Result<Option<Frame>, FrameDecodeError> {
         match ftype {
-            FrameType::Data => {
-                let (data, pad) = strip_padding(FrameType::Data, fl, payload)?;
-                Ok(Some(Frame::Data {
-                    stream_id,
-                    end_stream: fl & flags::END_STREAM != 0,
-                    data: data.into(),
-                    pad,
-                }))
-            }
+            FrameType::Data => Ok(Some(data_frame_from_payload(
+                self.opaque_data,
+                fl,
+                stream_id,
+                &payload,
+            )?)),
             FrameType::Headers => {
                 let (mut block, pad) = strip_padding(FrameType::Headers, fl, payload)?;
                 if fl & flags::PRIORITY != 0 {
@@ -584,6 +634,21 @@ fn strip_padding(
     if fl & flags::PADDED == 0 {
         return Ok((payload, None));
     }
+    let (content, pad) = strip_padding_borrowed(ftype, fl, &payload)?;
+    Ok((content.to_vec(), pad))
+}
+
+/// Borrowing variant of [`strip_padding`]: the content comes back as a
+/// sub-slice of `payload`, deferring (or in opaque mode, skipping) the
+/// copy.
+fn strip_padding_borrowed(
+    ftype: FrameType,
+    fl: u8,
+    payload: &[u8],
+) -> Result<(&[u8], Option<u8>), FrameDecodeError> {
+    if fl & flags::PADDED == 0 {
+        return Ok((payload, None));
+    }
     let Some((&pad_len, rest)) = payload.split_first() else {
         return Err(FrameDecodeError::BadPadding(ftype));
     };
@@ -593,7 +658,31 @@ fn strip_padding(
     if rest[rest_len..].iter().any(|&b| b != 0) {
         return Err(FrameDecodeError::NonZeroPadding(ftype));
     }
-    Ok((rest[..rest_len].to_vec(), Some(pad_len)))
+    Ok((&rest[..rest_len], Some(pad_len)))
+}
+
+/// Builds a DATA frame straight from its borrowed wire payload: padding is
+/// validated against the real bytes, then the content is copied out once —
+/// or, in opaque mode, replaced by a zero-page view of the same length
+/// with no allocation at all.
+fn data_frame_from_payload(
+    opaque: bool,
+    fl: u8,
+    stream_id: StreamId,
+    payload: &[u8],
+) -> Result<Frame, FrameDecodeError> {
+    let (content, pad) = strip_padding_borrowed(FrameType::Data, fl, payload)?;
+    let data = if opaque {
+        h2priv_bytes::SharedBytes::zeros(content.len())
+    } else {
+        h2priv_bytes::SharedBytes::copy_from_slice(content)
+    };
+    Ok(Frame::Data {
+        stream_id,
+        end_stream: fl & flags::END_STREAM != 0,
+        data,
+        pad,
+    })
 }
 
 #[cfg(test)]

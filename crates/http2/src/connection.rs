@@ -118,14 +118,57 @@ pub struct Outgoing {
     pub bytes: Vec<u8>,
     /// Where the frame's wire bytes start within `bytes`.
     pub headroom: usize,
+    /// Split sends ([`H2Config::split_data_frames`]): the DATA body bytes,
+    /// which follow `bytes[headroom..]` on the wire but are *not* encoded
+    /// into `bytes` — the mux hands the stream's shared chunk through
+    /// untouched so a transport with a gather path never copies it. Empty
+    /// for whole-frame sends and non-DATA frames.
+    ///
+    /// [`H2Config::split_data_frames`]: crate::settings::H2Config::split_data_frames
+    pub body: SharedBytes,
+    /// Split sends: count of zero padding octets that follow `body` on the
+    /// wire (the pad-length byte itself is in `bytes`). Always 0 for
+    /// whole-frame sends.
+    pub tail_pad: usize,
     /// What the bytes are.
     pub meta: OutgoingMeta,
 }
 
+/// Zero padding octets for split DATA sends, shared so a gather path can
+/// borrow the tail pad without allocating (the pad field caps at 255).
+static PAD_ZEROS: [u8; 255] = [0; 255];
+
 impl Outgoing {
-    /// The frame's exact wire bytes.
+    /// The frame's encoded bytes held in `bytes`: the whole frame for
+    /// whole-frame sends; the frame header (plus pad-length byte) only,
+    /// with the body in [`Outgoing::body`], for split DATA sends.
     pub fn frame_bytes(&self) -> &[u8] {
         &self.bytes[self.headroom..]
+    }
+
+    /// The frame's wire bytes as gather parts, in wire order:
+    /// `[frame_bytes, body, tail padding]`. For whole-frame sends the last
+    /// two parts are empty.
+    pub fn wire_parts(&self) -> [&[u8]; 3] {
+        [
+            self.frame_bytes(),
+            self.body.as_slice(),
+            &PAD_ZEROS[..self.tail_pad],
+        ]
+    }
+
+    /// Total wire length of the frame across all parts.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len() - self.headroom + self.body.len() + self.tail_pad
+    }
+
+    /// Appends the frame's complete wire bytes to `out` — the
+    /// materializing fallback for consumers that need the frame
+    /// contiguous (conformance taps, tests).
+    pub fn write_wire_into(&self, out: &mut Vec<u8>) {
+        for part in self.wire_parts() {
+            out.extend_from_slice(part);
+        }
     }
 }
 
@@ -374,7 +417,11 @@ impl H2Connection {
             hpack_decoder: HpackDecoder::with_table_size(
                 config.settings.header_table_size as usize,
             ),
-            frame_decoder: FrameDecoder::new(peer == Peer::Server),
+            frame_decoder: {
+                let mut d = FrameDecoder::new(peer == Peer::Server);
+                d.set_opaque_data(config.opaque_data_payloads);
+                d
+            },
             next_stream_id: match peer {
                 Peer::Client => StreamId(1),
                 Peer::Server => StreamId(2),
@@ -758,6 +805,8 @@ impl H2Connection {
             return Some(Outgoing {
                 bytes: CLIENT_PREFACE.to_vec(),
                 headroom: 0,
+                body: SharedBytes::new(),
+                tail_pad: 0,
                 meta: OutgoingMeta::Preface,
             });
         }
@@ -980,6 +1029,8 @@ impl H2Connection {
                         end_stream: *end_stream,
                     },
                     headroom: 0,
+                    body: SharedBytes::new(),
+                    tail_pad: 0,
                     bytes,
                 };
             }
@@ -990,6 +1041,52 @@ impl H2Connection {
             .pop()
             .unwrap_or_else(|| Vec::with_capacity(headroom + crate::frame::FRAME_HEADER_LEN + 64));
         bytes.resize(headroom, 0);
+        // Split DATA sends: encode only the 9-byte header (plus pad-length
+        // byte) and pass the shared body chunk through untouched. The body
+        // is the overwhelming majority of the frame's bytes, and a
+        // transport with a gather seal reads it exactly once — straight
+        // from the stream's response buffer to the wire.
+        let frame = match frame {
+            Frame::Data {
+                stream_id,
+                end_stream,
+                data,
+                pad,
+            } if self.config.split_data_frames => {
+                let mut fl = if end_stream {
+                    crate::frame::flags::END_STREAM
+                } else {
+                    0
+                };
+                if pad.is_some() {
+                    fl |= crate::frame::flags::PADDED;
+                }
+                let payload_len = data.len() + crate::frame::pad_overhead(pad);
+                crate::codec::encode_frame_header_into(
+                    &mut bytes,
+                    payload_len,
+                    FrameType::Data,
+                    fl,
+                    stream_id,
+                );
+                if let Some(p) = pad {
+                    bytes.push(p);
+                }
+                return Outgoing {
+                    bytes,
+                    headroom,
+                    body: data,
+                    tail_pad: pad.map_or(0, |p| p as usize),
+                    meta: OutgoingMeta::Frame {
+                        frame_type: FrameType::Data,
+                        stream_id,
+                        payload_len,
+                        end_stream,
+                    },
+                };
+            }
+            other => other,
+        };
         encode_frame_into(&mut bytes, &frame);
         let meta = OutgoingMeta::Frame {
             frame_type: frame.frame_type(),
@@ -1009,6 +1106,8 @@ impl H2Connection {
         Outgoing {
             bytes,
             headroom,
+            body: SharedBytes::new(),
+            tail_pad: 0,
             meta,
         }
     }

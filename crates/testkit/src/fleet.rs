@@ -31,24 +31,27 @@
 //!
 //! [`GatewayNode`]: h2priv_netsim::GatewayNode
 
+use h2priv_netsim::internals::MinHeap4;
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use h2priv_analysis::{GroundTruth, WireTrace};
 use h2priv_conformance::{ConformanceTap, Violation, ViolationSink};
 use h2priv_defense::{constrained_pad_set, DefenseSpec, TlsShaper};
 use h2priv_dos::{
-    DetectorConfig, DosAttack, DosClient, DosConfig, DosDetector, GuardConfig, ServerGuard,
+    Alert, DetectorConfig, DosAttack, DosClient, DosConfig, DosDetector, GuardConfig, ServerGuard,
 };
+use h2priv_http2::H2Config;
 use h2priv_netsim::{
     Context, Dir, GatewayStats, LinkConfig, MbContext, Middlebox, Node, NodeId, Packet, SchedStats,
     SimDuration, SimRng, SimTime, Simulator, StopReason, TimerId, Verdict,
 };
 use h2priv_tcp::{Seq, TcpSegment};
 use h2priv_web::{
-    isidewith, Browser, PoolConfig, PoolStats, RequestOutcome, SiteServer, WorkerPool,
+    isidewith, Browser, PoolConfig, PoolStats, RequestOutcome, SiteServer, SiteServerConfig,
+    Website, WorkerPool,
 };
 
 use crate::host::{App, BufPool, HostCore, HostOracle, PumpScratch};
@@ -125,6 +128,32 @@ pub struct FleetDosConfig {
     pub pool: Option<PoolConfig>,
 }
 
+/// Live counters a fleet run updates while shards execute, for drivers
+/// that report progress (the `repro fleet --progress` stderr heartbeat).
+/// All plain relaxed atomics: shard threads bump them, a reporter thread
+/// reads them; they never feed back into the simulation, so attaching a
+/// progress sink cannot perturb results.
+#[derive(Default)]
+pub struct FleetProgress {
+    /// Client pairs whose page load has finished (across all shards).
+    pub pairs_done: AtomicU64,
+    /// Simulator events processed so far (across all shards; shards
+    /// running with a progress sink report in deadline slices).
+    pub events: AtomicU64,
+    /// Shards that have completed.
+    pub shards_done: AtomicU64,
+}
+
+impl std::fmt::Debug for FleetProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetProgress")
+            .field("pairs_done", &self.pairs_done.load(Ordering::Relaxed))
+            .field("events", &self.events.load(Ordering::Relaxed))
+            .field("shards_done", &self.shards_done.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// Everything configurable about one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -153,6 +182,24 @@ pub struct FleetConfig {
     /// Hostile-traffic injection (`None` — the default — keeps every
     /// pre-existing fleet schedule bit-identical).
     pub dos: Option<FleetDosConfig>,
+    /// Cohort streaming: when `Some(n)`, pair state is materialized
+    /// lazily — a pair's client and server cores are built when its
+    /// staggered start time arrives and torn down (buffers recycled into
+    /// the shard pool, outcome folded) as soon as its page load finishes —
+    /// so peak memory follows the number of pairs *in flight*, not the
+    /// population. `n` sizes the expected co-resident set (slab and pool
+    /// pre-allocation); it does not alter scheduling, which is why
+    /// outcome rows are identical for every cohort size. `None` (the
+    /// default) materializes the whole shard up front, byte-identical to
+    /// the pre-streaming fleet.
+    pub cohort: Option<u32>,
+    /// One worker pool per shard shared by all of the shard's servers,
+    /// independent of any DoS injection (`None` = the pre-existing
+    /// behavior: unbounded workers unless `dos` carries a pool).
+    pub pool: Option<PoolConfig>,
+    /// Live progress counters (`None` = no reporting; attaching one does
+    /// not change simulation results, only stderr-side visibility).
+    pub progress: Option<Arc<FleetProgress>>,
 }
 
 impl Default for FleetConfig {
@@ -166,6 +213,9 @@ impl Default for FleetConfig {
             deadline: crate::calib::TRIAL_DEADLINE,
             defense: DefenseSpec::None,
             dos: None,
+            cohort: None,
+            pool: None,
+            progress: None,
         }
     }
 }
@@ -217,6 +267,8 @@ fn bystander_golden_order(seed: u64) -> Vec<usize> {
 
 const TOKEN_BATCH: u64 = 0;
 const TOKEN_DUE: u64 = 1;
+/// Cohort-streaming admission deadline (client arena only).
+const TOKEN_ADMIT: u64 = 2;
 
 /// Sentinel for "pair not in this shard" in the dense pair-indexed maps.
 const NO_SLOT: u32 = u32::MAX;
@@ -229,6 +281,9 @@ const FLAG_STARTED: u8 = 1 << 0;
 /// the connection died).
 const FLAG_FINISHED: u8 = 1 << 1;
 const FLAG_DIRTY: u8 = 1 << 2;
+/// Streaming mode, server side: this pair's client has retired; tear the
+/// server core down as soon as it goes quiescent.
+const FLAG_RETIRE: u8 = 1 << 3;
 
 /// A slab of [`HostCore`]s of one side (all clients or all servers) behind
 /// a single netsim node.
@@ -243,7 +298,11 @@ pub struct HostArena {
     /// The opposite arena's node id (packet destination).
     peer: NodeId,
     /// The protocol cores, slot-indexed (SoA with `pairs`/`flags`).
-    cores: Vec<HostCore>,
+    /// `None` = a streamed-out slot: its pair retired and the slot waits
+    /// on the free list for a later admission to reuse it.
+    cores: Vec<Option<HostCore>>,
+    /// Retired slot indices available for reuse (streaming mode).
+    free: Vec<u32>,
     /// Slot → pair id.
     pairs: Vec<u32>,
     /// Slot → when this (client) core opens its connection.
@@ -256,7 +315,18 @@ pub struct HostArena {
     dirty: Vec<u32>,
     /// Pending per-core deadlines, lazily deleted: a popped entry whose
     /// core has since moved its deadline is just a cheap no-op pump.
-    due: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// A 4-ary heap for the same reason the scheduler uses one: entries
+    /// are small and the workload is pop-push-dominated. Pop order is
+    /// identical to `BinaryHeap` because `(time, slot)` entries are unique
+    /// (the `due_at` filter only re-pushes a slot at a strictly earlier
+    /// time).
+    due: MinHeap4<(SimTime, u32)>,
+    /// Slot → earliest deadline currently in `due` for that slot
+    /// ([`SimTime::MAX`] = none). The dedup filter: a core re-pumped on
+    /// every packet burst recomputes the same deadline each time, and
+    /// without this the heap accumulates one stale copy per pump — at 10k
+    /// pairs the heap churn was ~10% of the shard's whole CPU budget.
+    due_at: Vec<SimTime>,
     due_timer: Option<(TimerId, SimTime)>,
     batch_armed: bool,
     /// The shared scratch: one decrypt/seal workspace for every core in
@@ -267,6 +337,107 @@ pub struct HostArena {
     /// adopt them instead of growing the heap.
     pool: BufPool,
     finished_count: usize,
+    /// Cohort streaming on: cores are admitted lazily and retired at
+    /// finish instead of living for the whole run.
+    streaming: bool,
+    /// Pairs this shard will simulate in total.
+    total_pairs: u32,
+    /// Live cores right now / the run's high-water mark (the memory
+    /// telemetry cohort streaming exists to bound).
+    resident: u32,
+    peak_resident: u32,
+    /// Client arena, streaming mode: the admission schedule, sorted by
+    /// `(start_at, pair)` *descending* so the next admission pops off the
+    /// end, plus the builder that materializes a pair on demand and the
+    /// server arena admissions are pushed into.
+    admit: Vec<(SimTime, u32)>,
+    builder: Option<Rc<PairBuilder>>,
+    servers: Option<Rc<RefCell<HostArena>>>,
+    /// Pairs fully torn down (client side).
+    retired: u32,
+    /// Outcome rows folded at retirement (streaming) or at end-of-run
+    /// (eager) — same fold either way, so the rows cannot depend on when
+    /// a pair was torn down.
+    fold: FleetFold,
+    progress: Option<Arc<FleetProgress>>,
+}
+
+/// The per-shard outcome accumulator: everything [`ShardResult`] needs
+/// that is folded per pair, so streamed-out pairs can contribute their
+/// row before their state is dropped.
+#[derive(Default)]
+struct FleetFold {
+    completed: u32,
+    broken: u32,
+    requests: u64,
+    requests_complete: u64,
+    attackers: u32,
+    attackers_shed: u32,
+    detected: u32,
+    detection_latency_us: u64,
+    benign_alerts: u64,
+    victim: Option<VictimCapture>,
+    /// Victim-capture context, installed on the client arena's fold only.
+    victim_golden: Vec<usize>,
+    trace: Option<Rc<RefCell<WireTrace>>>,
+    truth: Option<Rc<RefCell<GroundTruth>>>,
+}
+
+impl FleetFold {
+    /// Folds one pair's outcome row. Called either at retirement
+    /// (streaming) or in the end-of-run sweep (eager, plus whatever is
+    /// still resident at a deadline) — every counter is a commutative sum
+    /// and at most one pair is the victim, so fold order cannot change the
+    /// shard result.
+    fn fold_pair(
+        &mut self,
+        pair: u32,
+        client: &HostCore,
+        finished: bool,
+        server_dead: bool,
+        server_alerts: &[Alert],
+    ) {
+        if let App::Attacker(dos_client) = &client.app {
+            // Hostile pairs report attack outcomes, not page metrics:
+            // folding them into completed/broken would skew the bystander
+            // completion rate the exhibit quantifies.
+            self.attackers += 1;
+            if dos_client.shed_at().is_some() {
+                self.attackers_shed += 1;
+            }
+            if let Some(alert) = server_alerts.first() {
+                self.detected += 1;
+                let start = dos_client.attack_started().unwrap_or(SimTime::ZERO);
+                self.detection_latency_us += alert.at.saturating_since(start).as_micros();
+            }
+            return;
+        }
+        self.benign_alerts += server_alerts.len() as u64;
+        let dead = client.dead || server_dead;
+        if dead {
+            self.broken += 1;
+        } else if finished {
+            self.completed += 1;
+        }
+        let outcomes = client.browser().outcomes();
+        self.requests += outcomes.len() as u64;
+        self.requests_complete +=
+            outcomes.iter().filter(|o| o.completed_at.is_some()).count() as u64;
+        if pair == VICTIM_PAIR {
+            let trace = self
+                .trace
+                .as_ref()
+                .expect("victim shard folds with a trace");
+            let truth = self.truth.as_ref().expect("victim shard folds with truth");
+            self.victim = Some(VictimCapture {
+                golden_order: self.victim_golden.clone(),
+                trace: std::mem::replace(&mut *trace.borrow_mut(), WireTrace::new()),
+                truth: std::mem::replace(&mut *truth.borrow_mut(), GroundTruth::new()),
+                outcomes,
+                broken: dead,
+            });
+        }
+    }
 }
 
 impl std::fmt::Debug for HostArena {
@@ -284,27 +455,71 @@ impl HostArena {
             is_client,
             peer,
             cores: Vec::new(),
+            free: Vec::new(),
             pairs: Vec::new(),
             start_at: Vec::new(),
             flags: Vec::new(),
             slot_of_pair: vec![NO_SLOT; population as usize],
             dirty: Vec::new(),
-            due: BinaryHeap::new(),
+            due: MinHeap4::new(),
+            due_at: Vec::new(),
             due_timer: None,
             batch_armed: false,
             scratch: PumpScratch::default(),
             pool: BufPool::default(),
             finished_count: 0,
+            streaming: false,
+            total_pairs: 0,
+            resident: 0,
+            peak_resident: 0,
+            admit: Vec::new(),
+            builder: None,
+            servers: None,
+            retired: 0,
+            fold: FleetFold::default(),
+            progress: None,
         }
     }
 
-    fn add(&mut self, pair: u32, core: HostCore, start_at: SimTime) {
-        let idx = self.cores.len() as u32;
+    /// Installs `core` for `pair`, reusing a retired slot when one is
+    /// free. Used both by eager setup (where the free list is always
+    /// empty, so slots append in pair order exactly as before) and by
+    /// streaming admission.
+    fn add(&mut self, pair: u32, core: HostCore, start_at: SimTime) -> u32 {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.cores[idx as usize] = Some(core);
+                self.pairs[idx as usize] = pair;
+                self.start_at[idx as usize] = start_at;
+                self.flags[idx as usize] = 0;
+                self.due_at[idx as usize] = SimTime::MAX;
+                idx
+            }
+            None => {
+                let idx = self.cores.len() as u32;
+                self.cores.push(Some(core));
+                self.pairs.push(pair);
+                self.start_at.push(start_at);
+                self.flags.push(0);
+                self.due_at.push(SimTime::MAX);
+                idx
+            }
+        };
         self.slot_of_pair[pair as usize] = idx;
-        self.cores.push(core);
-        self.pairs.push(pair);
-        self.start_at.push(start_at);
-        self.flags.push(0);
+        self.resident += 1;
+        self.peak_resident = self.peak_resident.max(self.resident);
+        idx
+    }
+
+    /// Arms slot `idx`'s deadline `at`, deduplicating against the entry
+    /// already in the heap: pushing is only needed when `at` is earlier
+    /// than the armed one — a later deadline will be recomputed (and then
+    /// armed) by the no-op pump the earlier entry triggers.
+    fn arm_slot_deadline(&mut self, idx: u32, at: SimTime) {
+        if at < self.due_at[idx as usize] {
+            self.due_at[idx as usize] = at;
+            self.due.push((at, idx));
+        }
     }
 
     fn mark_dirty(&mut self, idx: u32) {
@@ -330,7 +545,10 @@ impl HostArena {
         for i in 0..self.dirty.len() {
             let idx = self.dirty[i];
             self.flags[idx as usize] &= !FLAG_DIRTY;
-            let core = &mut self.cores[idx as usize];
+            // A retired slot can linger in `dirty` for one batch; skip it.
+            let Some(core) = self.cores[idx as usize].as_mut() else {
+                continue;
+            };
             core.pump_stages(now, &mut self.scratch);
             let pair = self.pairs[idx as usize];
             core.flush_transmit(now, |seg| {
@@ -342,6 +560,7 @@ impl HostArena {
                     FleetSegment { pair, seg },
                 ));
             });
+            let mut retire_client_now = false;
             if self.flags[idx as usize] & FLAG_FINISHED == 0 {
                 // "Done" for an attacker core means the server shed it —
                 // an unopposed attack keeps its shard running to the
@@ -355,9 +574,21 @@ impl HostArena {
                 if done {
                     self.flags[idx as usize] |= FLAG_FINISHED;
                     self.finished_count += 1;
-                    // The page load is over: return this core's big buffers
-                    // to the shard pool for cores still to start.
-                    core.shed_buffers(&mut self.pool);
+                    if self.is_client {
+                        if let Some(p) = &self.progress {
+                            p.pairs_done.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if self.streaming && self.is_client {
+                        // Streaming: the whole pair retires now; the fold
+                        // and buffer recycling happen in retire_client.
+                        retire_client_now = true;
+                    } else {
+                        // The page load is over: return this core's big
+                        // buffers to the shard pool for cores still to
+                        // start.
+                        core.shed_buffers(&mut self.pool);
+                    }
                 } else if !self.is_client && core.tcp.send_drained() && core.app_wakeup().is_none()
                 {
                     // A server never "finishes" — it can't know the client
@@ -369,28 +600,151 @@ impl HostArena {
                     core.shed_buffers(&mut self.pool);
                 }
             }
-            if !core.dead {
-                let next = match (core.tcp.poll_timeout(), core.app_wakeup()) {
+            if retire_client_now {
+                self.retire_client(idx);
+                continue;
+            }
+            // Streaming, server side: once the pair's client retired and
+            // this core has gone quiescent (or died), tear it down too.
+            if self.streaming && !self.is_client && self.flags[idx as usize] & FLAG_RETIRE != 0 {
+                let core = self.cores[idx as usize]
+                    .as_ref()
+                    .expect("core pumped above");
+                if core.dead || (core.tcp.send_drained() && core.app_wakeup().is_none()) {
+                    self.retire_slot(idx);
+                    continue;
+                }
+            }
+            let core = self.cores[idx as usize]
+                .as_ref()
+                .expect("core pumped above");
+            let next = if core.dead {
+                None
+            } else {
+                match (core.tcp.poll_timeout(), core.app_wakeup()) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
-                };
-                if let Some(at) = next {
-                    self.due.push(Reverse((at, idx)));
                 }
+            };
+            if let Some(at) = next {
+                self.arm_slot_deadline(idx, at);
             }
         }
         self.dirty.clear();
-        // The whole fleet is done when every client finished; the clients'
-        // arena halts the shard (mirroring the single-pair host's
-        // halt-when-done), which also releases idle-connection timers.
-        if self.is_client && !self.cores.is_empty() && self.finished_count == self.cores.len() {
+        // The whole fleet is done when every client finished (streaming:
+        // every pair admitted *and* retired); the clients' arena halts the
+        // shard (mirroring the single-pair host's halt-when-done), which
+        // also releases idle-connection timers.
+        let all_done = if self.streaming {
+            self.retired == self.total_pairs
+        } else {
+            self.finished_count == self.total_pairs as usize
+        };
+        if self.is_client && self.total_pairs > 0 && all_done {
             ctx.halt();
         }
         self.rearm_due(ctx);
     }
 
+    /// Streaming teardown of slot `idx`: recycle the core's buffers into
+    /// the shard pool and put the slot on the free list for the next
+    /// admission.
+    fn retire_slot(&mut self, idx: u32) {
+        let pair = self.pairs[idx as usize];
+        if let Some(mut core) = self.cores[idx as usize].take() {
+            core.shed_buffers(&mut self.pool);
+        }
+        self.slot_of_pair[pair as usize] = NO_SLOT;
+        // Entries for this slot still in `due` become stale no-ops: the
+        // pop loop filters on due_at, and MAX never matches a popped time.
+        self.due_at[idx as usize] = SimTime::MAX;
+        self.free.push(idx);
+        self.resident -= 1;
+        self.retired += 1;
+    }
+
+    /// Streaming, client side: folds the finished pair's outcome row
+    /// (reading its server's state across the arena link), then tears both
+    /// sides down — the server immediately if quiescent, else deferred via
+    /// [`FLAG_RETIRE`] to its own pump.
+    fn retire_client(&mut self, idx: u32) {
+        let pair = self.pairs[idx as usize];
+        let servers = self
+            .servers
+            .clone()
+            .expect("client arena links its servers");
+        let (server_dead, server_alerts) = {
+            let mut sv = servers.borrow_mut();
+            let info = sv.server_info(pair);
+            sv.note_client_done(pair);
+            info
+        };
+        let finished = self.flags[idx as usize] & FLAG_FINISHED != 0;
+        let core = self.cores[idx as usize]
+            .as_ref()
+            .expect("retiring a live core");
+        self.fold
+            .fold_pair(pair, core, finished, server_dead, &server_alerts);
+        self.retire_slot(idx);
+    }
+
+    /// The pair's server-side state the client fold needs.
+    fn server_info(&self, pair: u32) -> (bool, Vec<Alert>) {
+        match self.slot_of_pair.get(pair as usize) {
+            Some(&i) if i != NO_SLOT => match &self.cores[i as usize] {
+                Some(c) => (c.dead, c.dos_alerts()),
+                None => (false, Vec::new()),
+            },
+            _ => (false, Vec::new()),
+        }
+    }
+
+    /// Server arena: the pair's client retired. Tear the server core down
+    /// now if it has nothing left to do, otherwise flag it so its own pump
+    /// retires it at quiescence.
+    fn note_client_done(&mut self, pair: u32) {
+        let idx = match self.slot_of_pair.get(pair as usize) {
+            Some(&i) if i != NO_SLOT => i,
+            _ => return,
+        };
+        let quiescent = match &self.cores[idx as usize] {
+            Some(c) => c.dead || (c.tcp.send_drained() && c.app_wakeup().is_none()),
+            None => return,
+        };
+        if quiescent {
+            self.retire_slot(idx);
+        } else {
+            self.flags[idx as usize] |= FLAG_RETIRE;
+        }
+    }
+
+    /// Streaming admission: materializes every pair whose start time has
+    /// arrived (client core into this arena, server core into the peer's)
+    /// and re-arms the admission timer for the next one.
+    fn pump_admissions(&mut self, ctx: &mut Context<'_, FleetSegment>) {
+        let now = ctx.now();
+        while let Some(&(at, pair)) = self.admit.last() {
+            if at > now {
+                break;
+            }
+            self.admit.pop();
+            let builder = self.builder.clone().expect("streaming arena has a builder");
+            let (client_core, server_core, start_at) = builder.build(pair);
+            let idx = self.add(pair, client_core, start_at);
+            self.arm_slot_deadline(idx, start_at);
+            let servers = self
+                .servers
+                .clone()
+                .expect("client arena links its servers");
+            servers.borrow_mut().add(pair, server_core, SimTime::ZERO);
+        }
+        if let Some(&(at, _)) = self.admit.last() {
+            ctx.set_timer(at.saturating_since(now), TOKEN_ADMIT);
+        }
+    }
+
     fn rearm_due(&mut self, ctx: &mut Context<'_, FleetSegment>) {
-        let target = self.due.peek().map(|Reverse((at, _))| *at);
+        let target = self.due.peek().map(|(at, _)| *at);
         match (target, self.due_timer) {
             (Some(at), Some((_, armed))) if at == armed => {}
             (Some(at), prev) => {
@@ -410,8 +764,14 @@ impl HostArena {
 
     fn on_start(&mut self, ctx: &mut Context<'_, FleetSegment>) {
         if self.is_client {
-            for (idx, &at) in self.start_at.iter().enumerate() {
-                self.due.push(Reverse((at, idx as u32)));
+            if self.streaming {
+                // Admit every pair whose start time is now (t = 0) and arm
+                // the admission timer for the rest of the schedule.
+                self.pump_admissions(ctx);
+            } else {
+                for idx in 0..self.start_at.len() {
+                    self.arm_slot_deadline(idx as u32, self.start_at[idx]);
+                }
             }
         }
         self.rearm_due(ctx);
@@ -420,11 +780,14 @@ impl HostArena {
     fn on_packet(&mut self, packet: Packet<FleetSegment>, ctx: &mut Context<'_, FleetSegment>) {
         let idx = match self.slot_of_pair.get(packet.payload.pair as usize) {
             Some(&idx) if idx != NO_SLOT => idx,
+            // Other shards' pairs, and (streaming) stragglers — e.g. a
+            // retransmission in flight to a pair that already retired.
             _ => return,
         };
-        self.cores[idx as usize]
-            .tcp
-            .on_segment(packet.payload.seg, ctx.now());
+        let Some(core) = self.cores[idx as usize].as_mut() else {
+            return;
+        };
+        core.tcp.on_segment(packet.payload.seg, ctx.now());
         self.mark_dirty(idx);
         self.arm_batch(ctx);
     }
@@ -433,14 +796,24 @@ impl HostArena {
         let now = ctx.now();
         if token == TOKEN_BATCH {
             self.batch_armed = false;
+        } else if token == TOKEN_ADMIT {
+            self.pump_admissions(ctx);
         } else {
             self.due_timer = None;
-            while let Some(&Reverse((at, idx))) = self.due.peek() {
+            while let Some(&(at, idx)) = self.due.peek() {
                 if at > now {
                     break;
                 }
                 self.due.pop();
-                let core = &mut self.cores[idx as usize];
+                // Stale lazy-deleted entry: a fresher (earlier) deadline was
+                // already consumed and this copy carries no new obligation.
+                if self.due_at[idx as usize] != at {
+                    continue;
+                }
+                self.due_at[idx as usize] = SimTime::MAX;
+                let Some(core) = self.cores[idx as usize].as_mut() else {
+                    continue;
+                };
                 if self.flags[idx as usize] & FLAG_STARTED == 0
                     && self.start_at[idx as usize] <= now
                 {
@@ -456,6 +829,176 @@ impl HostArena {
             }
         }
         self.pump_dirty(ctx);
+    }
+}
+
+/// Materializes one pair's client and server cores on demand.
+///
+/// This is the eager setup loop's body, factored so cohort streaming can
+/// defer it to the pair's start time. Each pair's state is a pure function
+/// of `(seed, pair)` — the per-pair RNG is re-seeded from scratch and both
+/// construction paths consume forks in the same order — so a pair built
+/// lazily is bit-identical to one built up front, which is what makes the
+/// outcome rows independent of cohort size.
+struct PairBuilder {
+    seed: u64,
+    population: u32,
+    /// Client start stagger window, µs.
+    spread_us: u64,
+    scen: ScenarioConfig,
+    /// Defense-derived server-side configs, computed once per shard.
+    server_config: SiteServerConfig,
+    server_h2: H2Config,
+    authority: Rc<str>,
+    victim_site: Option<isidewith::Isidewith>,
+    victim_shared: Option<Rc<Website>>,
+    bystander_site: isidewith::Isidewith,
+    bystander_shared: Rc<Website>,
+    defense: DefenseSpec,
+    dos: Option<FleetDosConfig>,
+    shard_pool: Option<Rc<RefCell<WorkerPool>>>,
+    truth: Rc<RefCell<GroundTruth>>,
+    sink: Option<ViolationSink>,
+    conformance: FleetConformance,
+    client_arena_id: NodeId,
+    server_arena_id: NodeId,
+}
+
+impl PairBuilder {
+    /// The pair's staggered start time, derivable without building its
+    /// cores: both construction paths consume exactly two RNG forks
+    /// (browser-or-burned, then server) before the start draw.
+    fn start_at(&self, pair: u32) -> SimTime {
+        let mut pair_rng = SimRng::seed_from(mix(self.seed, 0xFA11 ^ pair as u64));
+        let _ = pair_rng.fork();
+        let _ = pair_rng.fork();
+        SimTime::ZERO
+            + SimDuration::from_micros(if self.spread_us == 0 {
+                0
+            } else {
+                pair_rng.gen_range_u64(0..self.spread_us)
+            })
+    }
+
+    /// Builds the pair's two cores (gateway chains are installed
+    /// separately — they are per-run wiring, not per-pair state).
+    fn build(&self, pair: u32) -> (HostCore, HostCore, SimTime) {
+        let mut pair_rng = SimRng::seed_from(mix(self.seed, 0xFA11 ^ pair as u64));
+        let is_victim = pair == VICTIM_PAIR;
+        let (iside, server_site) = if is_victim {
+            (
+                self.victim_site
+                    .as_ref()
+                    .expect("victim site built for its shard"),
+                self.victim_shared
+                    .as_ref()
+                    .expect("victim shared site built for its shard"),
+            )
+        } else {
+            (&self.bystander_site, &self.bystander_shared)
+        };
+        let dos = self.dos.as_ref();
+        let hostile = is_hostile(pair, self.population, dos);
+        let session_key = 0x5EC0_0D5E ^ mix(self.seed, pair as u64);
+        let mut client_core = if hostile {
+            let attack = dos.expect("hostile implies dos config").attack;
+            // Burn the browser fork so benign pairs keep their exact RNG
+            // streams whether or not their neighbors turned hostile.
+            let _ = pair_rng.fork();
+            HostCore::new_attacker(
+                self.server_arena_id,
+                DosClient::new(DosConfig::for_attack(attack)),
+                self.scen.tcp.clone(),
+                session_key,
+                self.scen.socket_buffer,
+            )
+        } else {
+            let browser = Browser::new(
+                &iside.site,
+                iside.plan.clone(),
+                self.scen.browser.clone(),
+                pair_rng.fork(),
+            );
+            HostCore::new_client(
+                self.server_arena_id,
+                browser,
+                self.scen.tcp.clone(),
+                self.scen.client_h2.clone(),
+                session_key,
+                self.authority.clone(),
+                None,
+                self.scen.socket_buffer,
+            )
+        };
+        // Fleet completion is tracked per slot; no single client may halt
+        // the whole shard.
+        client_core.halt_when_done = false;
+
+        let mut server_app = SiteServer::new(
+            server_site.clone(),
+            self.server_config.clone(),
+            pair_rng.fork(),
+        );
+        if let Some(pool) = &self.shard_pool {
+            server_app.set_pool(Rc::clone(pool));
+        }
+        let mut server_tcp = self.scen.tcp.clone();
+        server_tcp.iss = Seq(700_000);
+        let mut server_core = HostCore::new_server(
+            self.client_arena_id,
+            server_app,
+            server_tcp,
+            self.server_h2.clone(),
+            session_key,
+            is_victim.then(|| self.truth.clone()),
+            self.scen.socket_buffer,
+        );
+        // The hardening stack installs fleet-wide (the site deploys it on
+        // every server); benign pairs double as the false-positive corpus.
+        if let Some(dos) = dos {
+            if let Some(guard_cfg) = dos.guard {
+                server_core.set_guard(ServerGuard::new(guard_cfg));
+            }
+            if let Some(det_cfg) = dos.detector {
+                server_core.set_detector(DosDetector::new(det_cfg));
+            }
+        }
+        // Shaping runs on the victim server only, from a dedicated RNG
+        // stream so the defense never perturbs the pair's app randomness.
+        if is_victim {
+            let shaper_rng = SimRng::seed_from(mix(self.seed, 0xDEF5 ^ pair as u64));
+            match self.defense {
+                DefenseSpec::ConstantRate { interval_us } => server_core.set_shaper(
+                    TlsShaper::constant_rate(SimDuration::from_micros(interval_us as u64)),
+                    shaper_rng,
+                ),
+                DefenseSpec::AdaptivePadding {
+                    min_gap_us,
+                    spread_us,
+                } => server_core.set_shaper(
+                    TlsShaper::adaptive(
+                        SimDuration::from_micros(min_gap_us as u64),
+                        SimDuration::from_micros(spread_us as u64),
+                    ),
+                    shaper_rng,
+                ),
+                _ => {}
+            }
+        }
+        if let Some(sink) = &self.sink {
+            if self.conformance.checks(pair) {
+                client_core.set_oracle(HostOracle::new("client", true, sink.clone()));
+                server_core.set_oracle(HostOracle::new("server", false, sink.clone()));
+            }
+        }
+
+        let start_at = SimTime::ZERO
+            + SimDuration::from_micros(if self.spread_us == 0 {
+                0
+            } else {
+                pair_rng.gen_range_u64(0..self.spread_us)
+            });
+        (client_core, server_core, start_at)
     }
 }
 
@@ -663,6 +1206,10 @@ pub struct ShardResult {
     pub detection_latency_us: u64,
     /// Detector alerts on *benign* pairs — the fleet false-positive count.
     pub benign_alerts: u64,
+    /// High-water mark of co-resident pairs (max over the two arenas).
+    /// Eager mode: the shard's whole pair count. Cohort streaming: the
+    /// in-flight set the memory bound follows.
+    pub peak_resident: u32,
     /// Final worker-pool counters, when the shard ran a pool.
     pub pool: Option<PoolStats>,
 }
@@ -710,6 +1257,9 @@ pub struct FleetResult {
     pub detection_latency_us: u64,
     /// Detector alerts on benign pairs (fleet false positives).
     pub benign_alerts: u64,
+    /// Peak co-resident pairs summed across shards — an upper bound on
+    /// simultaneous pair-state when every shard runs concurrently.
+    pub peak_resident: u32,
     /// Pool counters summed across shards, when pools ran.
     pub pool: Option<PoolStats>,
 }
@@ -783,118 +1333,43 @@ pub fn run_fleet_shard(
 
     // One worker pool per shard, shared across every server: pool pressure
     // from a hostile connection is visible to all of the shard's pairs.
+    // `config.pool` shares it independently of any DoS injection; a
+    // DoS-carried pool is the fallback so the hardening exhibits keep
+    // their exact configuration.
     let dos = config.dos.as_ref();
-    let shard_pool = dos
-        .and_then(|d| d.pool)
+    let shard_pool = config
+        .pool
+        .or_else(|| dos.and_then(|d| d.pool))
         .map(|p| Rc::new(RefCell::new(WorkerPool::new(p))));
 
-    let mut clients = HostArena::new(true, server_arena_id, config.population);
-    let mut servers = HostArena::new(false, client_arena_id, config.population);
+    let builder = Rc::new(PairBuilder {
+        seed: config.seed,
+        population: config.population,
+        spread_us: config.start_spread.as_micros(),
+        scen,
+        server_config,
+        server_h2,
+        authority,
+        victim_site,
+        victim_shared,
+        bystander_site,
+        bystander_shared,
+        defense: config.defense,
+        dos: config.dos.clone(),
+        shard_pool: shard_pool.clone(),
+        truth: truth.clone(),
+        sink: sink.clone(),
+        conformance: config.conformance,
+        client_arena_id,
+        server_arena_id,
+    });
+
+    // Gateway chains are per-run wiring over pair *ids*, independent of
+    // when (or whether) the pair's cores get materialized.
     let mut gateway = FleetGateway::new(client_arena_id, config.population);
-
-    let spread_us = config.start_spread.as_micros();
     for &pair in &pairs {
-        let mut pair_rng = SimRng::seed_from(mix(config.seed, 0xFA11 ^ pair as u64));
-        let is_victim = pair == VICTIM_PAIR;
-        let (iside, server_site) = if is_victim {
-            (
-                victim_site
-                    .as_ref()
-                    .expect("victim site built for its shard"),
-                victim_shared
-                    .as_ref()
-                    .expect("victim shared site built for its shard"),
-            )
-        } else {
-            (&bystander_site, &bystander_shared)
-        };
-        let hostile = is_hostile(pair, config.population, dos);
-        let session_key = 0x5EC0_0D5E ^ mix(config.seed, pair as u64);
-        let mut client_core = if hostile {
-            let attack = dos.expect("hostile implies dos config").attack;
-            // Burn the browser fork so benign pairs keep their exact RNG
-            // streams whether or not their neighbors turned hostile.
-            let _ = pair_rng.fork();
-            HostCore::new_attacker(
-                server_arena_id,
-                DosClient::new(DosConfig::for_attack(attack)),
-                scen.tcp.clone(),
-                session_key,
-                scen.socket_buffer,
-            )
-        } else {
-            let browser = Browser::new(
-                &iside.site,
-                iside.plan.clone(),
-                scen.browser.clone(),
-                pair_rng.fork(),
-            );
-            HostCore::new_client(
-                server_arena_id,
-                browser,
-                scen.tcp.clone(),
-                scen.client_h2.clone(),
-                session_key,
-                authority.clone(),
-                None,
-                scen.socket_buffer,
-            )
-        };
-        // Fleet completion is tracked per slot; no single client may halt
-        // the whole shard.
-        client_core.halt_when_done = false;
-
-        let mut server_app =
-            SiteServer::new(server_site.clone(), server_config.clone(), pair_rng.fork());
-        if let Some(pool) = &shard_pool {
-            server_app.set_pool(Rc::clone(pool));
-        }
-        let mut server_tcp = scen.tcp.clone();
-        server_tcp.iss = Seq(700_000);
-        let mut server_core = HostCore::new_server(
-            client_arena_id,
-            server_app,
-            server_tcp,
-            server_h2.clone(),
-            session_key,
-            is_victim.then(|| truth.clone()),
-            scen.socket_buffer,
-        );
-        // The hardening stack installs fleet-wide (the site deploys it on
-        // every server); benign pairs double as the false-positive corpus.
-        if let Some(dos) = dos {
-            if let Some(guard_cfg) = dos.guard {
-                server_core.set_guard(ServerGuard::new(guard_cfg));
-            }
-            if let Some(det_cfg) = dos.detector {
-                server_core.set_detector(DosDetector::new(det_cfg));
-            }
-        }
-        // Shaping runs on the victim server only, from a dedicated RNG
-        // stream so the defense never perturbs the pair's app randomness.
-        if is_victim {
-            let shaper_rng = SimRng::seed_from(mix(config.seed, 0xDEF5 ^ pair as u64));
-            match config.defense {
-                DefenseSpec::ConstantRate { interval_us } => server_core.set_shaper(
-                    TlsShaper::constant_rate(SimDuration::from_micros(interval_us as u64)),
-                    shaper_rng,
-                ),
-                DefenseSpec::AdaptivePadding {
-                    min_gap_us,
-                    spread_us,
-                } => server_core.set_shaper(
-                    TlsShaper::adaptive(
-                        SimDuration::from_micros(min_gap_us as u64),
-                        SimDuration::from_micros(spread_us as u64),
-                    ),
-                    shaper_rng,
-                ),
-                _ => {}
-            }
-        }
-
         let mut chain: Vec<Box<dyn Middlebox<TcpSegment>>> = Vec::new();
-        if is_victim {
+        if pair == VICTIM_PAIR {
             if let Some(adv) = adversary.take() {
                 chain.push(adv);
             }
@@ -902,23 +1377,66 @@ pub fn run_fleet_shard(
         }
         if let Some(sink) = &sink {
             if config.conformance.checks(pair) {
-                client_core.set_oracle(HostOracle::new("client", true, sink.clone()));
-                server_core.set_oracle(HostOracle::new("server", false, sink.clone()));
                 chain.push(Box::new(ConformanceTap::new(sink.clone())));
             }
         }
         if !chain.is_empty() {
             gateway.add_chain(pair, chain);
         }
+    }
 
-        let start_at = SimTime::ZERO
-            + SimDuration::from_micros(if spread_us == 0 {
-                0
-            } else {
-                pair_rng.gen_range_u64(0..spread_us)
-            });
-        clients.add(pair, client_core, start_at);
-        servers.add(pair, server_core, SimTime::ZERO);
+    let clients = Rc::new(RefCell::new(HostArena::new(
+        true,
+        server_arena_id,
+        config.population,
+    )));
+    let servers = Rc::new(RefCell::new(HostArena::new(
+        false,
+        client_arena_id,
+        config.population,
+    )));
+    {
+        let mut c = clients.borrow_mut();
+        let mut s = servers.borrow_mut();
+        c.total_pairs = pairs.len() as u32;
+        s.total_pairs = pairs.len() as u32;
+        c.progress = config.progress.clone();
+        c.fold.victim_golden = victim_golden.clone();
+        c.fold.trace = Some(trace.clone());
+        c.fold.truth = Some(truth.clone());
+        match config.cohort {
+            Some(cohort) if !pairs.is_empty() => {
+                c.streaming = true;
+                s.streaming = true;
+                // `cohort` pre-sizes the slabs for the expected co-resident
+                // set; it has no effect on scheduling, so any value yields
+                // the same outcome rows.
+                let cap = cohort.min(pairs.len() as u32).max(1) as usize;
+                for a in [&mut *c, &mut *s] {
+                    a.cores.reserve(cap);
+                    a.pairs.reserve(cap);
+                    a.start_at.reserve(cap);
+                    a.flags.reserve(cap);
+                    a.due_at.reserve(cap);
+                }
+                c.builder = Some(builder.clone());
+                c.servers = Some(servers.clone());
+                let mut admit: Vec<(SimTime, u32)> =
+                    pairs.iter().map(|&p| (builder.start_at(p), p)).collect();
+                // Descending, so the next admission pops off the end.
+                admit.sort_unstable_by(|a, b| b.cmp(a));
+                c.admit = admit;
+            }
+            _ => {
+                // Eager (pre-streaming) mode: the whole shard materializes
+                // up front, byte-identical to the previous fleet.
+                for &pair in &pairs {
+                    let (client_core, server_core, start_at) = builder.build(pair);
+                    c.add(pair, client_core, start_at);
+                    s.add(pair, server_core, SimTime::ZERO);
+                }
+            }
+        }
     }
 
     // Shared links: capacity scales with the pairs sharing them, so the
@@ -934,8 +1452,6 @@ pub fn run_fleet_shard(
         .loss(crate::calib::WAN_LOSS)
         .jitter(crate::calib::natural_jitter());
 
-    let clients = Rc::new(RefCell::new(clients));
-    let servers = Rc::new(RefCell::new(servers));
     sim.install_node(client_arena_id, Box::new(ArenaNode(clients.clone())));
     sim.install_node(gateway_id, Box::new(gateway));
     sim.install_node(server_arena_id, Box::new(ArenaNode(servers.clone())));
@@ -945,71 +1461,59 @@ pub fn run_fleet_shard(
     // is ~60k events, so this only trips on a genuinely stuck protocol.
     sim.set_event_budget((pairs.len() as u64) * 2_000_000 + 10_000_000);
 
-    let summary = sim.run_until(SimTime::ZERO + config.deadline);
+    let deadline_at = SimTime::ZERO + config.deadline;
+    let summary = match &config.progress {
+        None => sim.run_until(deadline_at),
+        Some(progress) => {
+            // Run in simulated-time slices so the heartbeat sees events
+            // move mid-shard. Slicing is behavior-invariant: `events` is
+            // cumulative across calls and the final summary equals what
+            // one `run_until(deadline)` call would have returned.
+            let step = SimDuration::from_millis(500);
+            let mut reported = 0u64;
+            let mut next = SimTime::ZERO + step;
+            loop {
+                let target = next.min(deadline_at);
+                let s = sim.run_until(target);
+                progress
+                    .events
+                    .fetch_add(s.events - reported, Ordering::Relaxed);
+                reported = s.events;
+                if s.stop != StopReason::DeadlineReached || target == deadline_at {
+                    break s;
+                }
+                next = target + step;
+            }
+        }
+    };
     let sched = sim.sched_stats();
 
-    let clients = clients.borrow();
-    let servers = servers.borrow();
-    let mut completed = 0u32;
-    let mut broken = 0u32;
-    let mut requests = 0u64;
-    let mut requests_complete = 0u64;
-    let mut victim = None;
-    let mut attackers = 0u32;
-    let mut attackers_shed = 0u32;
-    let mut detected = 0u32;
-    let mut detection_latency_us = 0u64;
-    let mut benign_alerts = 0u64;
-    for idx in 0..clients.cores.len() {
-        let pair = clients.pairs[idx];
-        let server_slot = servers.slot_of_pair[pair as usize];
-        let server_dead = match server_slot {
-            NO_SLOT => false,
-            i => servers.cores[i as usize].dead,
-        };
-        let server_alerts = match server_slot {
-            NO_SLOT => Vec::new(),
-            i => servers.cores[i as usize].dos_alerts(),
-        };
-        if let App::Attacker(dos_client) = &clients.cores[idx].app {
-            // Hostile pairs report attack outcomes, not page metrics:
-            // folding them into completed/broken would skew the bystander
-            // completion rate the exhibit quantifies.
-            attackers += 1;
-            if dos_client.shed_at().is_some() {
-                attackers_shed += 1;
-            }
-            if let Some(alert) = server_alerts.first() {
-                detected += 1;
-                let start = dos_client.attack_started().unwrap_or(SimTime::ZERO);
-                detection_latency_us += alert.at.saturating_since(start).as_micros();
-            }
+    let mut clients_ref = clients.borrow_mut();
+    let servers_ref = servers.borrow();
+    let arena = &mut *clients_ref;
+    // Fold whatever is still resident at the stop: in eager mode that is
+    // every pair; in streaming mode only stragglers a deadline cut off
+    // (retired pairs already contributed their rows).
+    for idx in 0..arena.cores.len() {
+        let Some(core) = arena.cores[idx].as_ref() else {
             continue;
-        }
-        benign_alerts += server_alerts.len() as u64;
-        let dead = clients.cores[idx].dead || server_dead;
-        if dead {
-            broken += 1;
-        } else if clients.flags[idx] & FLAG_FINISHED != 0 {
-            completed += 1;
-        }
-        let outcomes = clients.cores[idx].browser().outcomes();
-        requests += outcomes.len() as u64;
-        requests_complete += outcomes.iter().filter(|o| o.completed_at.is_some()).count() as u64;
-        if pair == VICTIM_PAIR {
-            victim = Some(VictimCapture {
-                golden_order: victim_golden.clone(),
-                trace: std::mem::replace(&mut *trace.borrow_mut(), WireTrace::new()),
-                truth: std::mem::replace(&mut *truth.borrow_mut(), GroundTruth::new()),
-                outcomes,
-                broken: dead,
-            });
-        }
+        };
+        let pair = arena.pairs[idx];
+        let (server_dead, server_alerts) = servers_ref.server_info(pair);
+        let finished = arena.flags[idx] & FLAG_FINISHED != 0;
+        arena
+            .fold
+            .fold_pair(pair, core, finished, server_dead, &server_alerts);
     }
+    let peak_resident = arena.peak_resident.max(servers_ref.peak_resident);
+    let fold = std::mem::take(&mut arena.fold);
     let (violations, violations_total) = match &sink {
         Some(sink) => (sink.take(), sink.total()),
         None => (Vec::new(), 0),
     };
+    if let Some(progress) = &config.progress {
+        progress.shards_done.fetch_add(1, Ordering::Relaxed);
+    }
     ShardResult {
         shard,
         pairs: pairs.len() as u32,
@@ -1017,18 +1521,19 @@ pub fn run_fleet_shard(
         events: summary.events,
         end_time: summary.end_time,
         sched,
-        completed,
-        broken,
-        requests,
-        requests_complete,
-        victim,
+        completed: fold.completed,
+        broken: fold.broken,
+        requests: fold.requests,
+        requests_complete: fold.requests_complete,
+        victim: fold.victim,
         violations,
         violations_total,
-        attackers,
-        attackers_shed,
-        detected,
-        detection_latency_us,
-        benign_alerts,
+        attackers: fold.attackers,
+        attackers_shed: fold.attackers_shed,
+        detected: fold.detected,
+        detection_latency_us: fold.detection_latency_us,
+        benign_alerts: fold.benign_alerts,
+        peak_resident,
         pool: shard_pool.map(|p| p.borrow().stats()),
     }
 }
@@ -1058,6 +1563,7 @@ pub fn merge_shards(population: u32, shards: u32, mut results: Vec<ShardResult>)
         detected: 0,
         detection_latency_us: 0,
         benign_alerts: 0,
+        peak_resident: 0,
         pool: None,
     };
     for s in results {
@@ -1080,6 +1586,7 @@ pub fn merge_shards(population: u32, shards: u32, mut results: Vec<ShardResult>)
         out.detected += s.detected;
         out.detection_latency_us += s.detection_latency_us;
         out.benign_alerts += s.benign_alerts;
+        out.peak_resident += s.peak_resident;
         if let Some(p) = s.pool {
             let merged = out.pool.get_or_insert_with(PoolStats::default);
             merged.admitted += p.admitted;
@@ -1227,6 +1734,107 @@ mod tests {
             guarded.completed
         );
         assert_eq!(guarded.violations_total, 0, "{:?}", guarded.violations);
+    }
+
+    #[test]
+    fn cohort_sizes_do_not_change_outcomes() {
+        // The cohort value pre-sizes slabs; scheduling is untouched. Every
+        // cohort size must therefore produce the *same shard execution* —
+        // not just the same outcome rows but the same event count, end
+        // time and scheduler counters.
+        let eager = run_fleet_shard(&small_config(), 0, None);
+        let mut prev: Option<ShardResult> = None;
+        for cohort in [1u32, 3, 8] {
+            let config = FleetConfig {
+                cohort: Some(cohort),
+                ..small_config()
+            };
+            let r = run_fleet_shard(&config, 0, None);
+            assert_eq!(r.completed, eager.completed, "cohort {cohort}");
+            assert_eq!(r.broken, 0, "cohort {cohort}");
+            assert_eq!(
+                (r.requests, r.requests_complete),
+                (eager.requests, eager.requests_complete),
+                "cohort {cohort}"
+            );
+            if let Some(p) = &prev {
+                assert_eq!(r.events, p.events, "cohort {cohort}");
+                assert_eq!(r.end_time, p.end_time, "cohort {cohort}");
+                assert_eq!(r.sched, p.sched, "cohort {cohort}");
+                assert_eq!(r.peak_resident, p.peak_resident, "cohort {cohort}");
+            }
+            prev = Some(r);
+        }
+        // The victim's capture survives fold-at-retirement: the full fleet
+        // run under streaming still produces an attack-scoreable trace.
+        let streamed = run_fleet(
+            &FleetConfig {
+                cohort: Some(3),
+                ..small_config()
+            },
+            || None,
+        );
+        let victim = streamed.victim.expect("victim capture present");
+        assert!(!victim.trace.packets.is_empty());
+        assert!(victim.outcomes.iter().all(|o| o.completed_at.is_some()));
+        assert!(!victim.broken);
+        assert_eq!(streamed.violations_total, 0, "{:?}", streamed.violations);
+    }
+
+    #[test]
+    fn streaming_bounds_resident_pairs() {
+        // Starts spread far enough apart that loads don't overlap: the
+        // streamed shard's high-water mark must sit well under the
+        // population, while the eager shard keeps everything resident.
+        let config = FleetConfig {
+            seed: 7,
+            population: 8,
+            shards: 1,
+            conformance: FleetConformance::Off,
+            start_spread: SimDuration::from_secs(40),
+            deadline: SimDuration::from_secs(80),
+            cohort: Some(2),
+            ..FleetConfig::default()
+        };
+        let streamed = run_fleet_shard(&config, 0, None);
+        assert_eq!(streamed.completed, 8);
+        assert!(
+            streamed.peak_resident < 8,
+            "peak_resident {} should be bounded by overlap, not population",
+            streamed.peak_resident
+        );
+        let eager = run_fleet_shard(
+            &FleetConfig {
+                cohort: None,
+                ..config
+            },
+            0,
+            None,
+        );
+        assert_eq!(eager.completed, 8);
+        assert_eq!(eager.peak_resident, 8);
+    }
+
+    #[test]
+    fn progress_reporting_does_not_perturb_results() {
+        let config = small_config();
+        let base = run_fleet_shard(&config, 1, None);
+        let progress = Arc::new(FleetProgress::default());
+        let with = run_fleet_shard(
+            &FleetConfig {
+                progress: Some(progress.clone()),
+                ..config
+            },
+            1,
+            None,
+        );
+        assert_eq!(base.events, with.events);
+        assert_eq!(base.end_time, with.end_time);
+        assert_eq!(base.sched, with.sched);
+        assert_eq!(base.completed, with.completed);
+        assert_eq!(progress.events.load(Ordering::Relaxed), with.events);
+        assert!(progress.pairs_done.load(Ordering::Relaxed) > 0);
+        assert_eq!(progress.shards_done.load(Ordering::Relaxed), 1);
     }
 
     #[test]

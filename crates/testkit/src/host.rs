@@ -51,6 +51,10 @@ pub(crate) struct PumpScratch {
     /// Frame metadata plus run-relative sealed byte ranges (outbound); the
     /// ground-truth annotation replays these after the single bulk write.
     spans: Vec<(OutgoingMeta, usize, usize)>,
+    /// Contiguous-frame staging for the conformance oracle's send tap:
+    /// split DATA frames arrive as header + shared body parts, and only
+    /// checked runs pay to flatten them here.
+    oracle_frame: Vec<u8>,
 }
 
 /// A free-list of recycled byte buffers shared by every host of one
@@ -456,8 +460,36 @@ impl HostCore {
 pub struct Host {
     core: Rc<RefCell<HostCore>>,
     scratch: PumpScratch,
-    tcp_timer: Option<TimerId>,
-    app_timer: Option<TimerId>,
+    tcp_timer: Option<(TimerId, SimTime)>,
+    app_timer: Option<(TimerId, SimTime)>,
+}
+
+/// Re-arms one of the host's two deadline timers, skipping the
+/// cancel+set round trip through the scheduler when the armed deadline
+/// is already the wanted one — between most pump pairs the app wakeup
+/// (and often the TCP timeout) is unchanged, and the scheduler churn of
+/// re-inserting it every pump shows up in profiles.
+fn rearm(
+    ctx: &mut Context<'_, TcpSegment>,
+    slot: &mut Option<(TimerId, SimTime)>,
+    want: Option<SimTime>,
+    token: u64,
+) {
+    match (want, *slot) {
+        (Some(at), Some((_, armed))) if at == armed => {}
+        (Some(at), prev) => {
+            if let Some((id, _)) = prev {
+                ctx.cancel_timer(id);
+            }
+            let id = ctx.set_timer(at.saturating_since(ctx.now()), token);
+            *slot = Some((id, at));
+        }
+        (None, Some((id, _))) => {
+            ctx.cancel_timer(id);
+            *slot = None;
+        }
+        (None, None) => {}
+    }
 }
 
 impl std::fmt::Debug for Host {
@@ -546,21 +578,13 @@ impl Host {
         let mut core = core.borrow_mut();
         core.pump(ctx, &mut self.scratch);
         // Re-arm timers from the post-pump state.
-        if let Some(id) = self.tcp_timer.take() {
-            ctx.cancel_timer(id);
-        }
-        if let Some(id) = self.app_timer.take() {
-            ctx.cancel_timer(id);
-        }
-        if core.dead {
-            return;
-        }
-        if let Some(at) = core.tcp.poll_timeout() {
-            self.tcp_timer = Some(ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_TCP));
-        }
-        if let Some(at) = core.app_wakeup() {
-            self.app_timer = Some(ctx.set_timer(at.saturating_since(ctx.now()), TOKEN_APP));
-        }
+        let (tcp_at, app_at) = if core.dead {
+            (None, None)
+        } else {
+            (core.tcp.poll_timeout(), core.app_wakeup())
+        };
+        rearm(ctx, &mut self.tcp_timer, tcp_at, TOKEN_TCP);
+        rearm(ctx, &mut self.app_timer, app_at, TOKEN_APP);
     }
 }
 
@@ -579,8 +603,13 @@ impl Node<TcpSegment> for Host {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<'_, TcpSegment>) {
+        // The fired timer no longer exists in the scheduler: forget it so
+        // `rearm` can't skip re-setting (or cancel) its stale id.
         if token == TOKEN_TCP {
+            self.tcp_timer = None;
             self.core.borrow_mut().tcp.on_tick(ctx.now());
+        } else {
+            self.app_timer = None;
         }
         // TOKEN_APP needs no pre-step: the pump polls the app with `now`.
         self.pump(ctx);
@@ -956,13 +985,24 @@ impl HostCore {
             };
             progressed = true;
             if let Some(oracle) = self.oracle.as_mut() {
-                oracle.h2.on_sent(out.frame_bytes(), now);
+                // The oracle wants the frame contiguous; split DATA frames
+                // are flattened into scratch, whole frames tap directly.
+                if out.body.is_empty() && out.tail_pad == 0 {
+                    oracle.h2.on_sent(out.frame_bytes(), now);
+                } else {
+                    scratch.oracle_frame.clear();
+                    out.write_wire_into(&mut scratch.oracle_frame);
+                    oracle.h2.on_sent(&scratch.oracle_frame, now);
+                }
             }
             let meta = out.meta;
             let start = run.len();
+            // Gather seal: header, shared body chunk, and tail padding go
+            // through the keystream as one message — the body is read
+            // exactly once, never copied into a frame buffer first.
             if self
                 .tls
-                .seal_app_data_into(out.frame_bytes(), &mut run)
+                .seal_app_data_parts_into(&out.wire_parts(), &mut run)
                 .is_err()
             {
                 run.truncate(start);

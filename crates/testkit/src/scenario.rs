@@ -104,6 +104,14 @@ impl Default for ScenarioConfig {
                 connection_window_bonus: calib::CLIENT_CONN_WINDOW_BONUS,
                 data_pad_quantum: 0,
                 headers_pad_quantum: 0,
+                // Harness apps consume body *lengths*, never contents (the
+                // browser records sizes and timing; the conformance oracle
+                // taps TLS plaintext upstream of the h2 decoder), so DATA
+                // payloads skip the per-frame copy on receive.
+                opaque_data_payloads: true,
+                // The host pump seals split frames with the TLS gather
+                // path, so sent bodies also skip the frame-buffer copy.
+                split_data_frames: true,
             },
             server_h2: H2Config {
                 settings: Settings::default(),
@@ -112,6 +120,8 @@ impl Default for ScenarioConfig {
                 connection_window_bonus: 0,
                 data_pad_quantum: 0,
                 headers_pad_quantum: 0,
+                opaque_data_payloads: true,
+                split_data_frames: true,
             },
             tcp: TcpConfig::default(),
             // Links preserve order: real path jitter is shared queueing

@@ -179,6 +179,165 @@ fn transform(seed: u64, tag: &mut Tag16, data: &mut [u8], sealing: bool) {
     }
 }
 
+/// The fused *gather* variant of [`transform`]: reads plaintext (or
+/// ciphertext) from `src`, XORs the keystream, and appends the result to
+/// `out` in the same sweep — one read of the source and one write of the
+/// destination per byte, where the copy-then-transform-in-place shape
+/// costs an extra read-modify-write pass over the destination. Keystream
+/// schedule, tag lane assignment, and output bytes are identical to
+/// [`transform`] over a copied buffer.
+fn transform_from(seed: u64, tag: &mut Tag16, src: &[u8], out: &mut Vec<u8>, sealing: bool) {
+    out.reserve(src.len());
+    let mut w = [
+        generator_word(seed, 0),
+        generator_word(seed, 1),
+        generator_word(seed, 2),
+        generator_word(seed, 3),
+    ];
+    // Main loop: a quad (four 8-byte blocks) is staged in one 32-byte
+    // stack row and appended in a single extend, so the inner work stays
+    // in registers and `out` grows one cache line at a time.
+    let mut quads = src.chunks_exact(32);
+    for quad in &mut quads {
+        let mut row = [0u8; 32];
+        for (j, word) in quad.chunks_exact(8).enumerate() {
+            let block = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+            let xored = block ^ whiten(w[j]);
+            w[j] = w[j].wrapping_add(WEYL);
+            tag.fold(j, if sealing { block } else { xored });
+            row[j * 8..j * 8 + 8].copy_from_slice(&xored.to_le_bytes());
+        }
+        out.extend_from_slice(&row);
+    }
+    // Tail: fewer than four blocks remain, continuing on lanes `0..` of
+    // the final (partial) quad row.
+    let mut lane = 0usize;
+    let mut chunks = quads.remainder().chunks_exact(8);
+    for chunk in &mut chunks {
+        let block = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let xored = block ^ whiten(w[lane]);
+        tag.fold(lane, if sealing { block } else { xored });
+        out.extend_from_slice(&xored.to_le_bytes());
+        lane += 1;
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let ks = whiten(w[lane]);
+        let mut block = [0u8; 8];
+        block[..rest.len()].copy_from_slice(rest);
+        let plain = u64::from_le_bytes(block);
+        let xored = plain ^ (ks & !(u64::MAX << (8 * rest.len())));
+        tag.fold(lane, if sealing { plain } else { xored });
+        out.extend_from_slice(&xored.to_le_bytes()[..rest.len()]);
+    }
+}
+
+/// The *scatter-gather* variant of [`transform_from`]: the plaintext is
+/// the logical concatenation of `parts`, read in order. Output bytes, tag,
+/// and keystream schedule are byte-identical to [`transform_from`] over a
+/// pre-concatenated buffer — which is the point: the caller skips building
+/// that buffer (the HTTP/2 mux hands the record writer a frame header and
+/// a shared body chunk as separate parts).
+///
+/// The keystream rule generalizes from the quad loop: block `i` draws from
+/// lane `i % 4`, whose generator word has advanced by one Weyl step per
+/// prior use. Within one part, blocks are read at whatever byte phase the
+/// preceding parts left (unaligned `u64` reads are fine); only a block
+/// that *straddles* a part boundary goes through an 8-byte staging buffer.
+fn transform_parts(seed: u64, tag: &mut Tag16, parts: &[&[u8]], out: &mut Vec<u8>, sealing: bool) {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    out.reserve(total);
+    let mut w = [
+        generator_word(seed, 0),
+        generator_word(seed, 1),
+        generator_word(seed, 2),
+        generator_word(seed, 3),
+    ];
+    let mut lane = 0usize;
+    let mut stage = [0u8; 8];
+    let mut staged = 0usize;
+    let mut remaining = total;
+    for part in parts {
+        let mut part = *part;
+        // Top up a block left straddling the previous part boundary.
+        if staged > 0 {
+            let take = (8 - staged).min(part.len());
+            stage[staged..staged + take].copy_from_slice(&part[..take]);
+            staged += take;
+            part = &part[take..];
+            if staged < 8 {
+                continue; // part exhausted mid-block
+            }
+            let block = u64::from_le_bytes(stage);
+            let xored = block ^ whiten(w[lane]);
+            w[lane] = w[lane].wrapping_add(WEYL);
+            tag.fold(lane, if sealing { block } else { xored });
+            out.extend_from_slice(&xored.to_le_bytes());
+            lane = (lane + 1) & 3;
+            staged = 0;
+            remaining -= 8;
+        }
+        // Whole blocks within this part, four to a row as in
+        // [`transform_from`] so `out` grows one cache line at a time.
+        let mut quads = part.chunks_exact(32);
+        for quad in &mut quads {
+            let mut row = [0u8; 32];
+            for (j, word) in quad.chunks_exact(8).enumerate() {
+                let block = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+                let l = (lane + j) & 3;
+                let xored = block ^ whiten(w[l]);
+                w[l] = w[l].wrapping_add(WEYL);
+                tag.fold(l, if sealing { block } else { xored });
+                row[j * 8..j * 8 + 8].copy_from_slice(&xored.to_le_bytes());
+            }
+            out.extend_from_slice(&row);
+            remaining -= 32;
+        }
+        let mut chunks = quads.remainder().chunks_exact(8);
+        for chunk in &mut chunks {
+            let block = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let xored = block ^ whiten(w[lane]);
+            w[lane] = w[lane].wrapping_add(WEYL);
+            tag.fold(lane, if sealing { block } else { xored });
+            out.extend_from_slice(&xored.to_le_bytes());
+            lane = (lane + 1) & 3;
+            remaining -= 8;
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            if rest.len() == remaining {
+                // Final partial block of the whole message: masked
+                // keystream, zero-extended plaintext fold, exactly as in
+                // [`transform_from`].
+                let ks = whiten(w[lane]);
+                let mut block = [0u8; 8];
+                block[..rest.len()].copy_from_slice(rest);
+                let plain = u64::from_le_bytes(block);
+                let xored = plain ^ (ks & !(u64::MAX << (8 * rest.len())));
+                tag.fold(lane, if sealing { plain } else { xored });
+                out.extend_from_slice(&xored.to_le_bytes()[..rest.len()]);
+                remaining -= rest.len();
+            } else {
+                // More parts follow: stage for the boundary-straddling
+                // block.
+                stage[..rest.len()].copy_from_slice(rest);
+                staged = rest.len();
+            }
+        }
+    }
+    debug_assert_eq!(staged.min(remaining), remaining, "all bytes consumed");
+    if staged > 0 {
+        // Trailing parts were all empty: flush the staged partial block.
+        let ks = whiten(w[lane]);
+        let mut block = [0u8; 8];
+        block[..staged].copy_from_slice(&stage[..staged]);
+        let plain = u64::from_le_bytes(block);
+        let xored = plain ^ (ks & !(u64::MAX << (8 * staged)));
+        tag.fold(lane, if sealing { plain } else { xored });
+        out.extend_from_slice(&xored.to_le_bytes()[..staged]);
+    }
+}
+
 impl RecordCipher {
     /// Creates a cipher for one direction. `key` is the shared session key;
     /// `label` distinguishes directions (conventionally 1 = client→server,
@@ -215,12 +374,34 @@ impl RecordCipher {
         // Explicit nonce (8 bytes): the sequence number, as in TLS 1.2 GCM.
         out.extend_from_slice(&seq.to_be_bytes());
         let seed = self.key ^ seq.wrapping_mul(PHI) | 1;
-        out.extend_from_slice(plaintext);
         let mut tag = Tag16::new(self.key, seq, plaintext.len());
-        transform(seed, &mut tag, &mut out[start + 8..], true);
+        // Fused copy + keystream: the plaintext is read once and the sealed
+        // bytes written once, instead of copy-then-scramble-in-place.
+        transform_from(seed, &mut tag, plaintext, out, true);
         // Tag: 16 meaningful bits + 14 filler bytes to reach AEAD_OVERHEAD.
         out.extend_from_slice(&tag.finish().to_be_bytes());
         out.resize(start + plaintext.len() + AEAD_OVERHEAD, 0xA5);
+    }
+
+    /// Seals one fragment whose plaintext is the concatenation of `parts`,
+    /// appending the ciphertext to `out` — byte-identical output to
+    /// [`RecordCipher::seal_into`] over the concatenated bytes, without
+    /// the caller ever materializing them. The batched host pump hands the
+    /// frame header and the shared body chunk as separate parts, so a
+    /// response body is read exactly once (by the keystream pass) on its
+    /// way to the wire.
+    pub fn seal_parts_into(&mut self, parts: &[&[u8]], out: &mut Vec<u8>) {
+        let plaintext_len: usize = parts.iter().map(|p| p.len()).sum();
+        let seq = self.seq;
+        self.seq += 1;
+        out.reserve(plaintext_len + AEAD_OVERHEAD);
+        let start = out.len();
+        out.extend_from_slice(&seq.to_be_bytes());
+        let seed = self.key ^ seq.wrapping_mul(PHI) | 1;
+        let mut tag = Tag16::new(self.key, seq, plaintext_len);
+        transform_parts(seed, &mut tag, parts, out, true);
+        out.extend_from_slice(&tag.finish().to_be_bytes());
+        out.resize(start + plaintext_len + AEAD_OVERHEAD, 0xA5);
     }
 
     /// Seals one fragment *in place*: the plaintext already sits at
@@ -268,9 +449,10 @@ impl RecordCipher {
         let body = &ciphertext[8..8 + body_len];
         let seed = self.key ^ seq.wrapping_mul(PHI) | 1;
         let start = out.len();
-        out.extend_from_slice(body);
         let mut tag = Tag16::new(self.key, seq, body_len);
-        transform(seed, &mut tag, &mut out[start..], false);
+        // Fused copy + keystream, as in `seal_into`: ciphertext is read
+        // once and plaintext written once.
+        transform_from(seed, &mut tag, body, out, false);
         let wire_tag = u16::from_be_bytes(
             ciphertext[8 + body_len..8 + body_len + 2]
                 .try_into()
@@ -361,6 +543,68 @@ mod tests {
         let ct = seal.seal(b"");
         assert_eq!(ct.len(), AEAD_OVERHEAD);
         assert_eq!(open.open(&ct).as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn fused_gather_seal_matches_in_place_seal() {
+        // `seal_into` (fused source→dest pass) and `seal_in_place`
+        // (copy + in-place transform) must stay byte-identical at every
+        // tail shape: empty, sub-block, block, quad, and fragment sizes.
+        for len in [0usize, 1, 7, 8, 9, 15, 31, 32, 33, 63, 64, 100, 1000, 16384] {
+            let msg: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+            let mut fused_cipher = RecordCipher::new(0xABCD, 1);
+            let mut inplace_cipher = RecordCipher::new(0xABCD, 1);
+            let mut fused = Vec::new();
+            fused_cipher.seal_into(&msg, &mut fused);
+            let mut inplace = vec![0u8; 8];
+            inplace.extend_from_slice(&msg);
+            inplace_cipher.seal_in_place(&mut inplace, 8);
+            assert_eq!(fused, inplace, "len {len}");
+        }
+    }
+
+    #[test]
+    fn gather_seal_matches_contiguous_seal() {
+        // `seal_parts_into` over any split of the plaintext must be
+        // byte-identical to `seal_into` over the concatenation — every
+        // part-boundary phase vs. the 8-byte block grid and the 32-byte
+        // quad grid, including empty parts and an all-parts-empty record.
+        let msg: Vec<u8> = (0..1000)
+            .map(|i: usize| (i.wrapping_mul(37) % 241) as u8)
+            .collect();
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 100, 1000] {
+            let msg = &msg[..len];
+            let mut splits: Vec<Vec<usize>> = vec![vec![len]];
+            for a in [0usize, 1, 7, 8, 9, 15, 16, 17] {
+                if a <= len {
+                    splits.push(vec![a, len - a]);
+                    for b in [0usize, 1, 8, 9, 13] {
+                        if a + b <= len {
+                            splits.push(vec![a, b, len - a - b]);
+                        }
+                    }
+                }
+            }
+            let mut contiguous = Vec::new();
+            RecordCipher::new(0x5EA1, 2).seal_into(msg, &mut contiguous);
+            for split in splits {
+                let mut parts: Vec<&[u8]> = Vec::new();
+                let mut pos = 0;
+                for n in &split {
+                    parts.push(&msg[pos..pos + n]);
+                    pos += n;
+                }
+                let mut gathered = Vec::new();
+                RecordCipher::new(0x5EA1, 2).seal_parts_into(&parts, &mut gathered);
+                assert_eq!(gathered, contiguous, "len {len} split {split:?}");
+                let mut opened = Vec::new();
+                assert!(
+                    RecordCipher::new(0x5EA1, 2).open_into(&gathered, &mut opened),
+                    "len {len} split {split:?}"
+                );
+                assert_eq!(opened, msg);
+            }
+        }
     }
 
     #[test]

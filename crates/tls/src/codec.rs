@@ -72,6 +72,59 @@ impl RecordWriter {
         }
     }
 
+    /// Seals one message whose plaintext is the concatenation of `parts`,
+    /// appending its wire bytes to `out` — the scatter-gather variant of
+    /// [`seal_message_into`](Self::seal_message_into), producing
+    /// byte-identical records (same [`MAX_PLAINTEXT`] fragmentation over
+    /// the logical concatenation) without the caller assembling a
+    /// contiguous message. The HTTP/2 host pump passes a frame header and
+    /// the stream's shared body chunk as separate parts, so body bytes are
+    /// never copied into a frame buffer before sealing.
+    pub fn seal_message_parts_into(
+        &mut self,
+        content_type: ContentType,
+        parts: &[&[u8]],
+        out: &mut Vec<u8>,
+    ) {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        // Record cursor into the logical concatenation: part index + byte
+        // offset within it. Each record gathers at most MAX_PLAINTEXT
+        // bytes as sub-slices — no copies, just a tiny per-record Vec of
+        // slice views reused across records.
+        let mut part_idx = 0usize;
+        let mut part_off = 0usize;
+        let mut remaining = total;
+        let mut record_parts: Vec<&[u8]> = Vec::with_capacity(parts.len());
+        loop {
+            let n = remaining.min(MAX_PLAINTEXT);
+            record_parts.clear();
+            let mut need = n;
+            while need > 0 {
+                let part = parts[part_idx];
+                let avail = part.len() - part_off;
+                if avail == 0 {
+                    part_idx += 1;
+                    part_off = 0;
+                    continue;
+                }
+                let take = avail.min(need);
+                record_parts.push(&part[part_off..part_off + take]);
+                part_off += take;
+                need -= take;
+            }
+            let header = RecordHeader {
+                content_type,
+                fragment_len: (n + AEAD_OVERHEAD) as u16,
+            };
+            out.extend_from_slice(&header.encode());
+            self.cipher.seal_parts_into(&record_parts, out);
+            remaining -= n;
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+
     /// Seals one message *in place*: the plaintext already sits at
     /// `buf[RECORD_PREFIX..]` (at most [`MAX_PLAINTEXT`] bytes), with the
     /// leading [`RECORD_PREFIX`] bytes reserved for the record header and
@@ -438,6 +491,42 @@ mod tests {
             RecordWriter::new(RecordCipher::new(9, 1)),
             RecordReader::new(RecordCipher::new(9, 1)),
         )
+    }
+
+    #[test]
+    fn parts_seal_matches_contiguous_seal() {
+        // Gather sealing must fragment and seal exactly as the contiguous
+        // path does, for messages below, at, and spanning MAX_PLAINTEXT —
+        // including record boundaries that fall inside a part.
+        for (label, sizes) in [
+            ("sub-record", vec![10usize, 100, 7]),
+            ("exact record", vec![9, MAX_PLAINTEXT - 9]),
+            ("multi-record", vec![10, 2 * MAX_PLAINTEXT + 100, 4990]),
+            ("empty parts", vec![0, 25, 0]),
+            ("all empty", vec![0, 0]),
+        ] {
+            let total: usize = sizes.iter().sum();
+            let msg: Vec<u8> = (0..total).map(|i| (i % 249) as u8).collect();
+            let mut contiguous = Vec::new();
+            RecordWriter::new(RecordCipher::new(9, 1)).seal_message_into(
+                ContentType::ApplicationData,
+                &msg,
+                &mut contiguous,
+            );
+            let mut parts: Vec<&[u8]> = Vec::new();
+            let mut pos = 0;
+            for n in &sizes {
+                parts.push(&msg[pos..pos + n]);
+                pos += n;
+            }
+            let mut gathered = Vec::new();
+            RecordWriter::new(RecordCipher::new(9, 1)).seal_message_parts_into(
+                ContentType::ApplicationData,
+                &parts,
+                &mut gathered,
+            );
+            assert_eq!(gathered, contiguous, "{label}");
+        }
     }
 
     #[test]

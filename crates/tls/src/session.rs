@@ -330,6 +330,31 @@ impl TlsSession {
         Ok(())
     }
 
+    /// Seals application bytes given as separate `parts` (their logical
+    /// concatenation is the message), appending the wire record(s) to
+    /// `out` — byte-identical to [`seal_app_data_into`] over the
+    /// concatenated bytes, without materializing them. The host pump's
+    /// split DATA path seals `[frame header, shared body, pad]` directly.
+    ///
+    /// [`seal_app_data_into`]: Self::seal_app_data_into
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SessionError::EarlyAppData`] before establishment
+    /// (leaving `out` untouched).
+    pub fn seal_app_data_parts_into(
+        &mut self,
+        parts: &[&[u8]],
+        out: &mut Vec<u8>,
+    ) -> Result<(), SessionError> {
+        if self.state != HandshakeState::Established {
+            return Err(SessionError::EarlyAppData);
+        }
+        self.writer
+            .seal_message_parts_into(ContentType::ApplicationData, parts, out);
+        Ok(())
+    }
+
     /// Seals application bytes *in place*: `buf[RECORD_PREFIX..]` holds the
     /// payload (at most [`MAX_PLAINTEXT`](crate::MAX_PLAINTEXT) bytes) and
     /// the leading [`RECORD_PREFIX`](crate::RECORD_PREFIX) bytes are

@@ -2,10 +2,12 @@
 # Perf regression gate: re-times the fast exhibits (fig1, table2), the
 # countermeasure arena (defend), the slow-DoS triad (dos) and
 # the population-scale fleet exhibit with fresh `repro --bench-json`
-# runs and fails when events/sec drops more than 20% below the
+# runs and fails when events/sec (aggregate or per worker core) drops
+# more than 20% below the
 # checked-in BENCH_repro.json baseline, or when the fleet exhibit's
 # bytes-per-co-resident-pair (the counting-allocator telemetry) grows
-# more than 20% above it. Built to
+# more than 20% above it. A cohort-streamed fleet run is smoked up
+# front and must keep its working set below the eager baseline. Built to
 # tolerate CI noise without missing real regressions: shared CI hosts
 # oscillate in speed on minute timescales, and fig1 is a ~1 ms exhibit
 # whose single-run rate is mostly scheduler jitter — so the gate makes up
@@ -22,6 +24,35 @@ fresh=$(mktemp)
 seen=$(mktemp)
 trap 'rm -f "$fresh" "$seen"' EXIT INT TERM
 
+# Smoke the cohort-streamed fleet path (the bench-fleet-1m hot path at a
+# gate-friendly size) before the rate gate: it must complete, and its
+# peak working set must stay strictly below the eager fleet baseline's
+# bytes-per-pair — streaming that allocates like the eager path is a
+# regression in the one property it exists to provide. Kept out of the
+# best-of pool on purpose: its low peak would mask an eager-memory
+# regression in the min-scored memory gate below.
+./target/release/repro fleet --cohort 125 --spread 60 --bench-json="$fresh" >/dev/null
+awk '
+    /"exhibit"/       { gsub(/[",]/, "", $2); name = $2 }
+    /"bytes_per_pair"/ {
+        gsub(/,/, "", $2)
+        if (NR == FNR) { if (name == "fleet") base = $2 }
+        else if (name == "fleet") streamed = $2
+    }
+    END {
+        if (base == "" || streamed == "") {
+            print "bench-check: streamed fleet produced no bytes_per_pair row"
+            exit 1
+        }
+        printf "bench-check: streamed fleet %12.0f bytes/pair vs eager baseline %12.0f\n",
+               streamed, base
+        if (streamed + 0 >= base + 0) {
+            print "bench-check: cohort streaming no longer bounds the working set"
+            exit 1
+        }
+    }
+' BENCH_repro.json "$fresh"
+
 attempts=3
 for attempt in $(seq 1 "$attempts"); do
     # fleet runs at the baseline's default population (1000) so its
@@ -35,6 +66,11 @@ for attempt in $(seq 1 "$attempts"); do
             gsub(/,/, "", $2)
             if (NR == FNR)            base[name] = $2
             else if ($2 > cur[name])  cur[name]  = $2
+        }
+        /"ev_s_per_core"/ {
+            gsub(/,/, "", $2)
+            if (NR == FNR)                   base_core[name] = $2
+            else if ($2 > cur_core[name])    cur_core[name]  = $2
         }
         /"bytes_per_pair"/ {
             gsub(/,/, "", $2)
@@ -52,6 +88,21 @@ for attempt in $(seq 1 "$attempts"); do
                        name, cur[name], base[name], (ratio - 1) * 100
                 if (ratio < 0.80) {
                     printf "bench-check: %s regressed more than 20%%\n", name
+                    status = 1
+                }
+            }
+            # Per-core throughput gate: same best-of scoring, catching the
+            # scale-out regressions aggregate events/sec hides — e.g. a
+            # run that silently fans out over more workers to keep its
+            # aggregate flat while each core does less useful work.
+            for (name in cur_core) {
+                if (!(name in base_core) || base_core[name] == 0) continue
+                checked++
+                ratio = cur_core[name] / base_core[name]
+                printf "bench-check: %-8s best %12.0f ev/s/core  vs baseline %12.0f (%+.1f%%)\n",
+                       name, cur_core[name], base_core[name], (ratio - 1) * 100
+                if (ratio < 0.80) {
+                    printf "bench-check: %s per-core throughput regressed more than 20%%\n", name
                     status = 1
                 }
             }
